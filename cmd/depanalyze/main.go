@@ -1,0 +1,169 @@
+// Command depanalyze runs the exact dependence analyzer on a loop-language
+// source file and prints a per-pair dependence report, direction vectors,
+// and a loop-parallelization summary.
+//
+//	depanalyze [flags] file.loop      (or - for stdin)
+//
+// Flags:
+//
+//	-vectors=false    skip direction/distance vectors
+//	-memo             enable memoization (improved scheme)
+//	-memo-file=path   persist the memo table across runs (implies -memo)
+//	-stats            print the analyzer counters
+//	-parallel=false   skip the parallelization summary
+//	-annotate         print the source with parallel loops marked 'parfor'
+//	-dot              print the dependence graph in Graphviz dot form
+//	-distribute       print the program with loops distributed by pi-blocks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"exactdep"
+)
+
+func main() {
+	vectors := flag.Bool("vectors", true, "compute direction and distance vectors")
+	memo := flag.Bool("memo", false, "memoize repeated dependence problems")
+	memoFile := flag.String("memo-file", "", "persist the memo table across runs (implies -memo)")
+	showStats := flag.Bool("stats", false, "print analyzer statistics")
+	par := flag.Bool("parallel", true, "print the loop-parallelization summary")
+	annotate := flag.Bool("annotate", false, "print the source with parallel loops marked 'parfor'")
+	dot := flag.Bool("dot", false, "print the statement dependence graph in Graphviz dot form")
+	distribute := flag.Bool("distribute", false, "print the program with top-level loops distributed by pi-blocks")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: depanalyze [flags] file.loop  (use - for stdin)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := readSource(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if *memoFile != "" {
+		*memo = true
+	}
+
+	opts := exactdep.Options{
+		DirectionVectors: *vectors,
+		PruneUnused:      *vectors,
+		PruneDistance:    *vectors,
+		Memoize:          *memo,
+		ImprovedMemo:     *memo,
+	}
+	prog, err := exactdep.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	unit := exactdep.Lower(prog)
+	analyzer := exactdep.NewAnalyzer(opts)
+	if *memoFile != "" {
+		if f, err := os.Open(*memoFile); err == nil {
+			loadErr := analyzer.LoadMemo(f)
+			f.Close()
+			if loadErr != nil {
+				fatal(loadErr)
+			}
+		} else if !os.IsNotExist(err) {
+			fatal(err)
+		}
+	}
+	results, err := analyzer.AnalyzeUnit(unit)
+	if err != nil {
+		fatal(err)
+	}
+	report := &exactdep.Report{Unit: unit, Results: results, Stats: analyzer.Stats}
+	if *memoFile != "" {
+		f, err := os.Create(*memoFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := analyzer.SaveMemo(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	for _, w := range report.Unit.Warnings {
+		fmt.Fprintf(os.Stderr, "warning: %s\n", w)
+	}
+	for _, r := range report.Results {
+		fmt.Printf("%s vs %s: %s", r.Pair.A.Ref, r.Pair.B.Ref, r.Outcome)
+		if !r.Exact {
+			fmt.Printf(" (assumed)")
+		}
+		fmt.Printf("  [%s", r.DecidedBy)
+		if r.DecidedBy == exactdep.ByTest {
+			fmt.Printf(": %s", r.Kind)
+		}
+		fmt.Printf("]")
+		if len(r.Vectors) > 0 {
+			fmt.Printf("  vectors:")
+			for _, v := range r.Vectors {
+				fmt.Printf(" %s", v)
+			}
+		}
+		for _, d := range r.Distances {
+			fmt.Printf("  distance[level %d]=%d", d.Level, d.Value)
+		}
+		fmt.Println()
+	}
+
+	if *par {
+		fmt.Println()
+		fmt.Println("parallelization:")
+		fmt.Print(exactdep.ParallelizeResults(report.Unit, report.Results))
+	}
+	if *annotate {
+		fmt.Println()
+		fmt.Println("annotated source:")
+		fmt.Print(exactdep.AnnotateSource(prog, exactdep.ParallelizeResults(report.Unit, report.Results)))
+	}
+	if *dot {
+		fmt.Println()
+		fmt.Print(exactdep.BuildDepGraph(report.Unit, report.Results).Dot())
+	}
+	if *distribute {
+		dist, err := exactdep.DistributeProgram(prog)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		fmt.Println("distributed:")
+		fmt.Print(dist)
+	}
+	if *showStats {
+		s := report.Stats
+		fmt.Println()
+		fmt.Printf("pairs: %d  constant: %d  gcd-independent: %d  tests: %d\n",
+			s.Pairs, s.Constant, s.GCDIndependent, s.TotalTests())
+		fmt.Printf("verdicts: %d independent, %d dependent, %d unknown\n",
+			s.Independent, s.Dependent, s.Unknown)
+		if *memo {
+			fmt.Printf("memo: %d unique cases, %d/%d hits\n",
+				s.UniqueFull, s.FullHits, s.FullLookups)
+		}
+	}
+}
+
+func readSource(path string) (string, error) {
+	if path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "depanalyze: %v\n", err)
+	os.Exit(1)
+}

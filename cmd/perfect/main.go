@@ -1,0 +1,85 @@
+// Command perfect regenerates the paper's evaluation tables and figure on
+// the synthetic PERFECT Club suite:
+//
+//	perfect -table 1     per-program test-call counts (no memoization)
+//	perfect -table 2     memoization unique-case percentages
+//	perfect -table 3     test calls on unique cases only (memoized)
+//	perfect -table 4     direction-vector test counts, no pruning
+//	perfect -table 5     direction-vector test counts with pruning
+//	perfect -table 6     dependence-test cost vs scalar-compile cost model
+//	perfect -table 7     table 5 plus symbolic cases
+//	perfect -figure 1    the Loop Residue constraint graph of §3.4
+//	perfect -compare     §7 exact-vs-inexact accuracy comparison
+//	perfect -shared      §5 standard-table-across-compilations experiment
+//	perfect -dump AP     print program AP's generated synthetic source
+//	perfect -all         everything above in order
+//
+// Pass -paper to append the paper's reported rows for side-by-side reading.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"exactdep/internal/harness"
+	"exactdep/internal/workload"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate table N (1-7)")
+	figure := flag.Int("figure", 0, "regenerate figure N (1)")
+	compare := flag.Bool("compare", false, "run the §7 exact-vs-inexact comparison")
+	shared := flag.Bool("shared", false, "run the §5 standard-table-across-compilations experiment")
+	dump := flag.String("dump", "", "print the generated synthetic source of one program (e.g. -dump AP)")
+	symbolic := flag.Bool("symbolic", false, "with -dump: include the Table 7 symbolic cases")
+	all := flag.Bool("all", false, "run every experiment")
+	paper := flag.Bool("paper", false, "append the paper's reported numbers")
+	flag.Parse()
+
+	h := harness.New(os.Stdout, *paper)
+	ran := false
+	run := func(name string, f func() error) {
+		ran = true
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "perfect: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	if *all {
+		for n := 1; n <= 7; n++ {
+			n := n
+			run(fmt.Sprintf("table %d", n), func() error { return h.Table(n) })
+		}
+		run("figure 1", func() error { return h.Figure(1) })
+		run("compare", h.Compare)
+		run("shared", h.SharedTable)
+		return
+	}
+	if *table != 0 {
+		run("table", func() error { return h.Table(*table) })
+	}
+	if *figure != 0 {
+		run("figure", func() error { return h.Figure(*figure) })
+	}
+	if *compare {
+		run("compare", h.Compare)
+	}
+	if *shared {
+		run("shared table", h.SharedTable)
+	}
+	if *dump != "" {
+		run("dump", func() error {
+			spec, ok := workload.ProgramByName(*dump)
+			if !ok {
+				return fmt.Errorf("unknown program %q (AP, CS, LG, LW, MT, NA, OC, SD, SM, SR, TF, TI, WS)", *dump)
+			}
+			_, err := fmt.Print(workload.Source(spec, *symbolic))
+			return err
+		})
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,107 @@
+package exactdep_test
+
+import (
+	"fmt"
+
+	"exactdep"
+)
+
+// The paper's second introductory loop: every iteration reads the previous
+// iteration's write.
+func ExampleAnalyzeSource() {
+	report, err := exactdep.AnalyzeSource(`
+for i = 1 to 10
+  a[i+1] = a[i] + 3
+end
+`, exactdep.Options{DirectionVectors: true, PruneUnused: true, PruneDistance: true})
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range report.Results {
+		if r.Pair.A.Ref.Kind == exactdep.Write && r.Pair.B.Ref.Kind == exactdep.Read {
+			fmt.Println(r.Pair.A.Ref, "vs", r.Pair.B.Ref, "->", r.Outcome, r.Vectors[0])
+		}
+	}
+	// Output:
+	// a[i + 1] (write) vs a[i] (read) -> dependent (<)
+}
+
+// Building a dependence problem directly from the IR.
+func ExampleAnalyzer_AnalyzePair() {
+	nest := &exactdep.Nest{
+		Label: "example",
+		Loops: []exactdep.Loop{{
+			Index: "i",
+			Lower: exactdep.NewConst(1),
+			Upper: exactdep.NewConst(100),
+		}},
+	}
+	write := exactdep.Ref{Array: "a", Kind: exactdep.Write, Depth: 1,
+		Subscripts: []exactdep.Expr{exactdep.NewTerm("i", 2)}}
+	read := exactdep.Ref{Array: "a", Kind: exactdep.Read, Depth: 1,
+		Subscripts: []exactdep.Expr{exactdep.NewTerm("i", 2).AddConst(1)}}
+
+	a := exactdep.NewAnalyzer(exactdep.Options{})
+	res, err := a.AnalyzePair(nest.Pair(write, read))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Outcome, "by", res.DecidedBy)
+	// Output:
+	// independent by gcd
+}
+
+// Loop parallelization: the application layer.
+func ExampleParallelize() {
+	prog, err := exactdep.Parse(`
+for i = 1 to 100
+  for j = 1 to 100
+    a[i+1][j] = a[i][j]
+  end
+end
+`)
+	if err != nil {
+		panic(err)
+	}
+	rep, err := exactdep.Parallelize(exactdep.Lower(prog), exactdep.Options{
+		PruneUnused: true, PruneDistance: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, l := range rep.Loops {
+		status := "serial"
+		if l.Parallel {
+			status = "parallel"
+		}
+		fmt.Println(l.Index, status)
+	}
+	// Output:
+	// i serial
+	// j parallel
+}
+
+// Transformation legality from direction vectors.
+func ExampleInterchangeLegal() {
+	// a[i][j] = a[i-1][j+1] has direction vector (<, >): interchange would
+	// reverse the execution order of dependent iterations.
+	vectors := []exactdep.DirectionVector{{exactdep.DirLess, exactdep.DirGreater}}
+	legal, _ := exactdep.InterchangeLegal(vectors, []int{1, 0})
+	fmt.Println("interchange legal:", legal)
+	// Output:
+	// interchange legal: false
+}
+
+// Direction-vector set minimization.
+func ExampleMergeVectors() {
+	vs := []exactdep.DirectionVector{
+		{exactdep.DirLess, exactdep.DirLess},
+		{exactdep.DirLess, exactdep.DirEqual},
+		{exactdep.DirLess, exactdep.DirGreater},
+	}
+	for _, v := range exactdep.MergeVectors(vs) {
+		fmt.Println(v)
+	}
+	// Output:
+	// (<, *)
+}

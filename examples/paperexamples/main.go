@@ -1,0 +1,132 @@
+// Paperexamples: every worked example from the paper's text, section by
+// section, run through the analyzer — a reproduction notebook. Each entry
+// states what the paper says should happen; the output shows the analyzer
+// agreeing.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"exactdep"
+)
+
+type example struct {
+	section string
+	claim   string
+	src     string
+	flow    bool // report only write-vs-read pairs
+}
+
+var examples = []example{
+	{"§1", "all iterations can execute concurrently (write range and read range disjoint)", `
+for i = 1 to 10
+  a[i] = a[i+10] + 3
+end
+`, true},
+	{"§1", "each read refers to the previous iteration's write, forcing sequential execution", `
+for i = 1 to 10
+  a[i+1] = a[i] + 3
+end
+`, true},
+	{"§3.1", "transformed to one free variable; bounds conflict proves independence", `
+for i = 1 to 10
+  a[i+10] = a[i]
+end
+`, true},
+	{"§3.2", "coupled subscripts decided exactly by SVPC after GCD preprocessing: independent", `
+for i = 1 to 10
+  for j = 1 to 10
+    a[i][j] = a[j+10][i+9]
+  end
+end
+`, true},
+	{"§5", "programs (a) and (b) collapse to the same case under improved memoization", `
+for i = 1 to 10
+  for j = 1 to 10
+    a[i+10] = a[i] + 3
+  end
+end
+for i = 1 to 10
+  for j = 1 to 10
+    a[j+10] = a[j] + 3
+  end
+end
+`, true},
+	{"§6", "dependent with direction '<' only (distance 1)", `
+for i = 1 to 10
+  a[i+1] = a[i] + 7
+end
+`, true},
+	{"§6", "dependent with direction '=' only — the loop still parallelizes", `
+for i = 1 to 10
+  a[i] = a[i] + 7
+end
+`, true},
+	{"§6", "dependent with two direction vectors", `
+for i = 0 to 10
+  for j = 0 to 10
+    a[i][j] = a[2*i][j] + 7
+  end
+end
+`, true},
+	{"§6", "distance known exactly from GCD: i' - i = 3", `
+for i = 0 to 10
+  a[i] = a[i-3] + 7
+end
+`, true},
+	{"§6", "unused variable i keeps direction '*'", `
+for i = 1 to 10
+  for j = 1 to 10
+    a[j] = a[j+1]
+  end
+end
+`, true},
+	{"§8", "prepass rewrites iz and n into affine subscripts: a[2i+100] vs a[2i+201]", `
+n = 100
+iz = 0
+for i = 1 to 10
+  iz = iz + 2
+  a[iz+n] = a[iz+2*n+1] + 3
+end
+`, true},
+	{"§8", "symbolic n analyzed without loss of exactness", `
+read(n)
+for i = 1 to 10
+  a[i+n] = a[i+2*n+1] + 3
+end
+`, true},
+}
+
+func main() {
+	opts := exactdep.Options{
+		Memoize: true, ImprovedMemo: true,
+		DirectionVectors: true, PruneUnused: true, PruneDistance: true,
+	}
+	for _, ex := range examples {
+		fmt.Printf("%s — paper: %s\n", ex.section, ex.claim)
+		report, err := exactdep.AnalyzeSource(ex.src, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range report.Results {
+			if ex.flow && !(r.Pair.A.Ref.Kind == exactdep.Write && r.Pair.B.Ref.Kind == exactdep.Read) {
+				continue
+			}
+			fmt.Printf("  %s vs %s: %s", r.Pair.A.Ref, r.Pair.B.Ref, r.Outcome)
+			if r.Outcome == exactdep.Dependent {
+				for _, v := range exactdep.MergeVectors(r.Vectors) {
+					fmt.Printf("  %s", v)
+				}
+				for _, d := range r.Distances {
+					fmt.Printf("  dist[%d]=%d", d.Level, d.Value)
+				}
+			}
+			if r.DecidedBy == exactdep.ByCache {
+				fmt.Printf("  (memoized)")
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+}

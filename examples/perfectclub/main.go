@@ -1,0 +1,31 @@
+// Perfectclub: run the complete evaluation — every table, the figure, and
+// the exact-vs-inexact comparison — on the synthetic PERFECT Club suite,
+// with the paper's reported numbers printed alongside for comparison.
+// Equivalent to `perfect -all -paper`.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"exactdep/internal/harness"
+)
+
+func main() {
+	h := harness.New(os.Stdout, true)
+	for n := 1; n <= 7; n++ {
+		fmt.Printf("──────────────────────────────────────────────\n")
+		if err := h.Table(n); err != nil {
+			log.Fatalf("table %d: %v", n, err)
+		}
+	}
+	fmt.Printf("──────────────────────────────────────────────\n")
+	if err := h.Figure(1); err != nil {
+		log.Fatalf("figure 1: %v", err)
+	}
+	fmt.Printf("──────────────────────────────────────────────\n")
+	if err := h.Compare(); err != nil {
+		log.Fatalf("compare: %v", err)
+	}
+}

@@ -1,0 +1,181 @@
+// Transform: use the analyzer's direction vectors to answer the classic
+// loop-transformation legality questions — can we interchange, reverse, or
+// distribute these loops? — and to build the statement-level dependence
+// graph with its π-blocks.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"exactdep"
+)
+
+func main() {
+	// A wavefront recurrence: dependences (<, =) via w[i-1][j] and (=, <)
+	// via w[i][j-1]. Neither loop parallelizes directly; interchange is
+	// legal but does not help; skewing would (not implemented here — the
+	// point is that the legality answers come straight from the vectors).
+	wavefront := `
+for i = 2 to 100
+  for j = 2 to 100
+    w[i][j] = w[i-1][j] + w[i][j-1]
+  end
+end
+`
+	// An interchange-hostile kernel: a[i][j] = a[i-1][j+1] has the single
+	// vector (<, >); interchanging would reverse execution order of the
+	// dependent iterations.
+	hostile := `
+for i = 2 to 100
+  for j = 1 to 99
+    a[i][j] = a[i-1][j+1]
+  end
+end
+`
+	// An interchange-friendly kernel: the dependence (=, <) lets the j
+	// loop move outward, exposing an outer parallel loop.
+	friendly := `
+for i = 1 to 100
+  for j = 2 to 100
+    b[i][j] = b[i][j-1]
+  end
+end
+`
+	for _, ex := range []struct{ name, src string }{
+		{"wavefront", wavefront},
+		{"interchange-hostile", hostile},
+		{"interchange-friendly", friendly},
+	} {
+		fmt.Printf("== %s ==\n", ex.name)
+		report, err := exactdep.AnalyzeSource(ex.src, exactdep.Options{
+			DirectionVectors: true, PruneUnused: true, PruneDistance: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var vectors []exactdep.DirectionVector
+		for _, r := range report.Results {
+			if r.Outcome != exactdep.Dependent {
+				continue
+			}
+			for _, v := range r.Vectors {
+				nv := exactdep.NormalizeVector(v)
+				vectors = append(vectors, nv)
+				fmt.Printf("  dependence %s vs %s: %s\n", r.Pair.A.Ref, r.Pair.B.Ref, nv)
+			}
+		}
+		legal, err := exactdep.InterchangeLegal(vectors, []int{1, 0})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  interchange (i<->j) legal: %v\n", legal)
+		fmt.Printf("  outer loop parallel: %v, inner loop parallel: %v\n",
+			exactdep.ParallelizableLevel(vectors, 0),
+			exactdep.ParallelizableLevel(vectors, 1))
+		if perm, ok := exactdep.InterchangeToParallelize(vectors); ok {
+			fmt.Printf("  permutation %v exposes an outer parallel loop\n", perm)
+		} else {
+			fmt.Printf("  no interchange exposes an outer parallel loop\n")
+		}
+		g := exactdep.BuildDepGraph(report.Unit, report.Results)
+		fmt.Printf("  dependence graph: %d edges, cycle=%v\n", len(g.Edges), g.HasCycle())
+		fmt.Println()
+	}
+
+	// Loop distribution: a recurrence π-block plus an independent consumer.
+	distribute := `
+for i = 2 to 100
+  a[i] = b[i-1]
+  b[i] = a[i]
+  c[i] = a[i-1] + 1
+end
+`
+	fmt.Println("== distribution ==")
+	report, err := exactdep.AnalyzeSource(distribute, exactdep.Options{
+		DirectionVectors: true, PruneUnused: true, PruneDistance: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := exactdep.BuildDepGraph(report.Unit, report.Results)
+	fmt.Print(g)
+	fmt.Printf("pi-blocks (reverse topological): %v\n", g.SCCs())
+	fmt.Printf("fully distributable: %v\n", !g.HasCycle())
+	prog, err := exactdep.Parse(distribute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	distProg, err := exactdep.DistributeProgram(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("distributed form:")
+	fmt.Print(distProg)
+	fmt.Println()
+
+	// Fusion: the inverse question. The producer/consumer pair below fuses
+	// (the value flows within an iteration); the read-ahead pair does not.
+	fmt.Println("== fusion ==")
+	fusable := `
+for i = 1 to 100
+  p[i] = i
+end
+for i = 1 to 100
+  q[i] = p[i] + 1
+end
+`
+	hostileFuse := `
+for i = 1 to 100
+  p[i] = i
+end
+for i = 1 to 100
+  q[i] = p[i+1] + 1
+end
+`
+	for _, src := range []string{fusable, hostileFuse} {
+		fp, err := exactdep.Parse(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		l1 := fp.Stmts[0].(*exactdep.For)
+		l2 := fp.Stmts[1].(*exactdep.For)
+		if fused, ok, reason := exactdep.FuseLoops(l1, l2); ok {
+			fmt.Printf("fused:\n%s\n", fused)
+		} else {
+			fmt.Printf("not fusable: %s\n", reason)
+		}
+	}
+
+	// Wavefront skewing: the recurrence w[i][j] = w[i-1][j] + w[i][j-1] has
+	// distance vectors (1,0) and (0,1); no loop is parallel, but skewing
+	// the inner loop by 1 and interchanging exposes an inner parallel loop
+	// — the textbook wavefront schedule, driven entirely by the analyzer's
+	// exact distances.
+	fmt.Println("== wavefront skewing ==")
+	report, err = exactdep.AnalyzeSource(wavefront, exactdep.Options{
+		DirectionVectors: true, PruneUnused: true, PruneDistance: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var dists []exactdep.DistanceVec
+	for _, r := range report.Results {
+		if r.Outcome != exactdep.Dependent {
+			continue
+		}
+		if d, ok := exactdep.FullDistanceVector(r); ok {
+			dists = append(dists, d)
+			fmt.Printf("  distance %s from %s vs %s\n", d, r.Pair.A.Ref, r.Pair.B.Ref)
+		}
+	}
+	if f, ok := exactdep.WavefrontSkew(dists, 4); ok {
+		skewed, _ := exactdep.Skew(dists, 0, 1, f)
+		swapped, _ := exactdep.PermuteDistances(skewed, []int{1, 0})
+		par := exactdep.ParallelLevels(swapped, 2)
+		fmt.Printf("  skew inner by %d, interchange: distances %v, parallel levels %v\n",
+			f, swapped, par)
+	} else {
+		fmt.Println("  no skew factor found")
+	}
+}

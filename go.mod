@@ -1,0 +1,3 @@
+module exactdep
+
+go 1.22

@@ -1,0 +1,188 @@
+package baseline
+
+import (
+	"sort"
+	"testing"
+
+	"exactdep/internal/depvec"
+	"exactdep/internal/ir"
+	"exactdep/internal/system"
+)
+
+func pair(t *testing.T, loops []ir.Loop, subA, subB []ir.Expr) *system.Problem {
+	t.Helper()
+	nest := &ir.Nest{Label: "b", Loops: loops}
+	a := ir.Ref{Array: "a", Subscripts: subA, Kind: ir.Write, Depth: len(loops)}
+	b := ir.Ref{Array: "a", Subscripts: subB, Kind: ir.Read, Depth: len(loops)}
+	nest.Refs = []ir.Ref{a, b}
+	p, err := system.Build(nest.Pair(a, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func loop(idx string, lo, hi int64) ir.Loop {
+	return ir.Loop{Index: idx, Lower: ir.NewConst(lo), Upper: ir.NewConst(hi)}
+}
+
+func TestSimpleGCD(t *testing.T) {
+	// a[2i] vs a[2i+1]: 2 ∤ 1 → independent
+	p := pair(t, []ir.Loop{loop("i", 1, 10)},
+		[]ir.Expr{ir.NewTerm("i", 2)}, []ir.Expr{ir.NewTerm("i", 2).AddConst(1)})
+	if SimpleGCD(p) {
+		t.Fatal("gcd must refute parity mismatch")
+	}
+	// a[i] vs a[i+1]: gcd 1 → maybe dependent
+	p = pair(t, []ir.Loop{loop("i", 1, 10)},
+		[]ir.Expr{ir.NewVar("i")}, []ir.Expr{ir.NewVar("i").AddConst(1)})
+	if !SimpleGCD(p) {
+		t.Fatal("gcd must not refute unit-gcd equation")
+	}
+	// a[5] vs a[7]: no variables → 0 = -2 impossible... both subscripts
+	// constant: handled upstream normally but the test must still refute.
+	p = pair(t, []ir.Loop{loop("i", 1, 10)},
+		[]ir.Expr{ir.NewConst(5)}, []ir.Expr{ir.NewConst(7)})
+	if SimpleGCD(p) {
+		t.Fatal("gcd must refute constant mismatch")
+	}
+}
+
+func TestBanerjeeBounds(t *testing.T) {
+	// a[i] vs a[i+20] over i in 1..10: range of i - i' = [-29? ...] h(i,i')
+	// = i - i' must equal 20... write a[i], read a[i+20]: i = i'+20 →
+	// i - i' = 20, range over box [1,10]² is [-9, 9] → independent.
+	p := pair(t, []ir.Loop{loop("i", 1, 10)},
+		[]ir.Expr{ir.NewVar("i")}, []ir.Expr{ir.NewVar("i").AddConst(20)})
+	if Banerjee(p) {
+		t.Fatal("bounds test must refute out-of-range offset")
+	}
+	// a[i] vs a[i+5]: range [-9,9] contains -5 → maybe dependent
+	p = pair(t, []ir.Loop{loop("i", 1, 10)},
+		[]ir.Expr{ir.NewVar("i")}, []ir.Expr{ir.NewVar("i").AddConst(5)})
+	if !Banerjee(p) {
+		t.Fatal("bounds test must not refute in-range offset")
+	}
+}
+
+func TestBanerjeeInexactOnCoupledSubscripts(t *testing.T) {
+	// Coupled subscripts (Shen, Li & Yew): a[i][i] vs a[i-1][i]. Dimension
+	// 0 needs i = i'-1 and dimension 1 needs i = i'; each alone is feasible
+	// over 1..10, so the per-dimension bounds test must (incorrectly)
+	// report "maybe dependent" — this is exactly the §7 gap the exact
+	// cascade closes.
+	p := pair(t, []ir.Loop{loop("i", 1, 10)},
+		[]ir.Expr{ir.NewVar("i"), ir.NewVar("i")},
+		[]ir.Expr{ir.NewVar("i").AddConst(-1), ir.NewVar("i")})
+	if !SimpleGCD(p) || !Banerjee(p) {
+		t.Fatal("baseline should fail to refute the coupled example (that is its weakness)")
+	}
+	// The exact pipeline refutes it: i = i'-1 ∧ i = i' is inconsistent.
+	res, _, err := system.Preprocess(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != system.GCDIndependent {
+		t.Fatal("extended GCD must refute the coupled system outright")
+	}
+}
+
+func TestBanerjeeDirRefinesCorrectly(t *testing.T) {
+	// a[i+1] vs a[i]: i+1 = i' → direction '<' feasible, '=' and '>' not.
+	p := pair(t, []ir.Loop{loop("i", 1, 10)},
+		[]ir.Expr{ir.NewVar("i").AddConst(1)}, []ir.Expr{ir.NewVar("i")})
+	if !BanerjeeDir(p, []depvec.Direction{depvec.Less}) {
+		t.Fatal("'<' must survive")
+	}
+	if BanerjeeDir(p, []depvec.Direction{depvec.Equal}) {
+		t.Fatal("'=' must be refuted")
+	}
+	if BanerjeeDir(p, []depvec.Direction{depvec.Greater}) {
+		t.Fatal("'>' must be refuted")
+	}
+}
+
+func TestBanerjeeDirEmptyRegion(t *testing.T) {
+	// single-iteration loop: i < i' impossible
+	p := pair(t, []ir.Loop{loop("i", 3, 3)},
+		[]ir.Expr{ir.NewVar("i")}, []ir.Expr{ir.NewVar("i")})
+	if BanerjeeDir(p, []depvec.Direction{depvec.Less}) {
+		t.Fatal("'<' impossible in a single-iteration loop")
+	}
+	if !BanerjeeDir(p, []depvec.Direction{depvec.Equal}) {
+		t.Fatal("'=' must survive")
+	}
+}
+
+func TestVectorsBaseline(t *testing.T) {
+	p := pair(t, []ir.Loop{loop("i", 1, 10)},
+		[]ir.Expr{ir.NewVar("i").AddConst(1)}, []ir.Expr{ir.NewVar("i")})
+	vs := Vectors(p, true)
+	if len(vs) != 1 || vs[0].String() != "(<)" {
+		t.Fatalf("vectors = %v", vs)
+	}
+}
+
+func TestVectorsBaselineOverestimates(t *testing.T) {
+	// Triangular bounds degrade the rectangular baseline to "unbounded":
+	// for i = 1 to 10, for j = i to 10 { a[j] = a[j] } — the exact answer
+	// for level i is only... baseline with unbounded j box must report all
+	// three j directions at the minimum.
+	loops := []ir.Loop{
+		loop("i", 1, 10),
+		{Index: "j", Lower: ir.NewVar("i"), Upper: ir.NewConst(10)},
+	}
+	p := pair(t, loops, []ir.Expr{ir.NewVar("j")}, []ir.Expr{ir.NewVar("j").AddConst(1)})
+	vs := Vectors(p, true)
+	// exact: only (*, <). baseline: cannot bound j (non-constant lower) →
+	// every direction survives → 3 vectors.
+	if len(vs) <= 1 {
+		t.Fatalf("baseline should overestimate on triangular bounds: %v", vs)
+	}
+}
+
+func TestVectorsUnusedPruning(t *testing.T) {
+	p := pair(t, []ir.Loop{loop("i", 1, 10), loop("j", 1, 10)},
+		[]ir.Expr{ir.NewVar("j"), ir.NewConst(0)}, []ir.Expr{ir.NewVar("j").AddConst(1), ir.NewConst(0)})
+	pruned := Vectors(p, true)
+	unpruned := Vectors(p, false)
+	if len(unpruned) != 3*len(pruned) {
+		t.Fatalf("unused-variable pruning: %v vs %v", pruned, unpruned)
+	}
+	for _, v := range pruned {
+		if v[0] != depvec.Any {
+			t.Fatalf("pruned vector must keep '*': %v", v)
+		}
+	}
+}
+
+func TestVectorsGCDShortCircuit(t *testing.T) {
+	p := pair(t, []ir.Loop{loop("i", 1, 10)},
+		[]ir.Expr{ir.NewTerm("i", 2)}, []ir.Expr{ir.NewTerm("i", 2).AddConst(1)})
+	if vs := Vectors(p, true); vs != nil {
+		t.Fatalf("gcd-refuted pair must yield no vectors: %v", vs)
+	}
+}
+
+func TestVectorsSorted(t *testing.T) {
+	// sanity: deterministic order (<, =, >) per level
+	p := pair(t, []ir.Loop{loop("i", 1, 10)},
+		[]ir.Expr{ir.NewVar("i")}, []ir.Expr{ir.NewVar("i")})
+	vs := Vectors(p, true)
+	strs := make([]string, len(vs))
+	for i, v := range vs {
+		strs[i] = v.String()
+	}
+	if !sort.StringsAreSorted(strs) && len(strs) > 1 {
+		t.Logf("order: %v", strs) // informational; order is <,=,> by construction
+	}
+	// a[i] vs a[i] over 1..10: real region allows i<i', i=i', i>i' —
+	// baseline reports all three (exact answer is only '=' for the flow
+	// pair? no: a[i] write vs a[i] read — conflict iff i=i', so exact is
+	// (=) only... wait i = i' exactly. Banerjee '<': range of i - i' under
+	// i<i' is [-9,-1], does it contain 0? No! So baseline correctly refutes
+	// '<' and '>' here.
+	if len(vs) != 1 || vs[0].String() != "(=)" {
+		t.Fatalf("vectors = %v", vs)
+	}
+}

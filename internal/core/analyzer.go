@@ -1,0 +1,409 @@
+// Package core is the paper's analyzer assembled from its parts: candidate
+// pairs flow through constant classification, memoization (§5), Extended GCD
+// preprocessing (§3.1), the exact test cascade (§3.2–3.5), and — when
+// requested — direction/distance vector computation with pruning (§6) and
+// symbolic unknowns (§8). Statistics are collected in the exact shape of the
+// paper's tables.
+package core
+
+import (
+	"exactdep/internal/depvec"
+	"exactdep/internal/dtest"
+	"exactdep/internal/ir"
+	"exactdep/internal/memo"
+	"exactdep/internal/refs"
+	"exactdep/internal/stats"
+	"exactdep/internal/system"
+)
+
+// Options configures an Analyzer. The zero value runs the bare cascade:
+// no memoization, no direction vectors.
+type Options struct {
+	// Memoize caches results keyed on the canonicalized problem (§5).
+	Memoize bool
+	// ImprovedMemo additionally drops unused loop variables from the keys
+	// (the paper's improved scheme; implies more hits, same answers).
+	ImprovedMemo bool
+	// DirectionVectors computes all dependence direction vectors (§6).
+	DirectionVectors bool
+	// PruneUnused keeps '*' for unused loop indices without testing.
+	PruneUnused bool
+	// PruneDistance fixes directions for constant GCD distances.
+	PruneDistance bool
+	// Separable enables the Burke–Cytron dimension-by-dimension direction
+	// method on systems whose loop levels are independent (3·L tests
+	// instead of up to 3^L; falls back to hierarchical refinement).
+	Separable bool
+	// SymmetricMemo also recognizes the mirrored pair (the paper's §5
+	// "further optimization": a[i] vs a[i-1] is the same case as a[i-1] vs
+	// a[i]). On a miss under the direct key the swapped key is consulted,
+	// and a hit is mirrored back: directions flip between '<' and '>',
+	// distances negate.
+	SymmetricMemo bool
+}
+
+// DecidedBy identifies how a pair's verdict was obtained.
+type DecidedBy int
+
+const (
+	// ByConstant: all-constant subscripts, no test needed.
+	ByConstant DecidedBy = iota
+	// ByGCD: Extended GCD proved independence without bounds.
+	ByGCD
+	// ByTest: an exact cascade test decided (see Result.Kind).
+	ByTest
+	// ByCache: a memoized result was reused.
+	ByCache
+	// ByDirections: the direction-vector refinement overrode an inexact
+	// base verdict (implicit branch-and-bound).
+	ByDirections
+)
+
+func (d DecidedBy) String() string {
+	switch d {
+	case ByConstant:
+		return "constant"
+	case ByGCD:
+		return "gcd"
+	case ByTest:
+		return "test"
+	case ByCache:
+		return "cache"
+	case ByDirections:
+		return "directions"
+	default:
+		return "?"
+	}
+}
+
+// Result is the analysis outcome for one candidate pair.
+type Result struct {
+	Pair      ir.Pair
+	Outcome   dtest.Outcome
+	Exact     bool
+	DecidedBy DecidedBy
+	// Kind is the deciding cascade test when DecidedBy == ByTest (or the
+	// base test kind of a direction-vector run).
+	Kind dtest.Kind
+	// Vectors/Distances are filled when direction vectors are enabled and
+	// the pair is dependent.
+	Vectors   []depvec.Vector
+	Distances []depvec.Distance
+}
+
+// cached is the memoized value for a full problem key. Direction vectors
+// are stored projected onto the problem's *used* loop levels: under the
+// improved scheme two pairs sharing a key may differ in their unused levels,
+// so the vectors are re-expanded against the requesting pair (unused levels
+// always get '*').
+type cached struct {
+	res Result
+	// projVectors[i][k] is the direction at the k-th used level.
+	projVectors [][]depvec.Direction
+	// projDistances pairs the ordinal of a used level with its constant
+	// distance.
+	projDistances []depvec.Distance
+}
+
+// usedLevels lists the common loop levels that constrain the problem.
+func usedLevels(p *system.Problem) []int {
+	var out []int
+	for lvl := 0; lvl < p.Common; lvl++ {
+		if p.LevelUsed(lvl) {
+			out = append(out, lvl)
+		}
+	}
+	return out
+}
+
+// project reduces vectors/distances to used levels only.
+func project(res Result, prob *system.Problem) cached {
+	used := usedLevels(prob)
+	pos := make(map[int]int, len(used))
+	for i, lvl := range used {
+		pos[lvl] = i
+	}
+	c := cached{res: res}
+	for _, v := range res.Vectors {
+		pv := make([]depvec.Direction, len(used))
+		for i, lvl := range used {
+			if lvl < len(v) {
+				pv[i] = v[lvl]
+			} else {
+				pv[i] = depvec.Any
+			}
+		}
+		c.projVectors = append(c.projVectors, pv)
+	}
+	for _, d := range res.Distances {
+		if i, ok := pos[d.Level]; ok {
+			c.projDistances = append(c.projDistances, depvec.Distance{Level: i, Value: d.Value})
+		}
+	}
+	return c
+}
+
+// expand rebuilds vectors/distances for the requesting pair's levels.
+func (c cached) expand(prob *system.Problem) Result {
+	res := c.res
+	used := usedLevels(prob)
+	res.Vectors = nil
+	res.Distances = nil
+	for _, pv := range c.projVectors {
+		v := make(depvec.Vector, prob.Common)
+		for i := range v {
+			v[i] = depvec.Any
+		}
+		for i, lvl := range used {
+			if i < len(pv) {
+				v[lvl] = pv[i]
+			}
+		}
+		res.Vectors = append(res.Vectors, v)
+	}
+	for _, d := range c.projDistances {
+		if d.Level < len(used) {
+			res.Distances = append(res.Distances, depvec.Distance{Level: used[d.Level], Value: d.Value})
+		}
+	}
+	return res
+}
+
+// Analyzer runs the full pipeline and accumulates statistics.
+type Analyzer struct {
+	opts  Options
+	full  *memo.Table[cached]
+	eq    *memo.Table[system.GCDResult]
+	Stats stats.Counters
+}
+
+// New returns an analyzer with the given options.
+func New(opts Options) *Analyzer {
+	return &Analyzer{
+		opts: opts,
+		full: memo.NewTable[cached](),
+		eq:   memo.NewTable[system.GCDResult](),
+	}
+}
+
+// ResetStats clears the counters but keeps the memo tables (matching the
+// paper's idea of a table persisted across compilations).
+func (a *Analyzer) ResetStats() { a.Stats = stats.Counters{} }
+
+// AnalyzeUnit analyzes every candidate pair of a lowered unit.
+func (a *Analyzer) AnalyzeUnit(u *ir.Unit) ([]Result, error) {
+	cands := refs.Pairs(u)
+	out := make([]Result, 0, len(cands))
+	for _, c := range cands {
+		r, err := a.AnalyzeCandidate(c)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// AnalyzePair analyzes a single pair, classifying constants first.
+func (a *Analyzer) AnalyzePair(p ir.Pair) (Result, error) {
+	return a.AnalyzeCandidate(refs.Candidate{Pair: p, Class: refs.Classify(p.A.Ref, p.B.Ref)})
+}
+
+// AnalyzeCandidate analyzes one pre-classified candidate.
+func (a *Analyzer) AnalyzeCandidate(c refs.Candidate) (Result, error) {
+	a.Stats.Pairs++
+	p := c.Pair
+	switch c.Class {
+	case refs.ConstEqual:
+		a.Stats.Constant++
+		a.Stats.Dependent++
+		res := Result{Pair: p, Outcome: dtest.Dependent, Exact: true, DecidedBy: ByConstant}
+		if a.opts.DirectionVectors {
+			// A constant-subscript conflict recurs in every iteration pair:
+			// the dependence holds under every direction (the empty vector
+			// when the pair shares no loops).
+			all := make(depvec.Vector, p.Common)
+			for i := range all {
+				all[i] = depvec.Any
+			}
+			res.Vectors = []depvec.Vector{all}
+			a.Stats.Vectors++
+		}
+		return res, nil
+	case refs.ConstDiffer:
+		a.Stats.Constant++
+		a.Stats.Independent++
+		return Result{Pair: p, Outcome: dtest.Independent, Exact: true, DecidedBy: ByConstant}, nil
+	}
+
+	prob, err := system.Build(p)
+	if err != nil {
+		return Result{}, err
+	}
+
+	var fullKey memo.Key
+	if a.opts.Memoize {
+		fullKey = memo.EncodeFull(prob, a.opts.ImprovedMemo)
+		a.Stats.FullLookups++
+		if hit, ok := a.full.Lookup(fullKey); ok {
+			a.Stats.FullHits++
+			res := hit.expand(prob)
+			res.Pair = p
+			res.DecidedBy = ByCache
+			a.tallyVerdict(res)
+			return res, nil
+		}
+		if a.opts.SymmetricMemo {
+			if res, ok, err := a.lookupMirrored(p, prob); err != nil {
+				return Result{}, err
+			} else if ok {
+				a.Stats.FullHits++
+				a.tallyVerdict(res)
+				return res, nil
+			}
+		}
+	}
+
+	res := a.analyzeFresh(prob, p)
+	// GCD-independent verdicts live only in the without-bounds table (the
+	// paper's split: the bounds table holds the cases that actually reached
+	// the exact tests).
+	if a.opts.Memoize && res.DecidedBy != ByGCD {
+		a.full.Insert(fullKey, project(res, prob))
+		a.Stats.UniqueFull = a.full.Len()
+	}
+	a.tallyVerdict(res)
+	return res, nil
+}
+
+// lookupMirrored consults the cache under the key of the swapped pair
+// (B, A) and mirrors a hit back onto the original orientation.
+func (a *Analyzer) lookupMirrored(p ir.Pair, prob *system.Problem) (Result, bool, error) {
+	swapped := ir.Pair{A: p.B, B: p.A, Common: p.Common, Symbols: p.Symbols, Label: p.Label}
+	sprob, err := system.Build(swapped)
+	if err != nil {
+		return Result{}, false, err
+	}
+	hit, ok := a.full.Lookup(memo.EncodeFull(sprob, a.opts.ImprovedMemo))
+	if !ok {
+		return Result{}, false, nil
+	}
+	res := hit.expand(prob)
+	res.Pair = p
+	res.DecidedBy = ByCache
+	// Mirror the direction information: swapping the references turns a
+	// "source before sink" relation into the opposite one.
+	for vi, v := range res.Vectors {
+		mv := make(depvec.Vector, len(v))
+		for i, d := range v {
+			switch d {
+			case depvec.Less:
+				mv[i] = depvec.Greater
+			case depvec.Greater:
+				mv[i] = depvec.Less
+			default:
+				mv[i] = d
+			}
+		}
+		res.Vectors[vi] = mv
+	}
+	for di := range res.Distances {
+		res.Distances[di].Value = -res.Distances[di].Value
+	}
+	return res, true, nil
+}
+
+// analyzeFresh runs GCD preprocessing and the tests on a cache miss.
+func (a *Analyzer) analyzeFresh(prob *system.Problem, p ir.Pair) Result {
+	// GCD (without-bounds) memoization: the Extended GCD test ignores
+	// bounds, so its verdict is reusable across bound variations.
+	var eqKey memo.Key
+	gcdKnown := false
+	var gcdRes system.GCDResult
+	if a.opts.Memoize {
+		eqKey = memo.EncodeEq(prob, a.opts.ImprovedMemo)
+		a.Stats.EqLookups++
+		if v, ok := a.eq.Lookup(eqKey); ok {
+			a.Stats.EqHits++
+			gcdKnown, gcdRes = true, v
+		}
+	}
+	if gcdKnown && gcdRes == system.GCDIndependent {
+		a.Stats.GCDIndependent++
+		return Result{Pair: p, Outcome: dtest.Independent, Exact: true, DecidedBy: ByGCD}
+	}
+
+	res, ts, err := system.Preprocess(prob)
+	if err != nil {
+		// Overflow in exact arithmetic: assume dependence, inexactly.
+		return Result{Pair: p, Outcome: dtest.Unknown, DecidedBy: ByTest}
+	}
+	if a.opts.Memoize && !gcdKnown {
+		a.eq.Insert(eqKey, res)
+		a.Stats.UniqueEq = a.eq.Len()
+	}
+	if res == system.GCDIndependent {
+		a.Stats.GCDIndependent++
+		return Result{Pair: p, Outcome: dtest.Independent, Exact: true, DecidedBy: ByGCD}
+	}
+
+	if !a.opts.DirectionVectors {
+		r, _ := dtest.Solve(ts)
+		a.Stats.Tests[int(r.Kind)]++
+		return Result{Pair: p, Outcome: r.Outcome, Exact: r.Exact, DecidedBy: ByTest, Kind: r.Kind}
+	}
+
+	// Direction-vector analysis: the first observed test is the base
+	// (*,…,*) cascade run, which is what Table 1 counts.
+	var baseKind dtest.Kind
+	first := true
+	sum := depvec.ComputeObserved(ts, depvec.Options{
+		PruneUnused:   a.opts.PruneUnused,
+		PruneDistance: a.opts.PruneDistance,
+		Separable:     a.opts.Separable,
+	}, func(r dtest.Result) {
+		if first {
+			baseKind = r.Kind
+			a.Stats.Tests[int(r.Kind)]++
+			first = false
+		}
+		a.Stats.DirTests[int(r.Kind)]++
+		if r.Outcome == dtest.Independent {
+			a.Stats.TestIndependent[int(r.Kind)]++
+		}
+	})
+	out := Result{
+		Pair:      p,
+		Exact:     sum.Exact,
+		Kind:      baseKind,
+		DecidedBy: ByTest,
+		Vectors:   sum.Vectors,
+		Distances: sum.Distances,
+	}
+	if sum.Dependent {
+		out.Outcome = dtest.Dependent
+		if !sum.Exact {
+			out.Outcome = dtest.Unknown
+		}
+	} else {
+		out.Outcome = dtest.Independent
+		if sum.ImplicitBB {
+			out.DecidedBy = ByDirections
+			a.Stats.ImplicitBB++
+		}
+	}
+	a.Stats.Vectors += len(sum.Vectors)
+	return out
+}
+
+// tallyVerdict updates the verdict counters.
+func (a *Analyzer) tallyVerdict(r Result) {
+	switch r.Outcome {
+	case dtest.Independent:
+		a.Stats.Independent++
+	case dtest.Dependent:
+		a.Stats.Dependent++
+	default:
+		a.Stats.Unknown++
+	}
+}

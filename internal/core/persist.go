@@ -1,0 +1,122 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"exactdep/internal/depvec"
+	"exactdep/internal/dtest"
+	"exactdep/internal/memo"
+	"exactdep/internal/system"
+)
+
+// Memo-table persistence (the paper's §5 suggestion: "store the hash table
+// across compilations... one could use a set of benchmarks to set up a
+// standard table which would be used by all programs"). The serialized form
+// is a compact record per entry; pairs and problems are not stored — only
+// the canonical keys and the verdicts.
+
+// memoFileVersion guards the on-disk format.
+const memoFileVersion = 1
+
+// savedEntry is the serializable form of one full-table entry.
+type savedEntry struct {
+	Key       []int64
+	Outcome   int
+	Exact     bool
+	Kind      int
+	Vectors   [][]byte // projected direction vectors, one byte per level
+	DistLevel []int
+	DistValue []int64
+}
+
+// savedEq is one without-bounds (GCD) table entry.
+type savedEq struct {
+	Key    []int64
+	Result int
+}
+
+// savedTables is the on-disk document.
+type savedTables struct {
+	Version  int
+	Improved bool
+	Full     []savedEntry
+	Eq       []savedEq
+}
+
+// SaveMemo writes the analyzer's memo tables so a later session (or another
+// program's compilation) can start warm.
+func (a *Analyzer) SaveMemo(w io.Writer) error {
+	doc := savedTables{Version: memoFileVersion, Improved: a.opts.ImprovedMemo}
+	a.full.Range(func(k memo.Key, v cached) bool {
+		e := savedEntry{
+			Key:     append([]int64(nil), k...),
+			Outcome: int(v.res.Outcome),
+			Exact:   v.res.Exact,
+			Kind:    int(v.res.Kind),
+		}
+		for _, pv := range v.projVectors {
+			bs := make([]byte, len(pv))
+			for i, d := range pv {
+				bs[i] = byte(d)
+			}
+			e.Vectors = append(e.Vectors, bs)
+		}
+		for _, d := range v.projDistances {
+			e.DistLevel = append(e.DistLevel, d.Level)
+			e.DistValue = append(e.DistValue, d.Value)
+		}
+		doc.Full = append(doc.Full, e)
+		return true
+	})
+	a.eq.Range(func(k memo.Key, v system.GCDResult) bool {
+		doc.Eq = append(doc.Eq, savedEq{Key: append([]int64(nil), k...), Result: int(v)})
+		return true
+	})
+	return gob.NewEncoder(w).Encode(&doc)
+}
+
+// LoadMemo merges previously saved tables into the analyzer. The saved
+// encoding scheme must match the analyzer's (simple vs improved keys are not
+// interchangeable).
+func (a *Analyzer) LoadMemo(r io.Reader) error {
+	var doc savedTables
+	if err := gob.NewDecoder(r).Decode(&doc); err != nil {
+		return fmt.Errorf("core: loading memo table: %w", err)
+	}
+	if doc.Version != memoFileVersion {
+		return fmt.Errorf("core: memo table version %d, want %d", doc.Version, memoFileVersion)
+	}
+	if doc.Improved != a.opts.ImprovedMemo {
+		return fmt.Errorf("core: memo table uses improved=%v keys, analyzer uses improved=%v",
+			doc.Improved, a.opts.ImprovedMemo)
+	}
+	for _, e := range doc.Full {
+		c := cached{res: Result{
+			Outcome: dtest.Outcome(e.Outcome),
+			Exact:   e.Exact,
+			Kind:    dtest.Kind(e.Kind),
+			// DecidedBy is rewritten to ByCache on every hit.
+			DecidedBy: ByTest,
+		}}
+		for _, bs := range e.Vectors {
+			pv := make([]depvec.Direction, len(bs))
+			for i, b := range bs {
+				pv[i] = depvec.Direction(b)
+			}
+			c.projVectors = append(c.projVectors, pv)
+		}
+		for i := range e.DistLevel {
+			c.projDistances = append(c.projDistances,
+				depvec.Distance{Level: e.DistLevel[i], Value: e.DistValue[i]})
+		}
+		a.full.Insert(memo.Key(e.Key), c)
+	}
+	for _, e := range doc.Eq {
+		a.eq.Insert(memo.Key(e.Key), system.GCDResult(e.Result))
+	}
+	a.Stats.UniqueFull = a.full.Len()
+	a.Stats.UniqueEq = a.eq.Len()
+	return nil
+}

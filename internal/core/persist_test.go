@@ -1,0 +1,126 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"exactdep/internal/dtest"
+	"exactdep/internal/lang"
+	"exactdep/internal/opt"
+)
+
+const persistSrc = `
+for i = 1 to 10
+  a[i+1] = a[i]
+end
+for i = 1 to 10
+  b[2*i] = b[2*i+1]
+end
+for i = 1 to 10
+  c[i] = c[i+20]
+end
+`
+
+func TestSaveLoadMemoRoundTrip(t *testing.T) {
+	opts := Options{Memoize: true, ImprovedMemo: true,
+		DirectionVectors: true, PruneUnused: true, PruneDistance: true}
+	prog, err := lang.Parse(persistSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := opt.Lower(prog)
+
+	warm := New(opts)
+	firstRun, err := warm.AnalyzeUnit(unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.TotalTests() == 0 {
+		t.Fatal("premise: fresh run must run tests")
+	}
+
+	var buf bytes.Buffer
+	if err := warm.SaveMemo(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	cold := New(opts)
+	if err := cold.LoadMemo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	secondRun, err := cold.AnalyzeUnit(unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every problem must now come from the cache (or the persisted GCD
+	// table): zero fresh tests.
+	if cold.Stats.TotalTests() != 0 {
+		t.Fatalf("warm-started analyzer ran %d tests, want 0", cold.Stats.TotalTests())
+	}
+	if len(firstRun) != len(secondRun) {
+		t.Fatalf("result count mismatch: %d vs %d", len(firstRun), len(secondRun))
+	}
+	for i := range firstRun {
+		f, s := firstRun[i], secondRun[i]
+		if f.Outcome != s.Outcome || f.Exact != s.Exact {
+			t.Fatalf("result %d diverged: %+v vs %+v", i, f, s)
+		}
+		if len(f.Vectors) != len(s.Vectors) {
+			t.Fatalf("result %d vectors diverged: %v vs %v", i, f.Vectors, s.Vectors)
+		}
+		for vi := range f.Vectors {
+			if f.Vectors[vi].String() != s.Vectors[vi].String() {
+				t.Fatalf("result %d vector %d: %v vs %v", i, vi, f.Vectors[vi], s.Vectors[vi])
+			}
+		}
+	}
+}
+
+func TestLoadMemoSchemeMismatch(t *testing.T) {
+	warm := New(Options{Memoize: true, ImprovedMemo: true})
+	var buf bytes.Buffer
+	if err := warm.SaveMemo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cold := New(Options{Memoize: true}) // simple keys
+	if err := cold.LoadMemo(&buf); err == nil {
+		t.Fatal("scheme mismatch must be rejected")
+	}
+}
+
+func TestLoadMemoGarbage(t *testing.T) {
+	a := New(Options{Memoize: true})
+	if err := a.LoadMemo(bytes.NewReader([]byte("not a gob stream"))); err == nil {
+		t.Fatal("garbage input must error")
+	}
+}
+
+func TestPersistedGCDVerdicts(t *testing.T) {
+	opts := Options{Memoize: true}
+	prog, err := lang.Parse("for i = 1 to 10\n  a[2*i] = a[2*i+1]\nend\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := opt.Lower(prog)
+	warm := New(opts)
+	if _, err := warm.AnalyzeUnit(unit); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := warm.SaveMemo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cold := New(opts)
+	if err := cold.LoadMemo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cold.AnalyzeUnit(unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Pair.A.Ref.Kind != r.Pair.B.Ref.Kind && r.Outcome != dtest.Independent {
+			t.Fatalf("persisted GCD verdict lost: %+v", r)
+		}
+	}
+}

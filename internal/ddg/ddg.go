@@ -1,0 +1,302 @@
+// Package ddg builds the statement-level data dependence graph from the
+// analyzer's per-pair results: flow (write→read), anti (read→write), and
+// output (write→write) edges annotated with direction vectors, oriented by
+// the source-before-sink execution order the vectors encode. The graph's
+// strongly connected components are the classic π-blocks: statements that
+// must stay together under loop distribution, while edges between different
+// components allow the loop to be split.
+package ddg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"exactdep/internal/core"
+	"exactdep/internal/depvec"
+	"exactdep/internal/dtest"
+	"exactdep/internal/ir"
+)
+
+// EdgeKind classifies a dependence edge.
+type EdgeKind int
+
+const (
+	// Flow is a true dependence: a write reaching a later read.
+	Flow EdgeKind = iota
+	// Anti is a read followed by a write of the same location.
+	Anti
+	// Output is a write followed by another write.
+	Output
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case Flow:
+		return "flow"
+	case Anti:
+		return "anti"
+	case Output:
+		return "output"
+	default:
+		return "?"
+	}
+}
+
+// Edge is one dependence between two statements.
+type Edge struct {
+	From, To int // statement ids
+	Kind     EdgeKind
+	// Vector is the direction vector oriented from the source iteration to
+	// the sink iteration (lexicographically non-negative).
+	Vector depvec.Vector
+	// Carried is true when the dependence crosses iterations of some
+	// common loop (the vector has a '<' or '*' component before any '>').
+	Carried bool
+	// Array names the conflicting array.
+	Array string
+}
+
+// Graph is the statement-level dependence graph of one unit.
+type Graph struct {
+	// Stmts lists the statement ids in program order.
+	Stmts []int
+	Edges []Edge
+}
+
+// Build constructs the graph from analysis results. Pairs whose outcome is
+// independent contribute nothing; dependent pairs contribute one edge per
+// direction vector, oriented so the source executes first.
+func Build(u *ir.Unit, results []core.Result) *Graph {
+	g := &Graph{}
+	seen := map[int]bool{}
+	for _, s := range u.Sites {
+		if !seen[s.Ref.Stmt] {
+			seen[s.Ref.Stmt] = true
+			g.Stmts = append(g.Stmts, s.Ref.Stmt)
+		}
+	}
+	sort.Ints(g.Stmts)
+
+	for _, res := range results {
+		if res.Outcome == dtest.Independent {
+			continue
+		}
+		vectors := res.Vectors
+		if len(vectors) == 0 {
+			// no direction information: a single conservative any-vector
+			all := make(depvec.Vector, res.Pair.Common)
+			for i := range all {
+				all[i] = depvec.Any
+			}
+			vectors = []depvec.Vector{all}
+		}
+		for _, v := range vectors {
+			g.addEdge(res.Pair, v)
+		}
+	}
+	return g
+}
+
+// addEdge orients one direction vector into source→sink edges. A vector
+// whose lexicographic sign is decided ('<' or '>' before any '*') yields one
+// edge; an ambiguous vector (a '*' first) admits conflicts in both
+// execution orders and yields an edge each way, which correctly fuses the
+// statements into one π-block for distribution purposes.
+func (g *Graph) addEdge(p ir.Pair, v depvec.Vector) {
+	a, b := p.A.Ref, p.B.Ref
+	sgn, ambiguous := sign(v)
+	if ambiguous && a.Stmt != b.Stmt {
+		g.appendEdge(a, b, v.Clone())
+		g.appendEdge(b, a, mirror(v))
+		return
+	}
+	vec := v.Clone()
+	src, dst := a, b
+	switch {
+	case sgn == -1:
+		// The conflict's source iteration belongs to B: flip the pair and
+		// mirror the vector so the edge runs execution-forward.
+		src, dst = b, a
+		vec = mirror(v)
+	case sgn == 0 && !ambiguous:
+		// Loop-independent: orient by statement order (the lowerer emits
+		// the write site before its statement's reads, so a same-statement
+		// pair runs write→read; the conflict is on the same iteration;
+		// order by statement id with A first on ties).
+		if b.Stmt < a.Stmt {
+			src, dst = b, a
+			vec = mirror(v)
+		}
+	}
+	g.appendEdge(src, dst, vec)
+}
+
+// appendEdge records one oriented edge.
+func (g *Graph) appendEdge(src, dst ir.Ref, vec depvec.Vector) {
+	kind := Flow
+	switch {
+	case src.Kind == ir.Write && dst.Kind == ir.Write:
+		kind = Output
+	case src.Kind == ir.Read:
+		kind = Anti
+	}
+	g.Edges = append(g.Edges, Edge{
+		From:    src.Stmt,
+		To:      dst.Stmt,
+		Kind:    kind,
+		Vector:  vec,
+		Carried: carried(vec),
+		Array:   src.Array,
+	})
+}
+
+// sign returns the lexicographic sign of a direction vector (+1 '<' first,
+// -1 '>' first, 0 all-'=') and whether a '*' makes the sign ambiguous.
+func sign(v depvec.Vector) (int, bool) {
+	for _, d := range v {
+		switch d {
+		case depvec.Less:
+			return 1, false
+		case depvec.Greater:
+			return -1, false
+		case depvec.Any:
+			return 0, true
+		}
+	}
+	return 0, false
+}
+
+// mirror flips every component ('<' ↔ '>').
+func mirror(v depvec.Vector) depvec.Vector {
+	out := make(depvec.Vector, len(v))
+	for i, d := range v {
+		switch d {
+		case depvec.Less:
+			out[i] = depvec.Greater
+		case depvec.Greater:
+			out[i] = depvec.Less
+		default:
+			out[i] = d
+		}
+	}
+	return out
+}
+
+// carried reports whether the vector crosses iterations of some loop.
+func carried(v depvec.Vector) bool {
+	for _, d := range v {
+		if d == depvec.Less || d == depvec.Greater || d == depvec.Any {
+			return true
+		}
+	}
+	return false
+}
+
+// SCCs returns the strongly connected components of the graph in reverse
+// topological order (Tarjan). Components with more than one statement — or
+// a single statement with a self-edge — are π-blocks that must execute as a
+// unit; the rest may be distributed into separate loops.
+func (g *Graph) SCCs() [][]int {
+	adj := map[int][]int{}
+	for _, e := range g.Edges {
+		adj[e.From] = append(adj[e.From], e.To)
+	}
+	index := map[int]int{}
+	low := map[int]int{}
+	onStack := map[int]bool{}
+	var stack []int
+	var out [][]int
+	next := 0
+	var strong func(v int)
+	strong = func(v int) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Ints(comp)
+			out = append(out, comp)
+		}
+	}
+	for _, v := range g.Stmts {
+		if _, seen := index[v]; !seen {
+			strong(v)
+		}
+	}
+	return out
+}
+
+// HasCycle reports whether any π-block is nontrivial (a multi-statement
+// component or a self-loop), which blocks full loop distribution.
+func (g *Graph) HasCycle() bool {
+	self := map[int]bool{}
+	for _, e := range g.Edges {
+		if e.From == e.To && e.Carried {
+			self[e.From] = true
+		}
+	}
+	for _, c := range g.SCCs() {
+		if len(c) > 1 {
+			return true
+		}
+		if self[c[0]] {
+			return true
+		}
+	}
+	return false
+}
+
+// Dot renders the graph in Graphviz syntax, edges labelled kind/vector.
+func (g *Graph) Dot() string {
+	var b strings.Builder
+	b.WriteString("digraph ddg {\n")
+	for _, s := range g.Stmts {
+		fmt.Fprintf(&b, "  s%d;\n", s)
+	}
+	for _, e := range g.Edges {
+		style := ""
+		if !e.Carried {
+			style = ", style=dashed"
+		}
+		fmt.Fprintf(&b, "  s%d -> s%d [label=\"%s %s %s\"%s];\n",
+			e.From, e.To, e.Kind, e.Array, e.Vector, style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// String renders a compact edge list.
+func (g *Graph) String() string {
+	var b strings.Builder
+	for _, e := range g.Edges {
+		carried := "loop-independent"
+		if e.Carried {
+			carried = "loop-carried"
+		}
+		fmt.Fprintf(&b, "s%d -> s%d: %s on %s %s (%s)\n",
+			e.From, e.To, e.Kind, e.Array, e.Vector, carried)
+	}
+	return b.String()
+}

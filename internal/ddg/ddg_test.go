@@ -1,0 +1,223 @@
+package ddg
+
+import (
+	"strings"
+	"testing"
+
+	"exactdep/internal/core"
+	"exactdep/internal/depvec"
+	"exactdep/internal/ir"
+	"exactdep/internal/lang"
+	"exactdep/internal/opt"
+)
+
+func build(t *testing.T, src string) (*ir.Unit, *Graph) {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := opt.Lower(prog)
+	a := core.New(core.Options{DirectionVectors: true, PruneUnused: true, PruneDistance: true})
+	results, err := a.AnalyzeUnit(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u, Build(u, results)
+}
+
+func TestFlowEdge(t *testing.T) {
+	// s1 writes a[i], s2 reads a[i-1]: flow dependence s1 → s2 carried by
+	// the loop.
+	_, g := build(t, `
+for i = 1 to 10
+  a[i] = 0
+  b[i] = a[i-1]
+end
+`)
+	var flow *Edge
+	for i := range g.Edges {
+		if g.Edges[i].Kind == Flow && g.Edges[i].Array == "a" {
+			flow = &g.Edges[i]
+		}
+	}
+	if flow == nil {
+		t.Fatalf("missing flow edge:\n%s", g)
+	}
+	if flow.From != 1 || flow.To != 2 {
+		t.Fatalf("flow edge %d→%d, want 1→2", flow.From, flow.To)
+	}
+	if !flow.Carried || flow.Vector.String() != "(<)" {
+		t.Fatalf("flow edge: %+v", flow)
+	}
+}
+
+func TestAntiEdgeOrientation(t *testing.T) {
+	// s1 writes a[i], s2 reads a[i+1]: the read of iteration k touches
+	// a[k+1], written at iteration k+1 — the read happens first, so this is
+	// an anti dependence s2 → s1.
+	_, g := build(t, `
+for i = 1 to 10
+  a[i] = 0
+  b[i] = a[i+1]
+end
+`)
+	var anti *Edge
+	for i := range g.Edges {
+		if g.Edges[i].Kind == Anti {
+			anti = &g.Edges[i]
+		}
+	}
+	if anti == nil {
+		t.Fatalf("missing anti edge:\n%s", g)
+	}
+	if anti.From != 2 || anti.To != 1 {
+		t.Fatalf("anti edge %d→%d, want 2→1", anti.From, anti.To)
+	}
+	if anti.Vector.String() != "(<)" {
+		t.Fatalf("anti edge vector = %s, want normalized (<)", anti.Vector)
+	}
+}
+
+func TestOutputEdge(t *testing.T) {
+	_, g := build(t, `
+for i = 1 to 10
+  a[i] = 1
+  a[i] = 2
+end
+`)
+	found := false
+	for _, e := range g.Edges {
+		if e.Kind == Output && e.From == 1 && e.To == 2 && !e.Carried {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing loop-independent output edge 1→2:\n%s", g)
+	}
+}
+
+func TestSCCsAndDistribution(t *testing.T) {
+	// s1 and s2 form a recurrence cycle (s1 feeds s2 in this iteration, s2
+	// feeds s1 in the next); s3 only consumes — it can be distributed off.
+	_, g := build(t, `
+for i = 2 to 10
+  a[i] = b[i-1]
+  b[i] = a[i]
+  c[i] = a[i-1]
+end
+`)
+	sccs := g.SCCs()
+	var sizes []int
+	for _, c := range sccs {
+		sizes = append(sizes, len(c))
+	}
+	two := 0
+	for _, n := range sizes {
+		if n == 2 {
+			two++
+		}
+	}
+	if two != 1 {
+		t.Fatalf("expected exactly one 2-statement π-block, got %v\n%s", sccs, g)
+	}
+	if !g.HasCycle() {
+		t.Fatal("recurrence must register as a cycle")
+	}
+}
+
+func TestNoCycleFullyDistributable(t *testing.T) {
+	_, g := build(t, `
+for i = 1 to 10
+  a[i] = 0
+  b[i] = a[i]
+end
+`)
+	if g.HasCycle() {
+		t.Fatalf("straight-line flow must not cycle:\n%s", g)
+	}
+	if len(g.SCCs()) != 2 {
+		t.Fatalf("SCCs = %v", g.SCCs())
+	}
+}
+
+func TestSelfCycleReduction(t *testing.T) {
+	// a[i] = a[i-1]: the statement depends on itself across iterations.
+	_, g := build(t, `
+for i = 2 to 10
+  a[i] = a[i-1]
+end
+`)
+	if !g.HasCycle() {
+		t.Fatalf("self recurrence must cycle:\n%s", g)
+	}
+}
+
+func TestRendering(t *testing.T) {
+	_, g := build(t, `
+for i = 2 to 10
+  a[i] = a[i-1]
+end
+`)
+	if !strings.Contains(g.Dot(), "digraph ddg") {
+		t.Fatal("Dot output malformed")
+	}
+	if !strings.Contains(g.String(), "flow on a") {
+		t.Fatalf("String output malformed:\n%s", g)
+	}
+}
+
+func TestConservativeWithoutVectors(t *testing.T) {
+	// direction vectors disabled: dependent pairs get a '*' vector and are
+	// treated as carried.
+	prog, err := lang.Parse("for i = 1 to 10\n  a[i] = a[i-1]\nend\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := opt.Lower(prog)
+	a := core.New(core.Options{})
+	results, err := a.AnalyzeUnit(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(u, results)
+	for _, e := range g.Edges {
+		if len(e.Vector) != 1 || e.Vector[0] != depvec.Any {
+			t.Fatalf("expected conservative '*' vector: %+v", e)
+		}
+		if !e.Carried {
+			t.Fatal("conservative edges must count as carried")
+		}
+	}
+}
+
+func TestAmbiguousVectorCreatesCycle(t *testing.T) {
+	// a[0] is written and read with a free (unused-level '*') direction:
+	// conflicts run in both orders, so the two statements must form one
+	// π-block (splitting them is the distribution soundness bug this
+	// guards against).
+	_, g := build(t, `
+for i = 1 to 5
+  a[0] = i
+  b[i] = a[0]
+end
+`)
+	forward, backward := false, false
+	for _, e := range g.Edges {
+		if e.Array != "a" || e.From == e.To {
+			continue
+		}
+		if e.From == 1 && e.To == 2 {
+			forward = true
+		}
+		if e.From == 2 && e.To == 1 {
+			backward = true
+		}
+	}
+	if !forward || !backward {
+		t.Fatalf("ambiguous dependence must produce both orientations:\n%s", g)
+	}
+	if !g.HasCycle() {
+		t.Fatalf("the pair must be one π-block:\n%s", g)
+	}
+}

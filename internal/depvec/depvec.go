@@ -1,0 +1,273 @@
+// Package depvec computes dependence direction and distance vectors
+// (Maydan, Hennessy & Lam §6) on top of the exact test cascade. It follows
+// the hierarchical scheme of Burke and Cytron — test (*,…,*), then refine
+// each '*' into '<', '=', '>' while dependence persists — with the paper's
+// two pruning optimizations: unused loop variables keep '*' without any
+// testing, and constant GCD-derived distances fix their direction outright.
+//
+// The refinement also yields the paper's implicit branch-and-bound: a pair
+// whose base test is (possibly inexactly) dependent but whose every full
+// direction vector is refuted is in fact independent — the four PERFECT
+// cases with real dependence distance strictly between 0 and 1.
+package depvec
+
+import (
+	"strings"
+
+	"exactdep/internal/dtest"
+	"exactdep/internal/system"
+)
+
+// Direction is one component of a direction vector.
+type Direction byte
+
+const (
+	// Any is the unrefined '*' direction.
+	Any Direction = '*'
+	// Less is '<': the first reference's iteration precedes the second's.
+	Less Direction = '<'
+	// Equal is '=': both references touch the location in the same iteration.
+	Equal Direction = '='
+	// Greater is '>': the first reference's iteration follows the second's.
+	Greater Direction = '>'
+)
+
+// Vector is a direction vector over the common loops, outermost first.
+type Vector []Direction
+
+// String renders the vector in the paper's "(<, =, *)" notation.
+func (v Vector) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, d := range v {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteByte(byte(d))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Clone returns a copy of the vector.
+func (v Vector) Clone() Vector { return append(Vector(nil), v...) }
+
+// Merge minimizes a vector set by repeatedly collapsing triples that differ
+// only in one component covering all of '<', '=', '>' into a single '*'
+// vector (e.g. (<,<),(<,=),(<,>) → (<,*)). The result denotes the same set
+// of directions in fewer vectors — the compact form compilers report.
+func Merge(vs []Vector) []Vector {
+	set := map[string]bool{}
+	var order []string
+	for _, v := range vs {
+		k := string(bytesOf(v))
+		if !set[k] {
+			set[k] = true
+			order = append(order, k)
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, k := range order {
+			if !set[k] {
+				continue
+			}
+			for pos := 0; pos < len(k); pos++ {
+				if k[pos] == byte(Any) {
+					continue
+				}
+				k1 := replaceAt(k, pos, byte(Less))
+				k2 := replaceAt(k, pos, byte(Equal))
+				k3 := replaceAt(k, pos, byte(Greater))
+				if set[k1] && set[k2] && set[k3] {
+					delete(set, k1)
+					delete(set, k2)
+					delete(set, k3)
+					merged := replaceAt(k, pos, byte(Any))
+					if !set[merged] {
+						set[merged] = true
+						order = append(order, merged)
+					}
+					changed = true
+				}
+			}
+		}
+	}
+	var out []Vector
+	for _, k := range order {
+		if set[k] {
+			v := make(Vector, len(k))
+			for i := 0; i < len(k); i++ {
+				v[i] = Direction(k[i])
+			}
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func bytesOf(v Vector) []byte {
+	out := make([]byte, len(v))
+	for i, d := range v {
+		out[i] = byte(d)
+	}
+	return out
+}
+
+func replaceAt(s string, pos int, b byte) string {
+	bs := []byte(s)
+	bs[pos] = b
+	return string(bs)
+}
+
+// Distance is a known-constant dependence distance at one loop level.
+type Distance struct {
+	Level int
+	Value int64
+}
+
+// Options selects the pruning optimizations.
+type Options struct {
+	// PruneUnused keeps '*' for loop indices that appear in no subscript
+	// and no transitive bound, without testing them (§6).
+	PruneUnused bool
+	// PruneDistance fixes the direction of any level whose GCD-derived
+	// distance is constant (§6).
+	PruneDistance bool
+	// Separable enables the Burke–Cytron dimension-by-dimension method for
+	// systems whose levels are not interrelated: 3·L direction tests
+	// instead of up to 3^L. Non-separable systems fall back to the
+	// hierarchical method.
+	Separable bool
+}
+
+// Summary is the direction-vector analysis result for one pair.
+type Summary struct {
+	// Dependent is the final verdict after refinement (which may override
+	// an inexact base "dependent" — the implicit branch-and-bound).
+	Dependent bool
+	// Vectors lists every direction vector under which the references
+	// depend. Pruned levels show '*' (unused) or their fixed direction.
+	Vectors []Vector
+	// Distances lists the levels with known constant distance.
+	Distances []Distance
+	// TestsRun counts cascade invocations, the quantity of Tables 4 and 5.
+	TestsRun int
+	// Exact is false if any cascade invocation returned Unknown.
+	Exact bool
+	// ImplicitBB marks pairs proven independent only by refuting every
+	// direction vector.
+	ImplicitBB bool
+}
+
+// Compute runs the hierarchical direction vector analysis. onTest, when
+// non-nil, observes every cascade invocation (for the experiment counters).
+func Compute(ts *system.TSystem, opts Options) Summary {
+	return ComputeObserved(ts, opts, nil)
+}
+
+// ComputeObserved is Compute with a per-test observer.
+func ComputeObserved(ts *system.TSystem, opts Options, onTest func(dtest.Result)) Summary {
+	levels := 0
+	if ts.Prob != nil {
+		levels = ts.Prob.Common
+	}
+	sum := Summary{Exact: true}
+
+	// Fix pruned levels up front.
+	fixed := make([]Direction, levels) // 0 = refinable
+	for lvl := 0; lvl < levels; lvl++ {
+		if opts.PruneUnused && !ts.LevelUsed(lvl) {
+			fixed[lvl] = Any
+			continue
+		}
+		if opts.PruneDistance {
+			d, err := ts.Distance(lvl)
+			if err == nil && d.IsConst() {
+				sum.Distances = append(sum.Distances, Distance{Level: lvl, Value: d.Const})
+				switch {
+				case d.Const > 0:
+					fixed[lvl] = Less
+				case d.Const < 0:
+					fixed[lvl] = Greater
+				default:
+					fixed[lvl] = Equal
+				}
+			}
+		}
+	}
+
+	run := func(s *system.TSystem) dtest.Result {
+		r, _ := dtest.Solve(s)
+		sum.TestsRun++
+		if r.Outcome == dtest.Unknown {
+			sum.Exact = false
+		}
+		if onTest != nil {
+			onTest(r)
+		}
+		return r
+	}
+
+	// Base test: the (*,…,*) vector.
+	base := run(ts)
+	if base.Outcome == dtest.Independent {
+		return sum
+	}
+
+	if opts.Separable && levels > 0 && Separable(ts) {
+		computeSeparable(ts, fixed, &sum, run)
+		return sum
+	}
+
+	cur := make(Vector, levels)
+	for i := range cur {
+		cur[i] = Any
+	}
+	var refine func(s *system.TSystem, lvl int)
+	refine = func(s *system.TSystem, lvl int) {
+		// advance over fixed levels without testing
+		for lvl < levels && fixed[lvl] != 0 {
+			cur[lvl] = fixed[lvl]
+			lvl++
+		}
+		if lvl >= levels {
+			sum.Vectors = append(sum.Vectors, cur.Clone())
+			return
+		}
+		for _, dir := range []Direction{Less, Equal, Greater} {
+			sub := s.Clone()
+			if err := sub.AddDirection(lvl, byte(dir)); err != nil {
+				sum.Exact = false
+				continue
+			}
+			r := run(sub)
+			if r.Outcome == dtest.Independent {
+				continue
+			}
+			cur[lvl] = dir
+			refine(sub, lvl+1)
+			cur[lvl] = Any
+		}
+	}
+	refine(ts, 0)
+
+	if len(sum.Vectors) == 0 && levels > 0 {
+		// Every direction vector was refuted: the pair is independent even
+		// though the base (*,…,*) test said otherwise (§6's implicit
+		// branch-and-bound; possible because direction constraints cut the
+		// fractional region the base test could not exclude).
+		sum.ImplicitBB = true
+		sum.Dependent = false
+		sum.Exact = true
+		return sum
+	}
+	sum.Dependent = true
+	if levels == 0 {
+		// No common loops: dependence is loop-independent; represent it
+		// with the empty vector.
+		sum.Vectors = append(sum.Vectors, Vector{})
+	}
+	return sum
+}

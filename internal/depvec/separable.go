@@ -1,0 +1,101 @@
+package depvec
+
+import (
+	"exactdep/internal/dtest"
+	"exactdep/internal/system"
+)
+
+// The dimension-by-dimension optimization Burke and Cytron suggest and the
+// paper cites at the end of §6: when the loop levels are not interrelated —
+// no subscript equation and no bound couples two levels — each component of
+// the direction vector can be computed independently (3·L tests) instead of
+// hierarchically (up to 3^L). The full vector set is then the cross product
+// of the per-level direction sets.
+
+// Separable reports whether the problem decomposes by loop level: every
+// variable is a common loop index (no symbols, no non-common loops), every
+// equation touches at most one level, and every bound is constant.
+func Separable(ts *system.TSystem) bool {
+	p := ts.Prob
+	if p == nil {
+		return false
+	}
+	levelOf := make([]int, len(p.Vars))
+	for i, v := range p.Vars {
+		if v.Kind == system.Symbol || v.Level < 0 || v.Level >= p.Common {
+			return false
+		}
+		levelOf[i] = v.Level
+	}
+	for d := 0; d < p.Eq.Cols; d++ {
+		lvl := -1
+		for i := range p.Vars {
+			if p.Eq.At(i, d) == 0 {
+				continue
+			}
+			if lvl == -1 {
+				lvl = levelOf[i]
+			} else if lvl != levelOf[i] {
+				return false // coupled subscript dimension
+			}
+		}
+	}
+	for i := range p.Vars {
+		for _, b := range []system.Bound{p.Lower[i], p.Upper[i]} {
+			if b.Has && !b.Expr.IsConst() {
+				return false // triangular or symbolic bound couples levels
+			}
+		}
+	}
+	return true
+}
+
+// computeSeparable runs the dimension-wise method. It must only be called
+// on separable systems whose base (*,…,*) test was dependent; fixed is the
+// pruning array from ComputeObserved (nonzero entries are not re-tested).
+func computeSeparable(ts *system.TSystem, fixed []Direction, sum *Summary,
+	run func(*system.TSystem) dtest.Result) {
+	levels := ts.Prob.Common
+	perLevel := make([][]Direction, levels)
+	for lvl := 0; lvl < levels; lvl++ {
+		if fixed[lvl] != 0 {
+			perLevel[lvl] = []Direction{fixed[lvl]}
+			continue
+		}
+		for _, dir := range []Direction{Less, Equal, Greater} {
+			sub := ts.Clone()
+			if err := sub.AddDirection(lvl, byte(dir)); err != nil {
+				sum.Exact = false
+				continue
+			}
+			if r := run(sub); r.Outcome != dtest.Independent {
+				perLevel[lvl] = append(perLevel[lvl], dir)
+			}
+		}
+		if len(perLevel[lvl]) == 0 {
+			// The base test said dependent, so a separable system has at
+			// least one feasible direction per level; reaching this means
+			// the base verdict was inexact and the level refutes it.
+			sum.ImplicitBB = true
+			sum.Dependent = false
+			sum.Exact = true
+			sum.Vectors = nil
+			return
+		}
+	}
+	// cross product
+	cur := make(Vector, levels)
+	var build func(lvl int)
+	build = func(lvl int) {
+		if lvl == levels {
+			sum.Vectors = append(sum.Vectors, cur.Clone())
+			return
+		}
+		for _, d := range perLevel[lvl] {
+			cur[lvl] = d
+			build(lvl + 1)
+		}
+	}
+	build(0)
+	sum.Dependent = true
+}

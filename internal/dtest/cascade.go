@@ -1,0 +1,88 @@
+package dtest
+
+import (
+	"exactdep/internal/system"
+)
+
+// Trace records which tests the cascade consulted for one problem, in order.
+// Only the last entry decided; earlier entries were applicability probes
+// (the paper's "we only need to check the applicability of multiple tests —
+// we never have to apply more than one").
+type Trace struct {
+	Consulted []Kind
+	Decided   Kind
+}
+
+// Solve runs the exact-test cascade of paper §3 on a preprocessed t-space
+// system, cheapest test first. The returned Result carries the verdict, the
+// deciding test, and (for exact verdicts) a witness where available. The
+// Trace reports the applicability path.
+func Solve(ts *system.TSystem) (Result, Trace) {
+	var tr Trace
+	s := newState(ts)
+
+	// An infeasible constant constraint (caught during normalization) is an
+	// immediate exact independence; the bounds check owns that verdict.
+	tr.Consulted = append(tr.Consulted, KindSVPC)
+	if r, ok := SVPC(s); ok {
+		tr.Decided = KindSVPC
+		return r, tr
+	}
+
+	tr.Consulted = append(tr.Consulted, KindAcyclic)
+	r, simplified, decided := Acyclic(s)
+	if decided {
+		tr.Decided = KindAcyclic
+		return r, tr
+	}
+
+	tr.Consulted = append(tr.Consulted, KindLoopResidue)
+	if r, ok := LoopResidue(simplified); ok {
+		tr.Decided = KindLoopResidue
+		return r, tr
+	}
+
+	tr.Consulted = append(tr.Consulted, KindFourierMotzkin)
+	tr.Decided = KindFourierMotzkin
+	return FourierMotzkin(simplified), tr
+}
+
+// SolveState is Solve for callers that already built a state (testing and
+// benchmarking individual stages).
+func SolveState(s *state) Result {
+	if r, ok := SVPC(s); ok {
+		return r
+	}
+	r, simplified, decided := Acyclic(s)
+	if decided {
+		return r
+	}
+	if r, ok := LoopResidue(simplified); ok {
+		return r
+	}
+	return FourierMotzkin(simplified)
+}
+
+// NewState exposes state construction to sibling packages' tests and to the
+// benchmark harness through exported helpers in this package.
+func NewState(ts *system.TSystem) *state { return newState(ts) }
+
+// VerifyWitness checks a witness assignment against every constraint of ts,
+// returning false on the first violated constraint. Used by property tests:
+// any exact Dependent verdict must come with either no witness or a valid
+// one.
+func VerifyWitness(ts *system.TSystem, w []int64) bool {
+	if ts.Infeasible {
+		return false
+	}
+	for _, c := range ts.Cons {
+		var sum int64
+		for i, a := range c.Coef {
+			sum += a * w[i]
+		}
+		if sum > c.C {
+			return false
+		}
+	}
+	return true
+}

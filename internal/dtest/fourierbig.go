@@ -1,0 +1,275 @@
+package dtest
+
+import (
+	"math/big"
+
+	"exactdep/internal/system"
+)
+
+// Arbitrary-precision Fourier–Motzkin, used as a fallback when the checked
+// int64 path overflows. Coefficient growth is the known weakness of FM —
+// each elimination multiplies coefficients — so rather than returning a
+// safe-but-inexact Unknown, the cascade retries here and stays exact. The
+// structural caps (constraint count, branch depth) still apply.
+
+// bigCons is one constraint Σ Coef·t ≤ C over big integers.
+type bigCons struct {
+	coef []*big.Int
+	c    *big.Int
+}
+
+func toBig(cs []system.Constraint) []bigCons {
+	out := make([]bigCons, len(cs))
+	for i, c := range cs {
+		bc := bigCons{coef: make([]*big.Int, len(c.Coef)), c: big.NewInt(c.C)}
+		for j, v := range c.Coef {
+			bc.coef[j] = big.NewInt(v)
+		}
+		out[i] = bc
+	}
+	return out
+}
+
+// normalizeBig divides by the gcd of the coefficients, flooring the
+// constant; it reports feasible=false for a constant contradiction and
+// vacuous=true for 0 ≤ C with C ≥ 0.
+func normalizeBig(c bigCons) (out bigCons, feasible, vacuous bool) {
+	g := new(big.Int)
+	for _, v := range c.coef {
+		g.GCD(nil, nil, g, new(big.Int).Abs(v))
+	}
+	if g.Sign() == 0 {
+		return c, c.c.Sign() >= 0, true
+	}
+	if g.Cmp(big.NewInt(1)) > 0 {
+		nc := bigCons{coef: make([]*big.Int, len(c.coef)), c: new(big.Int)}
+		for j, v := range c.coef {
+			nc.coef[j] = new(big.Int).Quo(v, g)
+		}
+		// floor division for the constant
+		nc.c.Div(c.c, g)
+		c = nc
+	}
+	return c, true, false
+}
+
+// fmSolveBig mirrors fmSolve over big integers.
+func fmSolveBig(cons []bigCons, n, depth int) Result {
+	work := cons
+	remaining := make([]bool, n)
+	for i := range remaining {
+		remaining[i] = true
+	}
+	type elim struct {
+		v              int
+		lowers, uppers []bigCons
+	}
+	var order []elim
+
+	numRemaining := n
+	for numRemaining > 0 {
+		v := pickBigVar(work, remaining, n)
+		if v < 0 {
+			break
+		}
+		var lowers, uppers, rest []bigCons
+		for _, c := range work {
+			switch c.coef[v].Sign() {
+			case 1:
+				uppers = append(uppers, c)
+			case -1:
+				lowers = append(lowers, c)
+			default:
+				rest = append(rest, c)
+			}
+		}
+		order = append(order, elim{v: v, lowers: lowers, uppers: uppers})
+		for _, lo := range lowers {
+			for _, up := range uppers {
+				a := new(big.Int).Neg(lo.coef[v]) // > 0
+				b := up.coef[v]                   // > 0
+				nc := bigCons{coef: make([]*big.Int, n), c: new(big.Int)}
+				for j := 0; j < n; j++ {
+					t1 := new(big.Int).Mul(a, up.coef[j])
+					t2 := new(big.Int).Mul(b, lo.coef[j])
+					nc.coef[j] = t1.Add(t1, t2)
+				}
+				t1 := new(big.Int).Mul(a, up.c)
+				t2 := new(big.Int).Mul(b, lo.c)
+				nc.c.Add(t1, t2)
+				nc.coef[v].SetInt64(0)
+				norm, feasible, vacuous := normalizeBig(nc)
+				if !feasible {
+					return independent(KindFourierMotzkin)
+				}
+				if vacuous {
+					continue
+				}
+				rest = append(rest, norm)
+				if len(rest) > maxFMConstraints {
+					return unknown(KindFourierMotzkin)
+				}
+			}
+		}
+		work = rest
+		remaining[v] = false
+		numRemaining--
+	}
+	for _, c := range work {
+		if allZero(c.coef) && c.c.Sign() < 0 {
+			return independent(KindFourierMotzkin)
+		}
+	}
+
+	// Back-substitution with exact rationals.
+	val := make([]*big.Int, n)
+	for i := range val {
+		val[i] = new(big.Int)
+	}
+	chosen := make([]bool, n)
+	for k := len(order) - 1; k >= 0; k-- {
+		e := order[k]
+		lo, up, hasLo, hasUp := bigRange(e.lowers, e.uppers, e.v, val, chosen)
+		var pick *big.Int
+		switch {
+		case !hasLo && !hasUp:
+			pick = big.NewInt(0)
+		case !hasLo:
+			pick = ratFloor(up)
+		case !hasUp:
+			pick = ratCeil(lo)
+		default:
+			cl, fu := ratCeil(lo), ratFloor(up)
+			if cl.Cmp(fu) <= 0 {
+				pick = new(big.Int).Add(cl, new(big.Int).Quo(new(big.Int).Sub(fu, cl), big.NewInt(2)))
+			} else {
+				if k == len(order)-1 {
+					return independent(KindFourierMotzkin)
+				}
+				return fmBranchBig(cons, n, depth, e.v, ratFloor(lo), ratCeil(up))
+			}
+		}
+		val[e.v].Set(pick)
+		chosen[e.v] = true
+	}
+	w := make([]int64, n)
+	for i, v := range val {
+		if !v.IsInt64() {
+			// witness exceeds int64: dependence is proven, but drop the
+			// unreportable witness
+			return dependent(KindFourierMotzkin, nil)
+		}
+		w[i] = v.Int64()
+	}
+	return dependent(KindFourierMotzkin, w)
+}
+
+func allZero(coef []*big.Int) bool {
+	for _, v := range coef {
+		if v.Sign() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func pickBigVar(cons []bigCons, remaining []bool, n int) int {
+	best, bestCost := -1, 0
+	for v := 0; v < n; v++ {
+		if !remaining[v] {
+			continue
+		}
+		lo, up := 0, 0
+		for _, c := range cons {
+			switch c.coef[v].Sign() {
+			case 1:
+				up++
+			case -1:
+				lo++
+			}
+		}
+		if lo == 0 && up == 0 {
+			continue
+		}
+		if cost := lo * up; best == -1 || cost < bestCost {
+			best, bestCost = v, cost
+		}
+	}
+	return best
+}
+
+// bigRange computes the tightest rational bounds on variable v given chosen
+// values.
+func bigRange(lowers, uppers []bigCons, v int, val []*big.Int, chosen []bool) (lo, up *big.Rat, hasLo, hasUp bool) {
+	eval := func(c bigCons) *big.Rat {
+		num := new(big.Int).Set(c.c)
+		for j, a := range c.coef {
+			if j == v || a.Sign() == 0 || !chosen[j] {
+				continue
+			}
+			num.Sub(num, new(big.Int).Mul(a, val[j]))
+		}
+		return new(big.Rat).SetFrac(num, c.coef[v])
+	}
+	for _, c := range lowers {
+		b := eval(c)
+		if !hasLo || b.Cmp(lo) > 0 {
+			lo, hasLo = b, true
+		}
+	}
+	for _, c := range uppers {
+		b := eval(c)
+		if !hasUp || b.Cmp(up) < 0 {
+			up, hasUp = b, true
+		}
+	}
+	return lo, up, hasLo, hasUp
+}
+
+func ratFloor(r *big.Rat) *big.Int {
+	out := new(big.Int)
+	out.Div(r.Num(), r.Denom()) // big.Int.Div is floored for positive denom
+	return out
+}
+
+func ratCeil(r *big.Rat) *big.Int {
+	out := new(big.Int)
+	m := new(big.Int)
+	out.DivMod(r.Num(), r.Denom(), m)
+	if m.Sign() != 0 {
+		out.Add(out, big.NewInt(1))
+	}
+	return out
+}
+
+func fmBranchBig(cons []bigCons, n, depth, v int, floor, ceil *big.Int) Result {
+	if !EnableExplicitBranchAndBound || depth >= maxBranchDepth {
+		return unknown(KindFourierMotzkin)
+	}
+	mk := func(sign int64, bound *big.Int) []bigCons {
+		coef := make([]*big.Int, n)
+		for i := range coef {
+			coef[i] = big.NewInt(0)
+		}
+		coef[v] = big.NewInt(sign)
+		c := new(big.Int).Set(bound)
+		if sign < 0 {
+			c.Neg(c)
+		}
+		out := make([]bigCons, len(cons), len(cons)+1)
+		copy(out, cons)
+		return append(out, bigCons{coef: coef, c: c})
+	}
+	left := fmSolveBig(mk(1, floor), n, depth+1)
+	if left.Outcome == Dependent && left.Exact {
+		return left
+	}
+	right := fmSolveBig(mk(-1, ceil), n, depth+1)
+	if right.Outcome == Dependent && right.Exact {
+		return right
+	}
+	if left.Outcome == Independent && right.Outcome == Independent {
+		return independent(KindFourierMotzkin)
+	}
+	return unknown(KindFourierMotzkin)
+}

@@ -1,0 +1,96 @@
+package dtest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"exactdep/internal/system"
+)
+
+func TestBigFMExactOnOverflowingSystem(t *testing.T) {
+	// Engineered so the int64 combination overflows but the verdict is
+	// clear: big·t1 + (big-1)·t2 ≤ 1 and ≥ 3 simultaneously → independent
+	// over the reals, which only the big path can certify.
+	big := int64(math.MaxInt64 / 2)
+	ts := sys(2,
+		cons(1, big, big-1),
+		cons(-3, -(big-3), -(big-5)),
+		cons(10, 1, 0), cons(0, -1, 0),
+		cons(10, 0, 1), cons(0, 0, -1),
+	)
+	r := FourierMotzkin(NewState(ts))
+	if r.Outcome == Unknown {
+		t.Fatalf("big fallback should decide: %v", r)
+	}
+	if !r.Exact {
+		t.Fatalf("verdict must be exact: %v", r)
+	}
+}
+
+func TestBigFMDependentWitness(t *testing.T) {
+	// Large but satisfiable: big·t1 - big·t2 ≤ 0 etc., with box bounds.
+	b := int64(math.MaxInt64 / 4)
+	ts := sys(2,
+		cons(0, b, b-1),
+		cons(0, -b, -(b-1)),
+		cons(5, 1, 0), cons(5, -1, 0),
+		cons(5, 0, 1), cons(5, 0, -1),
+	)
+	r := FourierMotzkin(NewState(ts))
+	if r.Outcome != Dependent || !r.Exact {
+		t.Fatalf("got %v", r)
+	}
+	if r.Witness != nil && !VerifyWitness(ts, r.Witness) {
+		t.Fatalf("invalid witness %v", r.Witness)
+	}
+}
+
+// TestBigFMAgreesWithFastPath cross-validates the two implementations on
+// random small systems where both complete.
+func TestBigFMAgreesWithFastPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 800; iter++ {
+		n := 1 + rng.Intn(3)
+		var cs []system.Constraint
+		for i := 0; i < n; i++ {
+			lo := make([]int64, n)
+			hi := make([]int64, n)
+			lo[i], hi[i] = -1, 1
+			cs = append(cs,
+				system.Constraint{Coef: hi, C: int64(rng.Intn(6))},
+				system.Constraint{Coef: lo, C: int64(rng.Intn(6))})
+		}
+		for k := rng.Intn(4); k > 0; k-- {
+			coef := make([]int64, n)
+			for j := range coef {
+				coef[j] = int64(rng.Intn(9) - 4)
+			}
+			cs = append(cs, system.Constraint{Coef: coef, C: int64(rng.Intn(11) - 5)})
+		}
+		fast := fmSolve(NewState(sys(n, cs...)).allConstraints(), n, 0)
+		slow := fmSolveBig(toBig(NewState(sys(n, cs...)).allConstraints()), n, 0)
+		if fast.Outcome == Unknown || slow.Outcome == Unknown {
+			continue
+		}
+		if fast.Outcome != slow.Outcome {
+			t.Fatalf("iter %d: fast %v vs big %v on\n%v", iter, fast.Outcome, slow.Outcome, cs)
+		}
+	}
+}
+
+func TestBigFMParityInfeasible(t *testing.T) {
+	// 2t1 + 4t2 = 1 scaled by huge factors: still independent (parity),
+	// and only detectable after normalization in the big path.
+	b := int64(1) << 40
+	ts := sys(2,
+		cons(b, 2*b, 4*b),
+		cons(-b, -2*b, -4*b),
+	)
+	// normalization tightens: 2b·t1+4b·t2 ≤ b → t1+2t2 ≤ 0 (floor b/2b);
+	// ≥ side: t1+2t2 ≥ 1 → contradiction.
+	r := FourierMotzkin(NewState(ts))
+	if r.Outcome != Independent || !r.Exact {
+		t.Fatalf("got %v", r)
+	}
+}

@@ -1,0 +1,94 @@
+// Package dtest implements the cascade of exact data dependence tests from
+// Maydan, Hennessy & Lam (PLDI 1991, §3): the Single Variable Per Constraint
+// test, the Acyclic test, the Loop Residue test, and a Fourier–Motzkin
+// backup extended with an integer-sample heuristic and branch-and-bound.
+// Each test is exact on its applicable class; the cascade tries them in
+// order of cost and records which one decided.
+package dtest
+
+import "fmt"
+
+// Outcome is the verdict of a dependence test.
+type Outcome int
+
+const (
+	// Independent: the references can never touch the same location.
+	Independent Outcome = iota
+	// Dependent: an integer solution exists (a conflict is possible).
+	Dependent
+	// Unknown: the test could not decide exactly; callers must assume
+	// dependence for safety. The paper's suite never hits this in practice.
+	Unknown
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Independent:
+		return "independent"
+	case Dependent:
+		return "dependent"
+	default:
+		return "unknown"
+	}
+}
+
+// Kind identifies which test decided a problem.
+type Kind int
+
+const (
+	// KindNone marks results decided before any test ran (e.g. a bound
+	// constraint that normalized to an impossible constant).
+	KindNone Kind = iota
+	// KindSVPC is the Single Variable Per Constraint test (§3.2).
+	KindSVPC
+	// KindAcyclic is the Acyclic test (§3.3).
+	KindAcyclic
+	// KindLoopResidue is the Loop Residue test (§3.4).
+	KindLoopResidue
+	// KindFourierMotzkin is the Fourier–Motzkin backup test (§3.5).
+	KindFourierMotzkin
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindSVPC:
+		return "SVPC"
+	case KindAcyclic:
+		return "Acyclic"
+	case KindLoopResidue:
+		return "Loop Residue"
+	case KindFourierMotzkin:
+		return "Fourier-Motzkin"
+	default:
+		return "none"
+	}
+}
+
+// Result is the outcome of a test or of the whole cascade.
+type Result struct {
+	Outcome Outcome
+	// Exact is true when the verdict is definitive. Only Unknown results
+	// are inexact.
+	Exact bool
+	// Kind is the test that decided.
+	Kind Kind
+	// Witness is a satisfying assignment of the free t variables when the
+	// deciding test produced one (nil otherwise).
+	Witness []int64
+}
+
+func (r Result) String() string {
+	s := fmt.Sprintf("%s (%s", r.Outcome, r.Kind)
+	if !r.Exact {
+		s += ", inexact"
+	}
+	return s + ")"
+}
+
+func independent(k Kind) Result { return Result{Outcome: Independent, Exact: true, Kind: k} }
+
+func dependent(k Kind, w []int64) Result {
+	return Result{Outcome: Dependent, Exact: true, Kind: k, Witness: w}
+}
+
+func unknown(k Kind) Result { return Result{Outcome: Unknown, Kind: k} }

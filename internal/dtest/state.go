@@ -1,0 +1,137 @@
+package dtest
+
+import (
+	"exactdep/internal/linalg"
+	"exactdep/internal/system"
+)
+
+// optInt is an optional bound value (absent = unbounded in that direction).
+type optInt struct {
+	has bool
+	v   int64
+}
+
+func (o *optInt) tightenMax(v int64) { // lower bound: keep the largest
+	if !o.has || v > o.v {
+		o.has, o.v = true, v
+	}
+}
+
+func (o *optInt) tightenMin(v int64) { // upper bound: keep the smallest
+	if !o.has || v < o.v {
+		o.has, o.v = true, v
+	}
+}
+
+// state is the shared working form of a t-space system: per-variable bounds
+// accumulated from single-variable constraints, plus the remaining
+// multi-variable constraints.
+type state struct {
+	n          int
+	lb, ub     []optInt
+	multi      []system.Constraint
+	infeasible bool
+}
+
+// newState classifies the constraints of ts.
+func newState(ts *system.TSystem) *state {
+	s := &state{n: ts.NumT, lb: make([]optInt, ts.NumT), ub: make([]optInt, ts.NumT)}
+	s.infeasible = ts.Infeasible
+	for _, c := range ts.Cons {
+		s.add(c)
+	}
+	return s
+}
+
+// add classifies one normalized constraint into the state.
+func (s *state) add(c system.Constraint) {
+	switch c.NumVarsUsed() {
+	case 0:
+		if c.C < 0 {
+			s.infeasible = true
+		}
+	case 1:
+		for i, a := range c.Coef {
+			if a == 0 {
+				continue
+			}
+			s.bound(i, a, c.C)
+			break
+		}
+	default:
+		s.multi = append(s.multi, c)
+	}
+}
+
+// bound records a·t_i ≤ c as a lower or upper bound on t_i.
+func (s *state) bound(i int, a, c int64) {
+	if a > 0 {
+		s.ub[i].tightenMin(linalg.FloorDiv(c, a))
+	} else {
+		s.lb[i].tightenMax(linalg.CeilDiv(c, a))
+	}
+}
+
+// firstConflict returns the first variable with lb > ub, or -1.
+func (s *state) firstConflict() int {
+	for i := 0; i < s.n; i++ {
+		if s.lb[i].has && s.ub[i].has && s.lb[i].v > s.ub[i].v {
+			return i
+		}
+	}
+	return -1
+}
+
+// clone deep-copies the state.
+func (s *state) clone() *state {
+	out := &state{n: s.n, infeasible: s.infeasible}
+	out.lb = append([]optInt(nil), s.lb...)
+	out.ub = append([]optInt(nil), s.ub...)
+	out.multi = make([]system.Constraint, len(s.multi))
+	for i, c := range s.multi {
+		out.multi[i] = system.Constraint{Coef: append([]int64(nil), c.Coef...), C: c.C}
+	}
+	return out
+}
+
+// boundsWitness picks a value inside [lb,ub] for every variable, assuming
+// the bounds are consistent. Unbounded variables get 0 clamped into range.
+func (s *state) boundsWitness() []int64 {
+	w := make([]int64, s.n)
+	for i := 0; i < s.n; i++ {
+		switch {
+		case s.lb[i].has && s.ub[i].has:
+			w[i] = s.lb[i].v + (s.ub[i].v-s.lb[i].v)/2
+		case s.lb[i].has:
+			if s.lb[i].v > 0 {
+				w[i] = s.lb[i].v
+			}
+		case s.ub[i].has:
+			if s.ub[i].v < 0 {
+				w[i] = s.ub[i].v
+			}
+		}
+	}
+	return w
+}
+
+// allConstraints reassembles the state into a flat constraint list
+// (single-variable bounds first, then multis), for the Fourier–Motzkin
+// backup which wants the whole system.
+func (s *state) allConstraints() []system.Constraint {
+	var out []system.Constraint
+	for i := 0; i < s.n; i++ {
+		if s.lb[i].has { // t_i ≥ lb  →  -t_i ≤ -lb
+			coef := make([]int64, s.n)
+			coef[i] = -1
+			out = append(out, system.Constraint{Coef: coef, C: -s.lb[i].v})
+		}
+		if s.ub[i].has {
+			coef := make([]int64, s.n)
+			coef[i] = 1
+			out = append(out, system.Constraint{Coef: coef, C: s.ub[i].v})
+		}
+	}
+	out = append(out, s.multi...)
+	return out
+}

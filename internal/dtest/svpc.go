@@ -1,0 +1,19 @@
+package dtest
+
+// SVPC runs the Single Variable Per Constraint test (paper §3.2): when every
+// constraint involves at most one variable, each constraint is simply an
+// upper or lower bound for that variable; the system is dependent iff every
+// variable's tightest lower bound is at most its tightest upper bound. The
+// test is exact and runs in O(constraints + variables).
+//
+// The second return value reports applicability: false means some constraint
+// involves two or more variables and the cascade must move on.
+func SVPC(s *state) (Result, bool) {
+	if len(s.multi) > 0 {
+		return Result{}, false
+	}
+	if s.infeasible || s.firstConflict() >= 0 {
+		return independent(KindSVPC), true
+	}
+	return dependent(KindSVPC, s.boundsWitness()), true
+}

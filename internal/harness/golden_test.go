@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden experiment output")
+
+// TestGoldenExperiments locks the deterministic experiment outputs (every
+// table except the timing one, the figure, the comparison, and the shared-
+// table experiment) against a golden file, so any change to the analyzer,
+// the workload, or the harness that shifts a single count is surfaced.
+// Regenerate deliberately with:
+//
+//	go test ./internal/harness -run Golden -update-golden
+func TestGoldenExperiments(t *testing.T) {
+	var buf bytes.Buffer
+	h := New(&buf, false)
+	for _, n := range []int{1, 2, 3, 4, 5, 7} {
+		if err := h.Table(n); err != nil {
+			t.Fatalf("table %d: %v", n, err)
+		}
+	}
+	if err := h.Figure(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Compare(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SharedTable(); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "experiments.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file rewritten (%d bytes)", buf.Len())
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update-golden): %v", err)
+	}
+	if !bytes.Equal(want, buf.Bytes()) {
+		t.Fatalf("experiment output drifted from golden file.\n"+
+			"If the change is intentional, regenerate with -update-golden.\n"+
+			"--- got ---\n%s", diffHint(want, buf.Bytes()))
+	}
+}
+
+// diffHint returns the first differing line pair for quick diagnosis.
+func diffHint(want, got []byte) string {
+	w := bytes.Split(want, []byte("\n"))
+	g := bytes.Split(got, []byte("\n"))
+	for i := 0; i < len(w) && i < len(g); i++ {
+		if !bytes.Equal(w[i], g[i]) {
+			return "line " + itoa(i+1) + ":\n  want: " + string(w[i]) + "\n  got:  " + string(g[i])
+		}
+	}
+	return "length differs: want " + itoa(len(w)) + " lines, got " + itoa(len(g))
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

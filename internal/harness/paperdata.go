@@ -1,0 +1,125 @@
+package harness
+
+// The paper's reported tables, reproduced verbatim for side-by-side reading
+// with -paper and for the EXPERIMENTS.md comparison. (Maydan, Hennessy &
+// Lam, PLDI 1991, Tables 1–7.)
+
+const paperTable1 = `paper Table 1:
+Program  #Lines  Constant   GCD  SVPC  Acyclic  Loop Residue  Fourier-Motzkin
+AP        6,104       229    91   613        0             0                0
+CS       18,520        50     0   127       15             0                0
+LG        2,327     6,961     0    73        0             0                0
+LW        1,237        54     0    34       43             0                0
+MT        3,785        49     0   326        0             0                0
+NA        3,976        45     0   679      202             1                2
+OC        2,739         2     7    36        0             0                0
+SD        7,607       949     0   526       17             5               12
+SM        2,759     1,004    98   264        0             0                0
+SR        3,970     1,679     0 1,290        0             0                0
+TF        2,020       801     6   826        0             0                0
+TI          484         0     0     4       42             0                0
+WS        3,884        36   182   378        4             0              160
+TOTAL    59,412    11,859   384 5,176      323             6              174`
+
+const paperTable2 = `paper Table 2 (percentage of unique cases):
+Program  w/o bounds Total  Simple  Improved  w/ bounds Total  Simple  Improved
+AP                    704    7.0%      4.4%              613    6.4%      4.4%
+CS                    142    7.7%      7.0%              142   16.2%     14.1%
+LG                     73   32.9%     13.7%               73   47.9%     31.5%
+LW                     77   11.7%     10.4%               77   23.4%     22.1%
+MT                    326    3.4%      2.5%              326    6.4%      4.3%
+NA                    884    4.2%      3.4%              884    7.9%      6.9%
+OC                     43   27.9%     20.9%               36   19.4%     13.9%
+SD                    560    6.6%      6.1%              560    9.5%      8.8%
+SM                    362    5.5%      3.6%              264    4.9%      3.0%
+SR                  1,290    1.1%      0.9%            1,290    1.6%      1.1%
+TF                    832    2.2%      1.7%              826    2.9%      2.4%
+TI                     46   30.4%     19.6%               46   34.8%     23.9%
+WS                    724   11.9%     11.0%              542   14.2%     11.6%
+TOT                 6,063    5.7%      4.4%            5,679    7.3%      5.8%`
+
+const paperTable3 = `paper Table 3 (unique cases only):
+Program  Total Cases  SVPC  Acyclic  Loop Residue  Fourier-Motzkin
+AP               613    27        0             0                0
+CS               142    14        6             0                0
+LG                73    23        0             0                0
+LW                77    15        2             0                0
+MT               326    14        0             0                0
+NA               884    48       11             1                1
+OC                36     5        0             0                0
+SD               560    36        6             3                4
+SM               264     8        0             0                0
+SR             1,290    14        0             0                0
+TF               826    20        0             0                0
+TI                46     3        8             0                0
+WS               542    35        1             0               27
+TOTAL          5,679   262       34             4               32
+(memoization reduces the total from 5,679 to 332 tests)`
+
+const paperTable4 = `paper Table 4 (direction vectors, unique cases, no pruning):
+Program   SVPC  Acyclic  Loop Residue  Fourier-Motzkin
+AP         363      104           100                0
+CS         127       48            34                0
+LG       1,067    1,138         4,619                0
+LW         132       73            59                0
+MT         120       32            16                0
+NA         295      124           172               23
+OC          37        8             4                0
+SD         309      106           120               28
+SM         355      110           169                0
+SR         130       30            18                0
+TF         169       16            11                0
+TI         780      267           703                0
+WS         303      105            52              106
+TOTAL    4,187    2,161         6,077              157   (≈12,500 total)`
+
+const paperTable5 = `paper Table 5 (direction vectors with unused-variable and distance pruning):
+Program  SVPC  Acyclic  Loop Residue  Fourier-Motzkin
+AP         27        6             6                0
+CS         14       16            14                0
+LG         44        6             6                0
+LW         15       12             5                0
+MT         14        0             0                0
+NA         48       59           118                7
+OC          5        0             0                0
+SD         54       20            55               28
+SM          8        0             0                0
+SR         14        0             0                0
+TF         23        0             0                0
+TI          3       38            72                0
+WS         35       15             0              106
+TOTAL     304      172           276              141   (≈900 total)`
+
+const paperTable6 = `paper Table 6 (dependence testing cost, seconds on a MIPS R2000):
+Program  Dep. Test Cost  f77 -O3
+AP                  2.2    151.4
+CS                    *    485.0
+LG                  4.0     65.4
+LW                  1.1     33.0
+MT                  1.0     45.0
+NA                  3.6    136.3
+OC                  0.3     38.2
+SD                  2.7     62.1
+SM                  3.5    102.5
+SR                  3.8    118.5
+TF                  2.6    116.6
+TI                  0.7     12.6
+WS                  3.6    110.0
+(* too small to measure; average overhead about 3%)`
+
+const paperTable7 = `paper Table 7 (direction vectors with symbolic constraints):
+Program  SVPC  Acyclic  Loop Residue  Fourier-Motzkin
+AP         33       22             6                0
+CS         20       24            19                0
+LG         48        6             6                0
+LW         15       12             5                0
+MT         19        0             0                0
+NA         55      149           101                7
+OC          5        1             0                0
+SD         54       20            55               28
+SM          8        0             0                0
+SR         21        1             2                0
+TF         43        0             0                0
+TI          3       38            72                0
+WS         35       19             0              106
+TOTAL     359      292           266              141   (≈1,060 total)`

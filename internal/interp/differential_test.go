@@ -1,0 +1,143 @@
+package interp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"exactdep/internal/core"
+	"exactdep/internal/dtest"
+	"exactdep/internal/lang"
+	"exactdep/internal/opt"
+	"exactdep/internal/refs"
+)
+
+// Source-level differential: generate random programs exercising the whole
+// front end — non-unit steps, scalar forward substitution, induction
+// variables, triangular bounds — execute them with the reference
+// interpreter, and require that whenever the analyzer says a statement pair
+// is independent, the execution trace shows no conflicting access. This is
+// the strongest end-to-end soundness check in the suite: a bug anywhere in
+// constant propagation, induction substitution, step normalization, system
+// construction, or the tests themselves shows up as an observed conflict
+// the analyzer claimed impossible.
+
+// genProgram emits a random program over small iteration spaces.
+func genProgram(rng *rand.Rand) string {
+	var b strings.Builder
+	arrays := []string{"a", "b"}
+	sub := func(indices []string) string {
+		e := fmt.Sprintf("%d", rng.Intn(7)-3)
+		for _, v := range indices {
+			if rng.Intn(2) == 0 {
+				c := rng.Intn(5) - 2
+				e += fmt.Sprintf(" + %d*%s", c, v)
+			}
+		}
+		return e
+	}
+	stmt := func(indent string, indices []string) {
+		arr := arrays[rng.Intn(len(arrays))]
+		arr2 := arrays[rng.Intn(len(arrays))]
+		fmt.Fprintf(&b, "%s%s[%s] = %s[%s] + 1\n", indent, arr, sub(indices), arr2, sub(indices))
+	}
+	var loop func(indent string, indices []string, depth int)
+	loop = func(indent string, indices []string, depth int) {
+		idx := fmt.Sprintf("i%d", depth)
+		lo := rng.Intn(3)
+		hi := lo + rng.Intn(5)
+		step := ""
+		if rng.Intn(4) == 0 {
+			step = fmt.Sprintf(" step %d", 2+rng.Intn(2))
+		}
+		// occasional triangular bound
+		loS := fmt.Sprintf("%d", lo)
+		if len(indices) > 0 && rng.Intn(4) == 0 && step == "" {
+			loS = indices[rng.Intn(len(indices))]
+		}
+		fmt.Fprintf(&b, "%sfor %s = %s to %d%s\n", indent, idx, loS, hi, step)
+		inner := append(append([]string(nil), indices...), idx)
+		// optional scalar definition (forward substitution fodder)
+		if rng.Intn(3) == 0 {
+			fmt.Fprintf(&b, "%s  k%d = 2*%s + %d\n", indent, depth, idx, rng.Intn(3))
+			inner = append(inner, fmt.Sprintf("k%d", depth))
+		}
+		// optional induction variable
+		if rng.Intn(4) == 0 {
+			fmt.Fprintf(&b, "%s  z%d = z%d + %d\n", indent, depth, depth, 1+rng.Intn(3))
+			inner = append(inner, fmt.Sprintf("z%d", depth))
+		}
+		n := 1 + rng.Intn(2)
+		for s := 0; s < n; s++ {
+			if depth < 2 && rng.Intn(3) == 0 {
+				loop(indent+"  ", inner, depth+1)
+			} else {
+				stmt(indent+"  ", inner)
+			}
+		}
+		fmt.Fprintf(&b, "%send\n", indent)
+	}
+	// induction seeds
+	b.WriteString("z0 = 0\nz1 = 0\nz2 = 0\n")
+	for i := 0; i < 1+rng.Intn(2); i++ {
+		loop("", nil, 0)
+	}
+	return b.String()
+}
+
+func TestSourceLevelDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1207))
+	checkedPairs := 0
+	for iter := 0; iter < 600; iter++ {
+		src := genProgram(rng)
+		prog, err := lang.Parse(src)
+		if err != nil {
+			t.Fatalf("iter %d: generated program does not parse: %v\n%s", iter, err, src)
+		}
+		unit := opt.Lower(prog)
+		// A warned (skipped) reference leaves its statement's pairs covered
+		// only by the conservative assumption; rather than track which, skip
+		// the whole program (rare with this generator).
+		if len(unit.Warnings) > 0 {
+			continue
+		}
+		trace, err := Run(prog, nil, Limits{MaxSteps: 200000})
+		if err != nil {
+			t.Fatalf("iter %d: %v\n%s", iter, err, src)
+		}
+		truth := trace.Conflicts()
+
+		a := core.New(core.Options{})
+		// verdict per (array, stmt pair): independent only if EVERY ref
+		// pair between the statements is independent
+		type pk = ConflictKey
+		analyzerDep := map[pk]bool{}
+		seen := map[pk]bool{}
+		for _, c := range refs.PairsOpts(unit, refs.Options{NoSelfPairs: false}) {
+			res, err := a.AnalyzeCandidate(c)
+			if err != nil {
+				t.Fatalf("iter %d: %v\n%s", iter, err, src)
+			}
+			s1, s2 := c.Pair.A.Ref.Stmt, c.Pair.B.Ref.Stmt
+			if s1 > s2 {
+				s1, s2 = s2, s1
+			}
+			k := pk{Array: c.Pair.A.Ref.Array, StmtA: s1, StmtB: s2}
+			seen[k] = true
+			if res.Outcome != dtest.Independent {
+				analyzerDep[k] = true
+			}
+		}
+		for k := range seen {
+			checkedPairs++
+			if truth[k] && !analyzerDep[k] {
+				t.Fatalf("iter %d: analyzer says %s stmts %d/%d independent, execution conflicts\n%s",
+					iter, k.Array, k.StmtA, k.StmtB, src)
+			}
+		}
+	}
+	if checkedPairs < 2000 {
+		t.Fatalf("only %d pairs checked — generator drifted", checkedPairs)
+	}
+}

@@ -1,0 +1,201 @@
+package interp
+
+import (
+	"math/rand"
+	"testing"
+
+	"exactdep/internal/core"
+	"exactdep/internal/dtest"
+	"exactdep/internal/ir"
+	"exactdep/internal/lang"
+	"exactdep/internal/opt"
+	"exactdep/internal/refs"
+)
+
+// Direction-vector ground truth through the full front end: execute random
+// programs, derive the realized direction of every conflicting access pair
+// from the iteration ordinals, and require the analyzer's vectors to cover
+// each one. This validates direction vectors across step normalization and
+// induction substitution, which the IR-level differential cannot reach.
+
+// dirKey aggregates realized directions per (array, stmt pair).
+type dirKey struct {
+	array        string
+	stmtA, stmtB int
+}
+
+// realizedDirections scans the trace for conflicting access pairs and
+// records, per statement pair, the direction string over the first `common`
+// iteration ordinals (truncated to the shorter stack).
+func realizedDirections(tr *Trace, common map[dirKey]int) map[dirKey]map[string]bool {
+	type acc struct {
+		kind ir.RefKind
+		stmt int
+		iter []int64
+	}
+	byAddr := map[string][]acc{}
+	for _, a := range tr.Accesses {
+		k := a.Array + "\x00" + key(a.Index)
+		byAddr[k] = append(byAddr[k], acc{kind: a.Kind, stmt: a.Stmt, iter: a.Coord})
+	}
+	out := map[dirKey]map[string]bool{}
+	for k, accs := range byAddr {
+		array := k[:indexByte(k)]
+		for i, a1 := range accs {
+			for _, a2 := range accs[i:] {
+				if a1.kind != ir.Write && a2.kind != ir.Write {
+					continue
+				}
+				x, y := a1, a2
+				if x.stmt > y.stmt {
+					x, y = y, x
+				}
+				dk := dirKey{array: array, stmtA: x.stmt, stmtB: y.stmt}
+				d, ok := common[dk]
+				if !ok {
+					continue
+				}
+				if len(x.iter) < d || len(y.iter) < d {
+					continue
+				}
+				vec := make([]byte, d)
+				for l := 0; l < d; l++ {
+					switch {
+					case x.iter[l] < y.iter[l]:
+						vec[l] = '<'
+					case x.iter[l] > y.iter[l]:
+						vec[l] = '>'
+					default:
+						vec[l] = '='
+					}
+				}
+				if out[dk] == nil {
+					out[dk] = map[string]bool{}
+				}
+				out[dk][string(vec)] = true
+			}
+		}
+	}
+	return out
+}
+
+// expand unions all analyzer vectors with '*' expansion into direction
+// strings.
+func expand(vectors []string) map[string]bool {
+	out := map[string]bool{}
+	var rec func(prefix string, rest string)
+	rec = func(prefix, rest string) {
+		if rest == "" {
+			out[prefix] = true
+			return
+		}
+		if rest[0] == '*' {
+			for _, d := range []byte{'<', '=', '>'} {
+				rec(prefix+string(d), rest[1:])
+			}
+			return
+		}
+		rec(prefix+string(rest[0]), rest[1:])
+	}
+	for _, v := range vectors {
+		rec("", v)
+	}
+	return out
+}
+
+func TestDirectionVectorsMatchExecution(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	checked := 0
+	for iter := 0; iter < 400; iter++ {
+		src := genProgram(rng)
+		prog, err := lang.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unit := opt.Lower(prog)
+		if len(unit.Warnings) > 0 {
+			continue
+		}
+		tr, err := Run(prog, nil, Limits{MaxSteps: 200000})
+		if err != nil {
+			t.Fatalf("iter %d: %v\n%s", iter, err, src)
+		}
+
+		a := core.New(core.Options{DirectionVectors: true, PruneUnused: true, PruneDistance: true})
+		common := map[dirKey]int{}
+		vectors := map[dirKey][]string{}
+		dependentPair := map[dirKey]bool{}
+		for _, c := range refs.PairsOpts(unit, refs.Options{NoSelfPairs: false}) {
+			res, err := a.AnalyzeCandidate(c)
+			if err != nil {
+				t.Fatalf("iter %d: %v\n%s", iter, err, src)
+			}
+			s1, s2 := c.Pair.A.Ref.Stmt, c.Pair.B.Ref.Stmt
+			swapped := s1 > s2
+			if swapped {
+				s1, s2 = s2, s1
+			}
+			dk := dirKey{array: c.Pair.A.Ref.Array, stmtA: s1, stmtB: s2}
+			if prev, ok := common[dk]; ok && prev != c.Pair.Common {
+				// mixed nesting depths for one stmt pair: skip it
+				delete(common, dk)
+				continue
+			}
+			common[dk] = c.Pair.Common
+			if res.Outcome == dtest.Independent {
+				continue
+			}
+			dependentPair[dk] = true
+			for _, v := range res.Vectors {
+				bs := make([]byte, len(v))
+				for i, d := range v {
+					bs[i] = byte(d)
+				}
+				sv := string(bs)
+				if swapped {
+					sv = mirrorDirs(sv)
+				}
+				vectors[dk] = append(vectors[dk], sv)
+			}
+		}
+
+		truth := realizedDirections(tr, common)
+		for dk, dirs := range truth {
+			if !dependentPair[dk] {
+				// a realized conflict on a pair the analyzer called
+				// independent is caught by the other differential; here we
+				// focus on vectors
+				continue
+			}
+			got := expand(vectors[dk])
+			for d := range dirs {
+				checked++
+				// Orientation: both sides were normalized to stmtA ≤ stmtB,
+				// so distinct-statement directions must match exactly. For a
+				// statement paired with itself the two accesses have no
+				// inherent order, so the mirrored direction also counts.
+				covered := got[d] || (dk.stmtA == dk.stmtB && got[mirrorDirs(d)])
+				if !covered {
+					t.Fatalf("iter %d: pair %+v realized direction %q not covered by vectors %v\n%s",
+						iter, dk, d, vectors[dk], src)
+				}
+			}
+		}
+	}
+	if checked < 500 {
+		t.Fatalf("only %d realized directions checked — generator drifted", checked)
+	}
+}
+
+func mirrorDirs(s string) string {
+	b := []byte(s)
+	for i := range b {
+		switch b[i] {
+		case '<':
+			b[i] = '>'
+		case '>':
+			b[i] = '<'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,368 @@
+// Package interp is a reference interpreter for the loop language. It
+// executes a program concretely — scalars as int64, arrays as sparse maps —
+// and records every array access with its flattened address. The recorded
+// trace yields ground-truth dependences, which the differential tests use
+// to validate the whole analysis stack (prepass, normalization, extraction,
+// tests) against actual program behaviour.
+package interp
+
+import (
+	"fmt"
+
+	"exactdep/internal/ir"
+	"exactdep/internal/lang"
+)
+
+// Access is one recorded array access.
+type Access struct {
+	Array string
+	// Index is the evaluated subscript tuple.
+	Index []int64
+	Kind  ir.RefKind
+	// Stmt is the 1-based assignment ordinal, matching the lowerer's
+	// statement numbering.
+	Stmt int
+	// Time is the access's position in the execution trace.
+	Time int
+	// Iter is the stack of iteration ordinals (0-based trip counts) of the
+	// enclosing loops, outermost first.
+	Iter []int64
+	// Coord is the stack of analyzer-visible loop coordinates: the index
+	// value for unit-step loops, the iteration ordinal for loops the
+	// lowerer normalizes (non-unit steps) — the space the analyzer's
+	// direction vectors live in.
+	Coord []int64
+}
+
+// Trace is the record of one execution.
+type Trace struct {
+	Accesses []Access
+	// Final is the memory state at program exit: array → encoded index →
+	// value. Index encodings are opaque but stable, so two Finals compare
+	// meaningfully.
+	Final map[string]map[string]int64
+}
+
+// FinalEqual reports whether two executions ended with identical array
+// memory (missing cells count as zero, matching the interpreter's default).
+func (t *Trace) FinalEqual(o *Trace) bool {
+	covered := func(a, b map[string]map[string]int64) bool {
+		for arr, cells := range a {
+			for k, v := range cells {
+				if b[arr][k] != v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return covered(t.Final, o.Final) && covered(o.Final, t.Final)
+}
+
+// Limits bounds an execution so adversarial inputs terminate.
+type Limits struct {
+	// MaxSteps bounds the number of executed assignments (default 1e6).
+	MaxSteps int
+}
+
+// ErrLimit is returned when an execution exceeds its step budget.
+var ErrLimit = fmt.Errorf("interp: step limit exceeded")
+
+type machine struct {
+	scalars map[string]int64
+	arrays  map[string]map[string]int64
+	inputs  map[string]int64
+	trace   *Trace
+	// stmtOf numbers assignment statements syntactically, in the same
+	// pre-order the lowerer uses, so trace entries align with ir.Ref.Stmt.
+	stmtOf map[*lang.Assign]int
+	steps  int
+	limit  int
+	time   int
+	iters  []int64 // current iteration-ordinal stack
+	coords []int64 // current analyzer-coordinate stack
+}
+
+// Run executes the program. inputs provides the values consumed by read()
+// statements (and any scalars used before definition).
+func Run(prog *lang.Program, inputs map[string]int64, lim Limits) (*Trace, error) {
+	if lim.MaxSteps == 0 {
+		lim.MaxSteps = 1_000_000
+	}
+	m := &machine{
+		scalars: map[string]int64{},
+		arrays:  map[string]map[string]int64{},
+		inputs:  inputs,
+		trace:   &Trace{},
+		stmtOf:  numberStatements(prog.Stmts),
+		limit:   lim.MaxSteps,
+	}
+	if err := m.stmts(prog.Stmts); err != nil {
+		return nil, err
+	}
+	m.trace.Final = m.arrays
+	return m.trace, nil
+}
+
+func (m *machine) stmts(ss []lang.Stmt) error {
+	for _, s := range ss {
+		if err := m.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *machine) stmt(s lang.Stmt) error {
+	switch s := s.(type) {
+	case *lang.Read:
+		v, ok := m.inputs[s.Var]
+		if !ok {
+			return fmt.Errorf("interp: no input for read(%s)", s.Var)
+		}
+		m.scalars[s.Var] = v
+		return nil
+	case *lang.Assign:
+		return m.assign(s)
+	case *lang.For:
+		return m.forLoop(s)
+	default:
+		return fmt.Errorf("interp: unknown statement %T", s)
+	}
+}
+
+func (m *machine) assign(s *lang.Assign) error {
+	m.steps++
+	if m.steps > m.limit {
+		return ErrLimit
+	}
+	stmt := m.stmtOf[s]
+	// Evaluate the RHS first (its reads execute before the write).
+	rhs, err := m.eval(s.RHS, stmt)
+	if err != nil {
+		return err
+	}
+	if s.LHSArray != nil {
+		idx := make([]int64, len(s.LHSArray.Subs))
+		for i, sub := range s.LHSArray.Subs {
+			v, err := m.eval(sub, stmt)
+			if err != nil {
+				return err
+			}
+			idx[i] = v
+		}
+		m.record(s.LHSArray.Array, idx, ir.Write, stmt)
+		arr := m.arrays[s.LHSArray.Array]
+		if arr == nil {
+			arr = map[string]int64{}
+			m.arrays[s.LHSArray.Array] = arr
+		}
+		arr[key(idx)] = rhs
+		return nil
+	}
+	m.scalars[s.LHSVar] = rhs
+	return nil
+}
+
+func (m *machine) forLoop(s *lang.For) error {
+	lo, err := m.eval(s.Lo, 0)
+	if err != nil {
+		return err
+	}
+	hi, err := m.eval(s.Hi, 0)
+	if err != nil {
+		return err
+	}
+	step := int64(1)
+	if s.Step != nil {
+		if step, err = m.eval(s.Step, 0); err != nil {
+			return err
+		}
+		if step == 0 {
+			return fmt.Errorf("interp: zero loop step for %q", s.Index)
+		}
+	}
+	saved, had := m.scalars[s.Index]
+	m.iters = append(m.iters, 0)
+	m.coords = append(m.coords, 0)
+	depth := len(m.iters) - 1
+	for i := lo; (step > 0 && i <= hi) || (step < 0 && i >= hi); i += step {
+		m.scalars[s.Index] = i
+		if step == 1 {
+			m.coords[depth] = i
+		} else {
+			m.coords[depth] = m.iters[depth]
+		}
+		if err := m.stmts(s.Body); err != nil {
+			return err
+		}
+		m.iters[depth]++
+		m.steps++
+		if m.steps > m.limit {
+			return ErrLimit
+		}
+	}
+	m.iters = m.iters[:depth]
+	m.coords = m.coords[:depth]
+	if had {
+		m.scalars[s.Index] = saved
+	} else {
+		delete(m.scalars, s.Index)
+	}
+	return nil
+}
+
+func (m *machine) eval(e lang.Expr, stmt int) (int64, error) {
+	switch e := e.(type) {
+	case *lang.Num:
+		return e.Value, nil
+	case *lang.Ident:
+		if v, ok := m.scalars[e.Name]; ok {
+			return v, nil
+		}
+		if v, ok := m.inputs[e.Name]; ok {
+			return v, nil
+		}
+		return 0, fmt.Errorf("interp: undefined scalar %q", e.Name)
+	case *lang.Neg:
+		v, err := m.eval(e.X, stmt)
+		return -v, err
+	case *lang.BinOp:
+		l, err := m.eval(e.L, stmt)
+		if err != nil {
+			return 0, err
+		}
+		r, err := m.eval(e.R, stmt)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case '+':
+			return l + r, nil
+		case '-':
+			return l - r, nil
+		case '*':
+			return l * r, nil
+		}
+		return 0, fmt.Errorf("interp: unknown operator %q", e.Op)
+	case *lang.Index:
+		idx := make([]int64, len(e.Subs))
+		for i, sub := range e.Subs {
+			v, err := m.eval(sub, stmt)
+			if err != nil {
+				return 0, err
+			}
+			idx[i] = v
+		}
+		m.record(e.Array, idx, ir.Read, stmt)
+		return m.arrays[e.Array][key(idx)], nil
+	default:
+		return 0, fmt.Errorf("interp: unknown expression %T", e)
+	}
+}
+
+func (m *machine) record(array string, idx []int64, kind ir.RefKind, stmt int) {
+	m.time++
+	m.trace.Accesses = append(m.trace.Accesses, Access{
+		Array: array,
+		Index: append([]int64(nil), idx...),
+		Kind:  kind,
+		Stmt:  stmt,
+		Time:  m.time,
+		Iter:  append([]int64(nil), m.iters...),
+		Coord: append([]int64(nil), m.coords...),
+	})
+}
+
+func key(idx []int64) string {
+	b := make([]byte, 0, len(idx)*9)
+	for _, v := range idx {
+		for s := 0; s < 64; s += 8 {
+			b = append(b, byte(v>>s))
+		}
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+// numberStatements assigns 1-based ordinals to assignment statements in the
+// lowerer's pre-order.
+func numberStatements(ss []lang.Stmt) map[*lang.Assign]int {
+	out := map[*lang.Assign]int{}
+	n := 0
+	var walk func(ss []lang.Stmt)
+	walk = func(ss []lang.Stmt) {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *lang.Assign:
+				n++
+				out[s] = n
+			case *lang.For:
+				walk(s.Body)
+			}
+		}
+	}
+	walk(ss)
+	return out
+}
+
+// ConflictKey identifies a statement pair on one array.
+type ConflictKey struct {
+	Array        string
+	StmtA, StmtB int // StmtA ≤ StmtB
+}
+
+// Conflicts derives ground-truth dependences from a trace: for every array
+// and statement pair, whether some address is touched by both statements
+// with at least one write.
+func (t *Trace) Conflicts() map[ConflictKey]bool {
+	type cell struct {
+		reads  map[int]int // stmt → access count
+		writes map[int]int
+	}
+	cells := map[string]*cell{}
+	for _, a := range t.Accesses {
+		k := a.Array + "\x00" + key(a.Index)
+		c := cells[k]
+		if c == nil {
+			c = &cell{reads: map[int]int{}, writes: map[int]int{}}
+			cells[k] = c
+		}
+		if a.Kind == ir.Write {
+			c.writes[a.Stmt]++
+		} else {
+			c.reads[a.Stmt]++
+		}
+	}
+	out := map[ConflictKey]bool{}
+	mark := func(array string, s1, s2 int) {
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		out[ConflictKey{Array: array, StmtA: s1, StmtB: s2}] = true
+	}
+	for k, c := range cells {
+		array := k[:indexByte(k)]
+		for w, wn := range c.writes {
+			for w2 := range c.writes {
+				if w == w2 && wn < 2 {
+					continue // a single write does not conflict with itself
+				}
+				mark(array, w, w2)
+			}
+			for r := range c.reads {
+				mark(array, w, r)
+			}
+		}
+	}
+	return out
+}
+
+func indexByte(s string) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == 0 {
+			return i
+		}
+	}
+	return len(s)
+}

@@ -1,0 +1,172 @@
+package interp
+
+import (
+	"testing"
+
+	"exactdep/internal/ir"
+	"exactdep/internal/lang"
+)
+
+func run(t *testing.T, src string, inputs map[string]int64) *Trace {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Run(prog, inputs, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestSimpleExecution(t *testing.T) {
+	tr := run(t, `
+for i = 1 to 3
+  a[i] = i
+end
+`, nil)
+	if len(tr.Accesses) != 3 {
+		t.Fatalf("accesses = %d", len(tr.Accesses))
+	}
+	for k, a := range tr.Accesses {
+		if a.Kind != ir.Write || a.Array != "a" || a.Index[0] != int64(k+1) {
+			t.Fatalf("access %d = %+v", k, a)
+		}
+	}
+}
+
+func TestReadsAndValues(t *testing.T) {
+	// prefix sum: b[i] = b[i-1] + a[i] exercises value flow
+	tr := run(t, `
+a[1] = 5
+a[2] = 7
+b[0] = 0
+b[1] = b[0] + a[1]
+b[2] = b[1] + a[2]
+c[b[2]] = 1
+`, nil)
+	// c's write address must be 12 (5+7)
+	var cIdx int64 = -1
+	for _, a := range tr.Accesses {
+		if a.Array == "c" && a.Kind == ir.Write {
+			cIdx = a.Index[0]
+		}
+	}
+	if cIdx != 12 {
+		t.Fatalf("c write address = %d, want 12", cIdx)
+	}
+}
+
+func TestSteppedAndNegativeLoops(t *testing.T) {
+	tr := run(t, `
+for i = 1 to 9 step 2
+  a[i] = 0
+end
+for j = 10 to 1 step -3
+  b[j] = 0
+end
+`, nil)
+	var as, bs []int64
+	for _, a := range tr.Accesses {
+		if a.Array == "a" {
+			as = append(as, a.Index[0])
+		} else {
+			bs = append(bs, a.Index[0])
+		}
+	}
+	if len(as) != 5 || as[0] != 1 || as[4] != 9 {
+		t.Fatalf("a addresses = %v", as)
+	}
+	if len(bs) != 4 || bs[0] != 10 || bs[3] != 1 {
+		t.Fatalf("b addresses = %v", bs)
+	}
+}
+
+func TestInputs(t *testing.T) {
+	tr := run(t, `
+read(n)
+for i = 1 to n
+  a[i+n] = 0
+end
+`, map[string]int64{"n": 3})
+	if len(tr.Accesses) != 3 || tr.Accesses[0].Index[0] != 4 {
+		t.Fatalf("accesses = %+v", tr.Accesses)
+	}
+	prog, _ := lang.Parse("read(n)\n")
+	if _, err := Run(prog, nil, Limits{}); err == nil {
+		t.Fatal("missing input must error")
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	prog, err := lang.Parse("for i = 1 to 1000000\n  a[i] = 0\nend\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(prog, nil, Limits{MaxSteps: 100}); err != ErrLimit {
+		t.Fatalf("want ErrLimit, got %v", err)
+	}
+}
+
+func TestZeroStepRejected(t *testing.T) {
+	prog, err := lang.Parse("for i = 1 to 10 step 0\n  a[i] = 0\nend\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(prog, nil, Limits{}); err == nil {
+		t.Fatal("zero step must error")
+	}
+}
+
+func TestConflicts(t *testing.T) {
+	tr := run(t, `
+for i = 1 to 5
+  a[i] = a[i-1]
+  b[i] = a[i+10]
+end
+`, nil)
+	conf := tr.Conflicts()
+	// stmt 1 writes a[1..5] and reads a[0..4]: self conflict on a
+	if !conf[ConflictKey{Array: "a", StmtA: 1, StmtB: 1}] {
+		t.Fatalf("missing a:1-1 conflict: %v", conf)
+	}
+	// stmt 2 reads a[11..15]: no overlap with stmt 1's a accesses
+	if conf[ConflictKey{Array: "a", StmtA: 1, StmtB: 2}] {
+		t.Fatalf("spurious a:1-2 conflict: %v", conf)
+	}
+	// b written only by stmt 2: self output conflict requires same address
+	// twice — b[1..5] are distinct, so no conflict
+	if conf[ConflictKey{Array: "b", StmtA: 2, StmtB: 2}] {
+		t.Fatalf("spurious b self conflict: %v", conf)
+	}
+}
+
+func TestMultiDimAddressing(t *testing.T) {
+	tr := run(t, `
+a[1][2] = 1
+a[2][1] = 2
+b[0] = a[1][2]
+`, nil)
+	conf := tr.Conflicts()
+	if !conf[ConflictKey{Array: "a", StmtA: 1, StmtB: 3}] {
+		t.Fatal("a[1][2] write/read must conflict")
+	}
+	if conf[ConflictKey{Array: "a", StmtA: 2, StmtB: 3}] {
+		t.Fatal("a[2][1] must not collide with a[1][2] (dimension mixing)")
+	}
+}
+
+func TestScalarShadowRestored(t *testing.T) {
+	tr := run(t, `
+i = 42
+for i = 1 to 2
+  a[i] = 0
+end
+b[i] = 0
+`, nil)
+	last := tr.Accesses[len(tr.Accesses)-1]
+	if last.Array != "b" || last.Index[0] != 42 {
+		t.Fatalf("outer i not restored: %+v", last)
+	}
+}

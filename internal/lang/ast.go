@@ -1,0 +1,161 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is any AST node.
+type Node interface {
+	node()
+	String() string
+}
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Num is an integer literal.
+type Num struct {
+	Value int64
+	Pos   Pos
+}
+
+// Ident is a scalar or loop-index reference.
+type Ident struct {
+	Name string
+	Pos  Pos
+}
+
+// Index is an array element read a[e1][e2]… used inside an expression.
+type Index struct {
+	Array string
+	Subs  []Expr
+	Pos   Pos
+}
+
+// BinOp is a binary arithmetic expression.
+type BinOp struct {
+	Op   byte // '+', '-', '*'
+	L, R Expr
+	Pos  Pos
+}
+
+// Neg is unary minus.
+type Neg struct {
+	X   Expr
+	Pos Pos
+}
+
+func (*Num) node()       {}
+func (*Ident) node()     {}
+func (*Index) node()     {}
+func (*BinOp) node()     {}
+func (*Neg) node()       {}
+func (*Num) exprNode()   {}
+func (*Ident) exprNode() {}
+func (*Index) exprNode() {}
+func (*BinOp) exprNode() {}
+func (*Neg) exprNode()   {}
+
+func (n *Num) String() string   { return fmt.Sprintf("%d", n.Value) }
+func (n *Ident) String() string { return n.Name }
+
+func (n *Index) String() string {
+	var b strings.Builder
+	b.WriteString(n.Array)
+	for _, s := range n.Subs {
+		fmt.Fprintf(&b, "[%s]", s)
+	}
+	return b.String()
+}
+
+func (n *BinOp) String() string {
+	return fmt.Sprintf("(%s %c %s)", n.L, n.Op, n.R)
+}
+
+func (n *Neg) String() string { return fmt.Sprintf("(-%s)", n.X) }
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// For is a loop: for Index = Lo to Hi [step Step] { Body }. A nil Step
+// means 1; the lowerer normalizes other steps away (paper §2).
+type For struct {
+	Index  string
+	Lo, Hi Expr
+	Step   Expr // nil for unit step
+	Body   []Stmt
+	Pos    Pos
+}
+
+// Assign is a scalar or array assignment.
+type Assign struct {
+	// Exactly one of LHSVar / LHSArray is set.
+	LHSVar   string
+	LHSArray *Index
+	RHS      Expr
+	Pos      Pos
+}
+
+// Read introduces a symbolic unknown: read(n).
+type Read struct {
+	Var string
+	Pos Pos
+}
+
+func (*For) node()        {}
+func (*Assign) node()     {}
+func (*Read) node()       {}
+func (*For) stmtNode()    {}
+func (*Assign) stmtNode() {}
+func (*Read) stmtNode()   {}
+
+func (s *For) String() string {
+	var b strings.Builder
+	if s.Step != nil {
+		fmt.Fprintf(&b, "for %s = %s to %s step %s\n", s.Index, s.Lo, s.Hi, s.Step)
+	} else {
+		fmt.Fprintf(&b, "for %s = %s to %s\n", s.Index, s.Lo, s.Hi)
+	}
+	for _, st := range s.Body {
+		for _, line := range strings.Split(st.String(), "\n") {
+			b.WriteString("  " + line + "\n")
+		}
+	}
+	b.WriteString("end")
+	return b.String()
+}
+
+func (s *Assign) String() string {
+	if s.LHSArray != nil {
+		return fmt.Sprintf("%s = %s", s.LHSArray, s.RHS)
+	}
+	return fmt.Sprintf("%s = %s", s.LHSVar, s.RHS)
+}
+
+func (s *Read) String() string { return fmt.Sprintf("read(%s)", s.Var) }
+
+// Program is a parsed source unit.
+type Program struct {
+	Name  string
+	Stmts []Stmt
+}
+
+func (p *Program) node() {}
+
+func (p *Program) String() string {
+	var b strings.Builder
+	if p.Name != "" {
+		fmt.Fprintf(&b, "program %s\n", p.Name)
+	}
+	for _, s := range p.Stmts {
+		b.WriteString(s.String() + "\n")
+	}
+	return b.String()
+}

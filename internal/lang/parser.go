@@ -1,0 +1,319 @@
+package lang
+
+import (
+	"fmt"
+)
+
+// Parser is a recursive-descent parser for the loop language.
+//
+// Grammar (newline-terminated statements):
+//
+//	program  := [ "program" IDENT nl ] { stmt }
+//	stmt     := for | assign | read
+//	for      := "for" IDENT "=" expr "to" expr [ "step" expr ] nl { stmt } "end" nl
+//	assign   := lvalue "=" expr nl
+//	lvalue   := IDENT { "[" expr "]" }
+//	read     := "read" "(" IDENT ")" nl
+//	expr     := term { ("+"|"-") term }
+//	term     := factor { "*" factor }
+//	factor   := NUMBER | IDENT { "[" expr "]" } | "(" expr ")" | "-" factor
+type Parser struct {
+	lex *Lexer
+	tok Token
+	err error
+}
+
+// Parse parses a whole source unit.
+func Parse(src string) (*Program, error) {
+	p := &Parser{lex: NewLexer(src)}
+	p.next()
+	prog := &Program{}
+	p.skipNewlines()
+	if p.tok.Kind == TokProgram {
+		p.next()
+		if p.tok.Kind != TokIdent {
+			return nil, p.expected("program name")
+		}
+		prog.Name = p.tok.Text
+		p.next()
+		if !p.eatNewline() {
+			return nil, p.err
+		}
+	}
+	for {
+		p.skipNewlines()
+		if p.tok.Kind == TokEOF {
+			break
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		prog.Stmts = append(prog.Stmts, s)
+	}
+	// A lexer error turns the stream into EOF; surface it rather than
+	// returning a silently truncated program.
+	if p.err != nil {
+		return nil, p.err
+	}
+	return prog, nil
+}
+
+func (p *Parser) next() {
+	if p.err != nil {
+		return
+	}
+	t, err := p.lex.Next()
+	if err != nil {
+		p.err = err
+		p.tok = Token{Kind: TokEOF}
+		return
+	}
+	p.tok = t
+}
+
+func (p *Parser) skipNewlines() {
+	for p.tok.Kind == TokNewline {
+		p.next()
+	}
+}
+
+func (p *Parser) eatNewline() bool {
+	if p.err != nil {
+		return false
+	}
+	if p.tok.Kind == TokNewline || p.tok.Kind == TokEOF {
+		p.next()
+		return true
+	}
+	p.err = fmt.Errorf("%s: expected end of statement, found %s", p.tok.Pos, p.tok)
+	return false
+}
+
+func (p *Parser) expected(what string) error {
+	if p.err != nil {
+		return p.err
+	}
+	return fmt.Errorf("%s: expected %s, found %s", p.tok.Pos, what, p.tok)
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	switch p.tok.Kind {
+	case TokFor:
+		return p.parseFor()
+	case TokRead:
+		return p.parseRead()
+	case TokIdent:
+		return p.parseAssign()
+	default:
+		return nil, p.expected("statement")
+	}
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	pos := p.tok.Pos
+	p.next() // for
+	if p.tok.Kind != TokIdent {
+		return nil, p.expected("loop index")
+	}
+	idx := p.tok.Text
+	p.next()
+	if p.tok.Kind != TokAssign {
+		return nil, p.expected("'='")
+	}
+	p.next()
+	lo, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	// accept both "to" and "," as the bound separator
+	if p.tok.Kind != TokTo && p.tok.Kind != TokComma {
+		return nil, p.expected("'to'")
+	}
+	p.next()
+	hi, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	var step Expr
+	if p.tok.Kind == TokStep || p.tok.Kind == TokComma {
+		p.next()
+		if step, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	if !p.eatNewline() {
+		return nil, p.err
+	}
+	f := &For{Index: idx, Lo: lo, Hi: hi, Step: step, Pos: pos}
+	for {
+		p.skipNewlines()
+		if p.tok.Kind == TokEnd {
+			p.next()
+			// optional "end for" / "end do" index mention is not supported;
+			// just a newline
+			if !p.eatNewline() {
+				return nil, p.err
+			}
+			return f, nil
+		}
+		if p.tok.Kind == TokEOF {
+			return nil, fmt.Errorf("%s: loop over %q not closed with 'end'", pos, idx)
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		f.Body = append(f.Body, s)
+	}
+}
+
+func (p *Parser) parseRead() (Stmt, error) {
+	pos := p.tok.Pos
+	p.next() // read
+	if p.tok.Kind != TokLParen {
+		return nil, p.expected("'('")
+	}
+	p.next()
+	if p.tok.Kind != TokIdent {
+		return nil, p.expected("variable")
+	}
+	name := p.tok.Text
+	p.next()
+	if p.tok.Kind != TokRParen {
+		return nil, p.expected("')'")
+	}
+	p.next()
+	if !p.eatNewline() {
+		return nil, p.err
+	}
+	return &Read{Var: name, Pos: pos}, nil
+}
+
+func (p *Parser) parseAssign() (Stmt, error) {
+	pos := p.tok.Pos
+	name := p.tok.Text
+	p.next()
+	var lhsArr *Index
+	if p.tok.Kind == TokLBracket {
+		subs, err := p.parseSubscripts()
+		if err != nil {
+			return nil, err
+		}
+		lhsArr = &Index{Array: name, Subs: subs, Pos: pos}
+	}
+	if p.tok.Kind != TokAssign {
+		return nil, p.expected("'='")
+	}
+	p.next()
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eatNewline() {
+		return nil, p.err
+	}
+	a := &Assign{RHS: rhs, Pos: pos}
+	if lhsArr != nil {
+		a.LHSArray = lhsArr
+	} else {
+		a.LHSVar = name
+	}
+	return a, nil
+}
+
+func (p *Parser) parseSubscripts() ([]Expr, error) {
+	var subs []Expr
+	for p.tok.Kind == TokLBracket {
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.Kind != TokRBracket {
+			return nil, p.expected("']'")
+		}
+		p.next()
+		subs = append(subs, e)
+	}
+	return subs, nil
+}
+
+func (p *Parser) parseExpr() (Expr, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokPlus || p.tok.Kind == TokMinus {
+		op := byte('+')
+		if p.tok.Kind == TokMinus {
+			op = '-'
+		}
+		pos := p.tok.Pos
+		p.next()
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: op, L: l, R: r, Pos: pos}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseTerm() (Expr, error) {
+	l, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokStar {
+		pos := p.tok.Pos
+		p.next()
+		r, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: '*', L: l, R: r, Pos: pos}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseFactor() (Expr, error) {
+	switch p.tok.Kind {
+	case TokNumber:
+		n := &Num{Value: p.tok.Num, Pos: p.tok.Pos}
+		p.next()
+		return n, nil
+	case TokIdent:
+		name, pos := p.tok.Text, p.tok.Pos
+		p.next()
+		if p.tok.Kind == TokLBracket {
+			subs, err := p.parseSubscripts()
+			if err != nil {
+				return nil, err
+			}
+			return &Index{Array: name, Subs: subs, Pos: pos}, nil
+		}
+		return &Ident{Name: name, Pos: pos}, nil
+	case TokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.Kind != TokRParen {
+			return nil, p.expected("')'")
+		}
+		p.next()
+		return e, nil
+	case TokMinus:
+		pos := p.tok.Pos
+		p.next()
+		x, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return &Neg{X: x, Pos: pos}, nil
+	default:
+		return nil, p.expected("expression")
+	}
+}

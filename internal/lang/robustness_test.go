@@ -1,0 +1,88 @@
+package lang
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The parser and lexer must never panic, whatever bytes arrive: they either
+// produce a program or an error.
+
+func TestParserNeverPanicsOnRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 2000; iter++ {
+		n := rng.Intn(200)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(rng.Intn(256))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on input %q: %v", b, r)
+				}
+			}()
+			_, _ = Parse(string(b))
+		}()
+	}
+}
+
+func TestParserNeverPanicsOnTokenSoup(t *testing.T) {
+	tokens := []string{
+		"for", "to", "end", "read", "program", "step", "do",
+		"i", "j", "a", "n", "42", "0", "-",
+		"=", "+", "*", "(", ")", "[", "]", ",", "\n", "#x\n",
+	}
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 3000; iter++ {
+		var b strings.Builder
+		for k := rng.Intn(40); k > 0; k-- {
+			b.WriteString(tokens[rng.Intn(len(tokens))])
+			b.WriteByte(' ')
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", b.String(), r)
+				}
+			}()
+			_, _ = Parse(b.String())
+		}()
+	}
+}
+
+func TestDeeplyNestedLoops(t *testing.T) {
+	var b strings.Builder
+	const depth = 200
+	for i := 0; i < depth; i++ {
+		b.WriteString("for i")
+		b.WriteString(strings.Repeat("x", i%3))
+		b.WriteString(" = 1 to 10\n")
+	}
+	b.WriteString("a[1] = 0\n")
+	for i := 0; i < depth; i++ {
+		b.WriteString("end\n")
+	}
+	if _, err := Parse(b.String()); err != nil {
+		t.Fatalf("deep nest: %v", err)
+	}
+}
+
+func TestLongExpression(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("a[0] = 1")
+	for i := 0; i < 5000; i++ {
+		b.WriteString(" + 1")
+	}
+	b.WriteString("\n")
+	if _, err := Parse(b.String()); err != nil {
+		t.Fatalf("long expr: %v", err)
+	}
+}
+
+func TestUnicodeGarbageRejected(t *testing.T) {
+	if _, err := Parse("для i = 1 to 10\nend\n"); err == nil {
+		t.Fatal("non-ASCII identifiers are not part of the language")
+	}
+}

@@ -1,0 +1,106 @@
+// Package lang implements a small Fortran-flavoured loop language — lexer,
+// AST, and recursive-descent parser — so the dependence analyzer consumes
+// whole programs the way the paper's SUIF implementation did. The language
+// covers exactly what the paper's problem definition needs: normalized DO
+// loops with affine bounds, multi-dimensional array assignments with affine
+// subscripts, scalar assignments (for the optimizer prepass of §2/§8), and
+// read statements introducing symbolic unknowns.
+package lang
+
+import "fmt"
+
+// TokKind enumerates token kinds.
+type TokKind int
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokFor
+	TokTo
+	TokStep
+	TokEnd
+	TokRead
+	TokProgram
+	TokAssign // =
+	TokPlus
+	TokMinus
+	TokStar
+	TokLParen
+	TokRParen
+	TokLBracket
+	TokRBracket
+	TokComma
+	TokNewline
+)
+
+func (k TokKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokIdent:
+		return "identifier"
+	case TokNumber:
+		return "number"
+	case TokFor:
+		return "'for'"
+	case TokTo:
+		return "'to'"
+	case TokStep:
+		return "'step'"
+	case TokEnd:
+		return "'end'"
+	case TokRead:
+		return "'read'"
+	case TokProgram:
+		return "'program'"
+	case TokAssign:
+		return "'='"
+	case TokPlus:
+		return "'+'"
+	case TokMinus:
+		return "'-'"
+	case TokStar:
+		return "'*'"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokLBracket:
+		return "'['"
+	case TokRBracket:
+		return "']'"
+	case TokComma:
+		return "','"
+	case TokNewline:
+		return "newline"
+	default:
+		return fmt.Sprintf("TokKind(%d)", int(k))
+	}
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexeme.
+type Token struct {
+	Kind TokKind
+	Text string
+	Num  int64 // valid for TokNumber
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent:
+		return fmt.Sprintf("identifier %q", t.Text)
+	case TokNumber:
+		return fmt.Sprintf("number %d", t.Num)
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,143 @@
+package linalg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRatBasics(t *testing.T) {
+	r := NewRat(6, -4)
+	if r.Num != -3 || r.Den != 2 {
+		t.Fatalf("NewRat(6,-4) = %v", r)
+	}
+	if RatInt(5).String() != "5" || NewRat(1, 3).String() != "1/3" {
+		t.Fatal("String formatting wrong")
+	}
+	if !RatInt(0).IsZero() || RatInt(1).IsZero() {
+		t.Fatal("IsZero wrong")
+	}
+	if RatInt(-2).Sign() != -1 || RatInt(0).Sign() != 0 || NewRat(1, 7).Sign() != 1 {
+		t.Fatal("Sign wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRat with zero denominator must panic")
+		}
+	}()
+	NewRat(1, 0)
+}
+
+func TestRatArith(t *testing.T) {
+	a, b := NewRat(1, 2), NewRat(1, 3)
+	sum, err := a.Add(b)
+	if err != nil || sum != NewRat(5, 6) {
+		t.Fatalf("1/2+1/3 = %v, %v", sum, err)
+	}
+	diff, err := a.Sub(b)
+	if err != nil || diff != NewRat(1, 6) {
+		t.Fatalf("1/2-1/3 = %v, %v", diff, err)
+	}
+	prod, err := a.Mul(b)
+	if err != nil || prod != NewRat(1, 6) {
+		t.Fatalf("1/2*1/3 = %v, %v", prod, err)
+	}
+	quot, err := a.Div(b)
+	if err != nil || quot != NewRat(3, 2) {
+		t.Fatalf("(1/2)/(1/3) = %v, %v", quot, err)
+	}
+	if _, err := a.Div(RatInt(0)); err == nil {
+		t.Fatal("division by zero must error")
+	}
+	// division by a negative keeps denominator positive
+	q, err := a.Div(NewRat(-1, 4))
+	if err != nil || q != RatInt(-2) {
+		t.Fatalf("(1/2)/(-1/4) = %v, %v", q, err)
+	}
+}
+
+func TestRatFloorCeil(t *testing.T) {
+	cases := []struct {
+		r      Rat
+		fl, ce int64
+	}{
+		{NewRat(7, 2), 3, 4},
+		{NewRat(-7, 2), -4, -3},
+		{RatInt(5), 5, 5},
+		{NewRat(1, 3), 0, 1},
+		{NewRat(-1, 3), -1, 0},
+	}
+	for _, c := range cases {
+		if c.r.Floor() != c.fl || c.r.Ceil() != c.ce {
+			t.Errorf("%v: floor=%d ceil=%d, want %d %d", c.r, c.r.Floor(), c.r.Ceil(), c.fl, c.ce)
+		}
+	}
+	if !RatInt(3).IsInt() || NewRat(3, 2).IsInt() {
+		t.Fatal("IsInt wrong")
+	}
+}
+
+func TestRatCmp(t *testing.T) {
+	c, err := NewRat(2, 3).Cmp(NewRat(3, 4))
+	if err != nil || c != -1 {
+		t.Fatalf("2/3 vs 3/4 = %d, %v", c, err)
+	}
+	c, err = NewRat(-1, 2).Cmp(NewRat(-2, 4))
+	if err != nil || c != 0 {
+		t.Fatalf("-1/2 vs -2/4 = %d, %v", c, err)
+	}
+}
+
+// Properties over random small rationals: field laws hold exactly.
+func TestRatProperties(t *testing.T) {
+	mk := func(n int16, d uint8) Rat {
+		den := int64(d%31) + 1
+		return NewRat(int64(n), den)
+	}
+	addComm := func(an int16, ad uint8, bn int16, bd uint8) bool {
+		a, b := mk(an, ad), mk(bn, bd)
+		x, err1 := a.Add(b)
+		y, err2 := b.Add(a)
+		return err1 == nil && err2 == nil && x == y
+	}
+	if err := quick.Check(addComm, nil); err != nil {
+		t.Error(err)
+	}
+	mulDistrib := func(an int16, ad uint8, bn int16, bd uint8, cn int16, cd uint8) bool {
+		a, b, c := mk(an, ad), mk(bn, bd), mk(cn, cd)
+		bc, err := b.Add(c)
+		if err != nil {
+			return true // overflow excuses
+		}
+		lhs, err := a.Mul(bc)
+		if err != nil {
+			return true
+		}
+		ab, err := a.Mul(b)
+		if err != nil {
+			return true
+		}
+		ac, err := a.Mul(c)
+		if err != nil {
+			return true
+		}
+		rhs, err := ab.Add(ac)
+		if err != nil {
+			return true
+		}
+		return lhs == rhs
+	}
+	if err := quick.Check(mulDistrib, nil); err != nil {
+		t.Error(err)
+	}
+	floorBound := func(n int16, d uint8) bool {
+		r := mk(n, d)
+		fl, ce := r.Floor(), r.Ceil()
+		// fl ≤ r ≤ ce and ce - fl ≤ 1
+		c1, _ := RatInt(fl).Cmp(r)
+		c2, _ := r.Cmp(RatInt(ce))
+		return c1 <= 0 && c2 <= 0 && ce-fl <= 1
+	}
+	if err := quick.Check(floorBound, nil); err != nil {
+		t.Error(err)
+	}
+}

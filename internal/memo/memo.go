@@ -1,0 +1,284 @@
+// Package memo implements the memoization scheme of Maydan, Hennessy & Lam
+// §5: dependence problems are canonicalized into integer vectors and cached
+// in an open hash table keyed by the paper's hash function
+//
+//	h(x) = size(x) + Σ 2^i·x_i,
+//
+// so repeated subscript/bound patterns — the overwhelming majority in real
+// programs — are tested once. Two tables are kept: one keyed on the
+// subscript equations alone (the GCD test ignores bounds) and one on the
+// full problem. The "improved" encoding first drops loop variables that
+// cannot affect the verdict (unused indices), merging cases such as the
+// paper's pair of doubly nested loops that both collapse to a single loop.
+package memo
+
+import (
+	"sort"
+
+	"exactdep/internal/system"
+)
+
+// Key is a canonical integer encoding of a dependence problem.
+type Key []int64
+
+// hash implements the paper's function: size(x) + Σ 2^i·x_i. Shifts wrap at
+// 63 bits; the table resolves residual collisions by key comparison.
+func (k Key) hash() uint64 {
+	h := uint64(len(k))
+	for i, v := range k {
+		h += uint64(v) << (uint(i) % 63)
+	}
+	return h
+}
+
+func (k Key) equal(o Key) bool {
+	if len(k) != len(o) {
+		return false
+	}
+	for i, v := range k {
+		if o[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// EncodeEq encodes only the subscript equation system (the without-bounds
+// key used for GCD memoization). With improved=true, variables that occur in
+// no equation are dropped first.
+func EncodeEq(p *system.Problem, improved bool) Key {
+	vars := keptVars(p, improved, false)
+	key := Key{int64(len(vars)), int64(p.Eq.Cols)}
+	for _, i := range vars {
+		for d := 0; d < p.Eq.Cols; d++ {
+			key = append(key, p.Eq.At(i, d))
+		}
+	}
+	for d := 0; d < p.Eq.Cols; d++ {
+		key = append(key, p.RHS[d])
+	}
+	return key
+}
+
+// EncodeFull encodes the subscript equations and the loop bounds (the
+// with-bounds key for full test results). With improved=true, unused
+// variables — indices that appear in no equation and, transitively, in no
+// used variable's bound — are eliminated along with their bounds, exactly
+// the paper's collapse of
+//
+//	for i…for j… a[i+10]=a[i]   and   for i…for j… a[j+10]=a[j]
+//
+// to the same single-loop problem.
+func EncodeFull(p *system.Problem, improved bool) Key {
+	vars := keptVars(p, improved, true)
+	pos := make(map[int]int, len(vars)) // original index → position
+	for n, i := range vars {
+		pos[i] = n
+	}
+	// Once unused variables are dropped, position alone no longer says
+	// whether a kept variable is the A-side or B-side instance of which
+	// loop, and two mirrored problems must not share cached direction
+	// vectors. Encode each variable's kind and the *rank* of its loop level
+	// among kept levels — absolute levels must stay out of the key so that
+	// the same pattern under extra unused loops still collapses.
+	levelRank := map[int]int{}
+	{
+		var lvls []int
+		seen := map[int]bool{}
+		for _, i := range vars {
+			if l := p.Vars[i].Level; l >= 0 && !seen[l] {
+				seen[l] = true
+				lvls = append(lvls, l)
+			}
+		}
+		sort.Ints(lvls)
+		for r, l := range lvls {
+			levelRank[l] = r
+		}
+	}
+	key := Key{int64(len(vars)), int64(p.Eq.Cols)}
+	for _, i := range vars {
+		rank := int64(-1)
+		if l := p.Vars[i].Level; l >= 0 {
+			rank = int64(levelRank[l])
+		}
+		key = append(key, int64(p.Vars[i].Kind), rank)
+		for d := 0; d < p.Eq.Cols; d++ {
+			key = append(key, p.Eq.At(i, d))
+		}
+	}
+	for d := 0; d < p.Eq.Cols; d++ {
+		key = append(key, p.RHS[d])
+	}
+	for _, i := range vars {
+		key = appendBound(key, p, p.Lower[i], pos)
+		key = appendBound(key, p, p.Upper[i], pos)
+	}
+	return key
+}
+
+// appendBound encodes one optional affine bound positionally: a presence
+// flag, the constant, then the coefficient of each kept variable.
+func appendBound(key Key, p *system.Problem, b system.Bound, pos map[int]int) Key {
+	if !b.Has {
+		return append(key, 0)
+	}
+	key = append(key, 1, b.Expr.Const)
+	coeffs := make([]int64, len(pos))
+	for _, v := range b.Expr.Vars() {
+		i := p.VarIndex(v)
+		if n, ok := pos[i]; ok {
+			coeffs[n] = b.Expr.Coeff(v)
+		}
+	}
+	return append(key, coeffs...)
+}
+
+// keptVars returns the variable indices retained by the encoding, in
+// canonical order. Simple scheme: all variables. Improved scheme: the
+// closure of variables used by some equation, where withBounds additionally
+// pulls in variables appearing in a used variable's bounds.
+func keptVars(p *system.Problem, improved, withBounds bool) []int {
+	n := len(p.Vars)
+	if !improved {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	used := make([]bool, n)
+	for i := 0; i < n; i++ {
+		for d := 0; d < p.Eq.Cols; d++ {
+			if p.Eq.At(i, d) != 0 {
+				used[i] = true
+				break
+			}
+		}
+	}
+	if withBounds {
+		for changed := true; changed; {
+			changed = false
+			for i := 0; i < n; i++ {
+				if !used[i] {
+					continue
+				}
+				for _, b := range []system.Bound{p.Lower[i], p.Upper[i]} {
+					if !b.Has {
+						continue
+					}
+					for _, v := range b.Expr.Vars() {
+						j := p.VarIndex(v)
+						if j >= 0 && !used[j] {
+							used[j] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+	var out []int
+	for i := 0; i < n; i++ {
+		if used[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Table is an open-addressing hash table from Key to V using the paper's
+// hash function with linear probing.
+type Table[V any] struct {
+	keys    []Key
+	vals    []V
+	n       int
+	lookups int
+	hits    int
+}
+
+const initialBuckets = 64
+
+// NewTable returns an empty table.
+func NewTable[V any]() *Table[V] {
+	return &Table[V]{keys: make([]Key, initialBuckets), vals: make([]V, initialBuckets)}
+}
+
+// Lookup returns the cached value for k.
+func (t *Table[V]) Lookup(k Key) (V, bool) {
+	t.lookups++
+	mask := uint64(len(t.keys) - 1)
+	for i := k.hash() & mask; ; i = (i + 1) & mask {
+		if t.keys[i] == nil {
+			var zero V
+			return zero, false
+		}
+		if t.keys[i].equal(k) {
+			t.hits++
+			return t.vals[i], true
+		}
+	}
+}
+
+// Insert stores v under k (overwriting an existing entry).
+func (t *Table[V]) Insert(k Key, v V) {
+	if (t.n+1)*4 > len(t.keys)*3 { // keep load factor ≤ 3/4
+		t.grow()
+	}
+	mask := uint64(len(t.keys) - 1)
+	for i := k.hash() & mask; ; i = (i + 1) & mask {
+		if t.keys[i] == nil {
+			t.keys[i] = k
+			t.vals[i] = v
+			t.n++
+			return
+		}
+		if t.keys[i].equal(k) {
+			t.vals[i] = v
+			return
+		}
+	}
+}
+
+func (t *Table[V]) grow() {
+	oldK, oldV := t.keys, t.vals
+	t.keys = make([]Key, len(oldK)*2)
+	t.vals = make([]V, len(oldV)*2)
+	t.n = 0
+	for i, k := range oldK {
+		if k != nil {
+			t.reinsert(k, oldV[i])
+		}
+	}
+}
+
+func (t *Table[V]) reinsert(k Key, v V) {
+	mask := uint64(len(t.keys) - 1)
+	for i := k.hash() & mask; ; i = (i + 1) & mask {
+		if t.keys[i] == nil {
+			t.keys[i] = k
+			t.vals[i] = v
+			t.n++
+			return
+		}
+	}
+}
+
+// Len returns the number of unique entries.
+func (t *Table[V]) Len() int { return t.n }
+
+// Stats returns lookup and hit counts.
+func (t *Table[V]) Stats() (lookups, hits int) { return t.lookups, t.hits }
+
+// Range calls f for every entry until f returns false. Iteration order is
+// the table's bucket order (deterministic for a given insert history).
+func (t *Table[V]) Range(f func(Key, V) bool) {
+	for i, k := range t.keys {
+		if k == nil {
+			continue
+		}
+		if !f(k, t.vals[i]) {
+			return
+		}
+	}
+}

@@ -1,0 +1,310 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"exactdep/internal/ir"
+	"exactdep/internal/lang"
+)
+
+func lower(t *testing.T, src string) *ir.Unit {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Lower(prog)
+}
+
+// site finds the n-th site of the unit (0-based) and fails on overflow.
+func site(t *testing.T, u *ir.Unit, n int) ir.Site {
+	t.Helper()
+	if n >= len(u.Sites) {
+		t.Fatalf("unit has %d sites, wanted index %d", len(u.Sites), n)
+	}
+	return u.Sites[n]
+}
+
+func TestLowerSimpleLoop(t *testing.T) {
+	u := lower(t, `
+for i = 1 to 10
+  a[i+10] = a[i] + 3
+end
+`)
+	if len(u.Sites) != 2 {
+		t.Fatalf("sites = %d (%v)", len(u.Sites), u.Sites)
+	}
+	// the write site is emitted before the reads of the same statement
+	wr, rd := site(t, u, 0), site(t, u, 1)
+	if rd.Ref.Kind != ir.Read || wr.Ref.Kind != ir.Write {
+		t.Fatalf("kinds = %v, %v", rd.Ref.Kind, wr.Ref.Kind)
+	}
+	if wr.Ref.Subscripts[0].String() != "i + 10" {
+		t.Fatalf("write sub = %s", wr.Ref.Subscripts[0])
+	}
+	if len(wr.Loops) != 1 || wr.Loops[0].Index != "i" {
+		t.Fatalf("loops = %v", wr.Loops)
+	}
+	if wr.Loops[0].Lower.Const != 1 || wr.Loops[0].Upper.Const != 10 {
+		t.Fatalf("bounds = %v", wr.Loops[0])
+	}
+	if len(u.Warnings) != 0 {
+		t.Fatalf("warnings: %v", u.Warnings)
+	}
+}
+
+func TestConstantPropagation(t *testing.T) {
+	// paper §8: n = 100 … a[iz+n] etc. constants must fold into subscripts.
+	u := lower(t, `
+n = 100
+for i = 1 to 10
+  a[i+n] = a[i+2*n+1] + 3
+end
+`)
+	wr := u.Sites[0]
+	if got := wr.Ref.Subscripts[0].String(); got != "i + 100" {
+		t.Fatalf("write sub = %s, want i + 100", got)
+	}
+	rd := u.Sites[1]
+	if got := rd.Ref.Subscripts[0].String(); got != "i + 201" {
+		t.Fatalf("read sub = %s, want i + 201", got)
+	}
+	if len(u.Symbols) != 0 {
+		t.Fatalf("no symbols expected, got %v", u.Symbols)
+	}
+}
+
+func TestInductionVariableSubstitution(t *testing.T) {
+	// The paper's §8 example: iz = 0; for i { iz = iz+2; a[iz+n] = … } with
+	// n = 100 becomes a[2i+100] = a[2i+201].
+	u := lower(t, `
+n = 100
+iz = 0
+for i = 1 to 10
+  iz = iz + 2
+  a[iz+n] = a[iz+2*n+1] + 3
+end
+`)
+	if len(u.Sites) != 2 {
+		t.Fatalf("sites = %d, warnings = %v", len(u.Sites), u.Warnings)
+	}
+	wr := u.Sites[0]
+	// iz after increment in iteration i (lo=1): 0 + 2(i-1) + 2 = 2i
+	if got := wr.Ref.Subscripts[0].String(); got != "2*i + 100" {
+		t.Fatalf("write sub = %s, want 2*i + 100", got)
+	}
+	rd := u.Sites[1]
+	if got := rd.Ref.Subscripts[0].String(); got != "2*i + 201" {
+		t.Fatalf("read sub = %s, want 2*i + 201", got)
+	}
+}
+
+func TestForwardSubstitution(t *testing.T) {
+	u := lower(t, `
+for i = 1 to 10
+  k = 2*i + 1
+  a[k] = a[k-1]
+end
+`)
+	wr := u.Sites[0]
+	if got := wr.Ref.Subscripts[0].String(); got != "2*i + 1" {
+		t.Fatalf("write sub = %s", got)
+	}
+	rd := u.Sites[1]
+	if got := rd.Ref.Subscripts[0].String(); got != "2*i" {
+		t.Fatalf("read sub = %s", got)
+	}
+}
+
+func TestReadIntroducesSymbol(t *testing.T) {
+	// paper §8: read(n); for i = 1 to 10 { a[i+n] = a[i+2n+1]+3 }.
+	u := lower(t, `
+read(n)
+for i = 1 to 10
+  a[i+n] = a[i+2*n+1] + 3
+end
+`)
+	if len(u.Symbols) != 1 || u.Symbols[0] != "n" {
+		t.Fatalf("symbols = %v", u.Symbols)
+	}
+	wr := u.Sites[0]
+	if got := wr.Ref.Subscripts[0].String(); got != "i + n" {
+		t.Fatalf("write sub = %s", got)
+	}
+}
+
+func TestUndefinedScalarBecomesSymbol(t *testing.T) {
+	u := lower(t, `
+for i = 1 to m
+  a[i] = a[i+1]
+end
+`)
+	if len(u.Symbols) != 1 || u.Symbols[0] != "m" {
+		t.Fatalf("symbols = %v", u.Symbols)
+	}
+	if u.Sites[0].Loops[0].NoUpper {
+		t.Fatal("symbolic upper bound must stay affine (m)")
+	}
+	if got := u.Sites[0].Loops[0].Upper.String(); got != "m" {
+		t.Fatalf("upper = %s", got)
+	}
+}
+
+func TestNonAffineSubscriptSkipped(t *testing.T) {
+	u := lower(t, `
+for i = 1 to 10
+  a[i*i] = 1
+end
+`)
+	if len(u.Sites) != 0 {
+		t.Fatalf("non-affine ref must be skipped: %v", u.Sites)
+	}
+	if len(u.Warnings) == 0 || !strings.Contains(u.Warnings[0], "non-affine subscript") {
+		t.Fatalf("warnings = %v", u.Warnings)
+	}
+}
+
+func TestArrayValuedScalarUnknown(t *testing.T) {
+	// x = a[i] is not affine; a later use in a subscript must be skipped,
+	// but the read of a[i] itself is still a site.
+	u := lower(t, `
+for i = 1 to 10
+  x = a[i]
+  b[x] = 0
+end
+`)
+	if len(u.Sites) != 1 || u.Sites[0].Ref.Array != "a" {
+		t.Fatalf("sites = %v", u.Sites)
+	}
+	if len(u.Warnings) == 0 {
+		t.Fatal("expected warning for b[x]")
+	}
+}
+
+func TestNestedLoopsAndSiblings(t *testing.T) {
+	u := lower(t, `
+for i = 1 to 10
+  for j = 1 to 10
+    a[i][j] = 1
+  end
+  for k = 1 to 10
+    a[i][k] = 2
+  end
+end
+`)
+	if len(u.Sites) != 2 {
+		t.Fatalf("sites = %d", len(u.Sites))
+	}
+	s1, s2 := u.Sites[0], u.Sites[1]
+	if len(s1.Loops) != 2 || len(s2.Loops) != 2 {
+		t.Fatalf("loop stacks: %d, %d", len(s1.Loops), len(s2.Loops))
+	}
+	if s1.Loops[1].Index != "j" || s2.Loops[1].Index != "k" {
+		t.Fatalf("sibling stacks wrong: %v / %v", s1.Loops, s2.Loops)
+	}
+}
+
+func TestTriangularBoundsLowered(t *testing.T) {
+	u := lower(t, `
+for i = 1 to 10
+  for j = i to 2*i
+    a[j] = a[j-1]
+  end
+end
+`)
+	inner := u.Sites[0].Loops[1]
+	if inner.Lower.String() != "i" || inner.Upper.String() != "2*i" {
+		t.Fatalf("inner bounds = %v .. %v", inner.Lower, inner.Upper)
+	}
+}
+
+func TestScalarKilledAfterLoop(t *testing.T) {
+	// k is assigned inside the loop; a use after the loop is not affine.
+	u := lower(t, `
+for i = 1 to 10
+  k = i
+  a[k] = 0
+end
+b[k] = 1
+`)
+	// a[k] inside is affine (k = i); b[k] outside must be skipped
+	if len(u.Sites) != 1 {
+		t.Fatalf("sites = %v, warnings = %v", u.Sites, u.Warnings)
+	}
+	if len(u.Warnings) == 0 {
+		t.Fatal("expected warning for stale k")
+	}
+}
+
+func TestLoopIndexShadowRestored(t *testing.T) {
+	u := lower(t, `
+i = 5
+for i = 1 to 10
+  a[i] = 0
+end
+b[i] = 0
+`)
+	// after the loop the old binding i=5 is restored... our semantics: the
+	// loop index shadows; outer i had value 5 and is restored.
+	if len(u.Sites) != 2 {
+		t.Fatalf("sites = %d, warnings = %v", len(u.Sites), u.Warnings)
+	}
+	if got := u.Sites[1].Ref.Subscripts[0].String(); got != "5" {
+		t.Fatalf("b sub = %s, want restored constant 5", got)
+	}
+}
+
+func TestMultipleIncrementsNotInduction(t *testing.T) {
+	// two increments → not a recognized induction → subscripts skipped
+	u := lower(t, `
+iz = 0
+for i = 1 to 10
+  iz = iz + 1
+  iz = iz + 1
+  a[iz] = 0
+end
+`)
+	if len(u.Sites) != 0 {
+		t.Fatalf("double-increment must not be substituted: %v", u.Sites)
+	}
+}
+
+func TestNonConstantStepNotInduction(t *testing.T) {
+	u := lower(t, `
+iz = 0
+for i = 1 to 10
+  iz = iz + i
+  a[iz] = 0
+end
+`)
+	if len(u.Sites) != 0 {
+		t.Fatalf("non-constant step must not be substituted: %v", u.Sites)
+	}
+}
+
+func TestNegativeStepInduction(t *testing.T) {
+	u := lower(t, `
+iz = 100
+for i = 1 to 10
+  iz = iz - 3
+  a[iz] = 0
+end
+`)
+	if len(u.Sites) != 1 {
+		t.Fatalf("sites = %v warnings = %v", u.Sites, u.Warnings)
+	}
+	if got := u.Sites[0].Ref.Subscripts[0].String(); got != "-3*i + 100" {
+		t.Fatalf("sub = %s, want -3*i + 100", got)
+	}
+}
+
+func TestUnitName(t *testing.T) {
+	u := lower(t, "program hello\na[1] = 0\n")
+	if u.Name != "hello" {
+		t.Fatalf("name = %q", u.Name)
+	}
+	if u.Sites[0].Ref.Depth != 0 || len(u.Sites[0].Loops) != 0 {
+		t.Fatal("top-level ref must have empty loop stack")
+	}
+}

@@ -1,0 +1,239 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"exactdep/internal/core"
+	"exactdep/internal/dtest"
+	"exactdep/internal/lang"
+	"exactdep/internal/refs"
+)
+
+func TestStepNormalization(t *testing.T) {
+	// for i = 1 to 9 step 2 { a[i] = … }: i ∈ {1,3,5,7,9} normalizes to
+	// i = 1 + 2·i' with i' ∈ 0..4.
+	u := lower(t, `
+for i = 1 to 9 step 2
+  a[i] = 0
+end
+`)
+	if len(u.Warnings) != 0 {
+		t.Fatalf("warnings: %v", u.Warnings)
+	}
+	if len(u.Sites) != 1 {
+		t.Fatalf("sites: %v", u.Sites)
+	}
+	site := u.Sites[0]
+	if len(site.Loops) != 1 {
+		t.Fatalf("loops: %v", site.Loops)
+	}
+	l := site.Loops[0]
+	if l.Lower.Const != 0 || l.Upper.Const != 4 || l.NoUpper {
+		t.Fatalf("normalized bounds: %v", l)
+	}
+	// subscript must be 2·i' + 1 over the normalized counter
+	sub := site.Ref.Subscripts[0]
+	if sub.Const != 1 || sub.Coeff(l.Index) != 2 {
+		t.Fatalf("subscript = %v over %q", sub, l.Index)
+	}
+}
+
+func TestStepCommaSyntax(t *testing.T) {
+	// Fortran flavour: do i = 1, 10, 3
+	u := lower(t, "do i = 1, 10, 3\n  a[i] = 0\nend\n")
+	l := u.Sites[0].Loops[0]
+	if l.Upper.Const != 3 { // i ∈ {1,4,7,10}: 4 iterations, i' ≤ 3
+		t.Fatalf("trip bound = %v", l.Upper)
+	}
+}
+
+func TestNegativeStep(t *testing.T) {
+	// for i = 10 to 1 step -3: i ∈ {10,7,4,1}: 4 iterations.
+	u := lower(t, "for i = 10 to 1 step -3\n  a[i] = 0\nend\n")
+	l := u.Sites[0].Loops[0]
+	if l.Upper.Const != 3 {
+		t.Fatalf("trip bound = %v", l.Upper)
+	}
+	sub := u.Sites[0].Ref.Subscripts[0]
+	if sub.Const != 10 || sub.Coeff(l.Index) != -3 {
+		t.Fatalf("subscript = %v", sub)
+	}
+}
+
+func TestZeroStepDegrades(t *testing.T) {
+	u := lower(t, "for i = 1 to 10 step 0\n  a[i] = 0\nend\n")
+	if len(u.Warnings) == 0 {
+		t.Fatal("zero step must warn")
+	}
+	if len(u.Sites) != 0 {
+		t.Fatalf("refs using an unknown index must be skipped: %v", u.Sites)
+	}
+}
+
+func TestSymbolicStepDegrades(t *testing.T) {
+	u := lower(t, `
+read(s)
+for i = 1 to 10 step s
+  a[i] = 0
+  b[5] = 1
+end
+`)
+	if len(u.Warnings) == 0 {
+		t.Fatal("symbolic step must warn")
+	}
+	// b[5] does not use i: it must survive
+	found := false
+	for _, s := range u.Sites {
+		if s.Ref.Array == "b" {
+			found = true
+		}
+		if s.Ref.Array == "a" {
+			t.Fatalf("a[i] must be skipped with unknown index: %v", s)
+		}
+	}
+	if !found {
+		t.Fatal("index-free reference must survive an opaque loop")
+	}
+}
+
+func TestSymbolicBoundsWithStep(t *testing.T) {
+	// for i = 1 to n step 2: trip count ⌊(n-1)/2⌋ is not affine → upper
+	// bound dropped, but the subscript mapping 2i'+1 is still exact.
+	u := lower(t, `
+read(n)
+for i = 1 to n step 2
+  a[i] = a[i+2]
+end
+`)
+	l := u.Sites[0].Loops[0]
+	if !l.NoUpper {
+		t.Fatalf("non-divisible symbolic trip count must drop the bound: %v", l)
+	}
+	if u.Sites[0].Ref.Subscripts[0].Coeff(l.Index) != 2 {
+		t.Fatalf("subscript mapping lost: %v", u.Sites[0].Ref.Subscripts[0])
+	}
+}
+
+func TestDivisibleSymbolicTrip(t *testing.T) {
+	// for i = 0 to 2*n step 2: trip count (2n-0)/2 = n is affine.
+	u := lower(t, `
+read(n)
+for i = 0 to 2*n step 2
+  a[i] = 0
+end
+`)
+	l := u.Sites[0].Loops[0]
+	if l.NoUpper || l.Upper.Coeff("n") != 1 || l.Upper.Const != 0 {
+		t.Fatalf("divisible symbolic trip bound = %v (NoUpper=%v)", l.Upper, l.NoUpper)
+	}
+}
+
+func TestSteppedLoopDependence(t *testing.T) {
+	// Classic: for i = 0 to 100 step 2 { a[i] = a[i+1] }: even writes never
+	// meet odd reads → independent via GCD after normalization.
+	src := `
+for i = 0 to 100 step 2
+  a[i] = a[i+1]
+end
+`
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := Lower(prog)
+	a := core.New(core.Options{})
+	for _, c := range refs.PairsOpts(u, refs.Options{NoSelfPairs: true}) {
+		res, err := a.AnalyzeCandidate(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outcome != dtest.Independent {
+			t.Fatalf("stride-2 parity pair must be independent: %+v", res)
+		}
+	}
+
+	// And the dependent flavour: a[i] = a[i-2] along the same stride.
+	src = `
+for i = 0 to 100 step 2
+  a[i] = a[i-2]
+end
+`
+	prog, err = lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u = Lower(prog)
+	a = core.New(core.Options{DirectionVectors: true, PruneDistance: true, PruneUnused: true})
+	for _, c := range refs.PairsOpts(u, refs.Options{NoSelfPairs: true}) {
+		res, err := a.AnalyzeCandidate(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outcome != dtest.Dependent {
+			t.Fatalf("stride-2 chain must be dependent: %+v", res)
+		}
+		// distance in normalized iterations is 1
+		if len(res.Distances) != 1 || res.Distances[0].Value != 1 {
+			t.Fatalf("normalized distance = %v", res.Distances)
+		}
+	}
+}
+
+func TestInductionInsideSteppedLoop(t *testing.T) {
+	// induction variable with the loop counter normalized: iz advances 3
+	// per iteration of the stride-2 loop.
+	u := lower(t, `
+iz = 0
+for i = 0 to 10 step 2
+  iz = iz + 3
+  a[iz] = 0
+end
+`)
+	if len(u.Sites) != 1 {
+		t.Fatalf("sites = %v warnings = %v", u.Sites, u.Warnings)
+	}
+	sub := u.Sites[0].Ref.Subscripts[0]
+	l := u.Sites[0].Loops[0]
+	// after the k-th iteration's increment: iz = 3(k+1) = 3·i' + 3
+	if sub.Coeff(l.Index) != 3 || sub.Const != 3 {
+		t.Fatalf("induction closed form = %v", sub)
+	}
+}
+
+func TestStepStringRoundTrip(t *testing.T) {
+	prog, err := lang.Parse("for i = 1 to 9 step 2\n  a[i] = 0\nend\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prog.String(), "step 2") {
+		t.Fatalf("rendering lost the step:\n%s", prog)
+	}
+	if _, err := lang.Parse(prog.String()); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+}
+
+func TestStepExpressionConstantFolding(t *testing.T) {
+	// step expressions fold through constOf: 1+1, -(2), 2*2, and a
+	// propagated scalar all work.
+	for _, c := range []struct {
+		src  string
+		trip int64 // expected normalized upper bound
+	}{
+		{"for i = 0 to 8 step 1+1\n  a[i] = 0\nend\n", 4},
+		{"for i = 8 to 0 step -(2)\n  a[i] = 0\nend\n", 4},
+		{"for i = 0 to 8 step 2*2\n  a[i] = 0\nend\n", 2},
+		{"s = 3\nfor i = 0 to 9 step s\n  a[i] = 0\nend\n", 3},
+		{"s = 5\nfor i = 0 to 9 step s - 2\n  a[i] = 0\nend\n", 3},
+	} {
+		u := lower(t, c.src)
+		if len(u.Sites) != 1 {
+			t.Fatalf("%q: sites = %v, warnings = %v", c.src, u.Sites, u.Warnings)
+		}
+		l := u.Sites[0].Loops[0]
+		if l.NoUpper || l.Upper.Const != c.trip {
+			t.Fatalf("%q: trip bound = %v (NoUpper=%v), want %d", c.src, l.Upper, l.NoUpper, c.trip)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package parallel
+
+import (
+	"fmt"
+	"strings"
+
+	"exactdep/internal/ir"
+	"exactdep/internal/lang"
+)
+
+// AnnotateSource re-renders a parsed program with every parallelizable loop
+// marked `parfor` — the output a parallelizing source-to-source compiler
+// would produce. Loops are matched to the report by the lowerer's pre-order
+// numbering (the lowerer assigns loop IDs 1, 2, … as it encounters loops).
+// Use AnnotateSourceUnit to additionally emit private(...) clauses.
+func AnnotateSource(prog *lang.Program, rep *Report) string {
+	return AnnotateSourceUnit(prog, rep, nil)
+}
+
+// AnnotateSourceUnit is AnnotateSource with access to the lowered unit's
+// scalar classification: parallel loops list their privatizable scalars.
+func AnnotateSourceUnit(prog *lang.Program, rep *Report, unit *ir.Unit) string {
+	parallelIDs := map[int]bool{}
+	for _, l := range rep.Loops {
+		if l.Parallel {
+			parallelIDs[l.ID] = true
+		}
+	}
+	var b strings.Builder
+	if prog.Name != "" {
+		fmt.Fprintf(&b, "program %s\n", prog.Name)
+	}
+	id := 0
+	var render func(ss []lang.Stmt, indent string)
+	render = func(ss []lang.Stmt, indent string) {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *lang.For:
+				id++
+				kw := "for"
+				suffix := ""
+				if parallelIDs[id] {
+					kw = "parfor"
+					if unit != nil && len(unit.ScalarPrivate[id]) > 0 {
+						suffix = "  # private(" + strings.Join(unit.ScalarPrivate[id], ", ") + ")"
+					}
+				}
+				if s.Step != nil {
+					fmt.Fprintf(&b, "%s%s %s = %s to %s step %s%s\n", indent, kw, s.Index, s.Lo, s.Hi, s.Step, suffix)
+				} else {
+					fmt.Fprintf(&b, "%s%s %s = %s to %s%s\n", indent, kw, s.Index, s.Lo, s.Hi, suffix)
+				}
+				render(s.Body, indent+"  ")
+				fmt.Fprintf(&b, "%send\n", indent)
+			default:
+				fmt.Fprintf(&b, "%s%s\n", indent, s)
+			}
+		}
+	}
+	render(prog.Stmts, "")
+	return b.String()
+}

@@ -1,0 +1,168 @@
+// Package parallel derives loop-level parallelism from dependence direction
+// vectors — the application that motivates the paper's introduction: a loop
+// can run its iterations concurrently iff no dependence is carried by it.
+// A dependence with direction vector ψ is carried by the outermost level k
+// whose component is not '=' ; if that component is '<' (or '>'), the two
+// iterations conflict across different iterations of loop k, serializing it.
+package parallel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"exactdep/internal/core"
+	"exactdep/internal/depvec"
+	"exactdep/internal/dtest"
+	"exactdep/internal/ir"
+)
+
+// LoopInfo is the parallelism verdict for one loop.
+type LoopInfo struct {
+	// Index is the loop's index variable name; Level its nesting depth
+	// within its stack (0 = outermost); ID the syntactic loop identity.
+	Index string
+	Level int
+	ID    int
+	// Parallel is true when no dependence is carried by the loop.
+	Parallel bool
+	// Carried lists, for a serial loop, the dependences carried by it.
+	Carried []Carrier
+}
+
+// Carrier describes one dependence carried by a loop: either an array
+// dependence with its direction vector, or a loop-carried scalar (Scalar
+// non-empty), e.g. the accumulator of a reduction.
+type Carrier struct {
+	Pair      ir.Pair
+	Vector    depvec.Vector
+	Direction depvec.Direction
+	Scalar    string
+}
+
+// Report summarizes the parallelism of every loop in a unit.
+type Report struct {
+	Loops []LoopInfo
+}
+
+// String renders the report, outermost loops first.
+func (r *Report) String() string {
+	var b strings.Builder
+	for _, l := range r.Loops {
+		verdict := "PARALLEL"
+		if !l.Parallel {
+			verdict = "serial"
+		}
+		fmt.Fprintf(&b, "%sloop %s: %s\n", strings.Repeat("  ", l.Level), l.Index, verdict)
+		for _, c := range l.Carried {
+			if c.Scalar != "" {
+				fmt.Fprintf(&b, "%s  carried: scalar %s\n", strings.Repeat("  ", l.Level), c.Scalar)
+				continue
+			}
+			fmt.Fprintf(&b, "%s  carried: %s vs %s %s\n",
+				strings.Repeat("  ", l.Level), c.Pair.A.Ref, c.Pair.B.Ref, c.Vector)
+		}
+	}
+	return b.String()
+}
+
+// Analyze runs the dependence analyzer over the unit (with direction
+// vectors) and classifies every loop. The analyzer options are forced to
+// compute direction vectors.
+func Analyze(u *ir.Unit, opts core.Options) (*Report, error) {
+	opts.DirectionVectors = true
+	a := core.New(opts)
+	results, err := a.AnalyzeUnit(u)
+	if err != nil {
+		return nil, err
+	}
+	return FromResults(u, results), nil
+}
+
+// FromResults builds the report from precomputed per-pair results.
+func FromResults(u *ir.Unit, results []core.Result) *Report {
+	// Collect every distinct loop in the unit.
+	type key struct {
+		id    int
+		index string
+		level int
+	}
+	loops := map[key]*LoopInfo{}
+	order := []key{}
+	for _, site := range u.Sites {
+		for lvl, l := range site.Loops {
+			k := key{id: l.ID, index: l.Index, level: lvl}
+			if _, ok := loops[k]; !ok {
+				loops[k] = &LoopInfo{Index: l.Index, Level: lvl, ID: l.ID, Parallel: true}
+				order = append(order, k)
+			}
+		}
+	}
+
+	for _, res := range results {
+		if res.Outcome == dtest.Independent {
+			continue
+		}
+		common := res.Pair.Common
+		vectors := res.Vectors
+		if len(vectors) == 0 && common > 0 {
+			// No direction information (e.g. direction vectors disabled or
+			// an inexact verdict): conservatively mark every common loop as
+			// carrying the dependence.
+			all := make(depvec.Vector, common)
+			for i := range all {
+				all[i] = depvec.Any
+			}
+			vectors = []depvec.Vector{all}
+		}
+		for _, v := range vectors {
+			lvl, dir := carrierLevel(v)
+			if lvl < 0 || lvl >= common || lvl >= len(res.Pair.A.Loops) {
+				continue // loop-independent dependence ('=...=') carries nothing
+			}
+			l := res.Pair.A.Loops[lvl]
+			k := key{id: l.ID, index: l.Index, level: lvl}
+			info, ok := loops[k]
+			if !ok {
+				info = &LoopInfo{Index: l.Index, Level: lvl, ID: l.ID, Parallel: true}
+				loops[k] = info
+				order = append(order, k)
+			}
+			info.Parallel = false
+			info.Carried = append(info.Carried, Carrier{Pair: res.Pair, Vector: v, Direction: dir})
+		}
+	}
+
+	// Loop-carried scalars (reductions, accumulators) serialize their loop
+	// regardless of array dependences.
+	for k, info := range loops {
+		for _, name := range u.ScalarCarried[k.id] {
+			info.Parallel = false
+			info.Carried = append(info.Carried, Carrier{Scalar: name})
+		}
+	}
+
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].level != order[j].level {
+			return order[i].level < order[j].level
+		}
+		return order[i].id < order[j].id
+	})
+	rep := &Report{}
+	for _, k := range order {
+		rep.Loops = append(rep.Loops, *loops[k])
+	}
+	return rep
+}
+
+// carrierLevel returns the outermost non-'=' level of the vector, or -1 for
+// an all-'=' (loop-independent) dependence. A '*' component may hide any
+// direction, so it carries conservatively.
+func carrierLevel(v depvec.Vector) (int, depvec.Direction) {
+	for i, d := range v {
+		if d != depvec.Equal {
+			return i, d
+		}
+	}
+	return -1, depvec.Equal
+}

@@ -1,0 +1,127 @@
+package parallel
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"exactdep/internal/core"
+	"exactdep/internal/interp"
+	"exactdep/internal/lang"
+	"exactdep/internal/opt"
+)
+
+// Execution-order validation of the parallelism verdicts: a loop whose
+// iterations can run concurrently must in particular give identical results
+// when run in reverse. For every random program, each top-level loop the
+// report marks PARALLEL is reversed (for i = hi to lo step -1) and the
+// final memories compared. A wrong "parallel" verdict — from the analyzer,
+// the carrier logic, or the scalar-carried detection — shows up as a
+// divergence. (The converse is not checked: commutative reductions are
+// reversal-invariant yet serial.)
+
+func genFlatProgram(rng *rand.Rand) string {
+	var b strings.Builder
+	arrays := []string{"a", "b", "c"}
+	nloops := 1 + rng.Intn(2)
+	for l := 0; l < nloops; l++ {
+		lo := 1 + rng.Intn(2)
+		hi := lo + 4 + rng.Intn(8)
+		fmt.Fprintf(&b, "for i = %d to %d\n", lo, hi)
+		if rng.Intn(4) == 0 {
+			// possible reduction
+			fmt.Fprintf(&b, "  s%d = s%d + %d\n", l, l, 1+rng.Intn(3))
+		}
+		for s := 0; s < 1+rng.Intn(3); s++ {
+			w := arrays[rng.Intn(len(arrays))]
+			r := arrays[rng.Intn(len(arrays))]
+			fmt.Fprintf(&b, "  %s[i+%d] = %s[i+%d] + %d\n",
+				w, rng.Intn(3)-1, r, rng.Intn(3)-1, s+1)
+		}
+		b.WriteString("end\n")
+	}
+	return "s0 = 0\ns1 = 0\n" + b.String()
+}
+
+// reverseLoop returns the program with the n-th top-level loop reversed.
+func reverseLoop(prog *lang.Program, n int) *lang.Program {
+	out := &lang.Program{Name: prog.Name}
+	seen := 0
+	for _, st := range prog.Stmts {
+		f, ok := st.(*lang.For)
+		if !ok {
+			out.Stmts = append(out.Stmts, st)
+			continue
+		}
+		seen++
+		if seen != n {
+			out.Stmts = append(out.Stmts, st)
+			continue
+		}
+		rev := &lang.For{
+			Index: f.Index,
+			Lo:    f.Hi,
+			Hi:    f.Lo,
+			Step:  &lang.Num{Value: -1},
+			Body:  f.Body,
+			Pos:   f.Pos,
+		}
+		out.Stmts = append(out.Stmts, rev)
+	}
+	return out
+}
+
+func TestParallelVerdictsSurviveReversal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	validated := 0
+	for iter := 0; iter < 500; iter++ {
+		src := genFlatProgram(rng)
+		prog, err := lang.Parse(src)
+		if err != nil {
+			t.Fatalf("iter %d: %v\n%s", iter, err, src)
+		}
+		unit := opt.Lower(prog)
+		if len(unit.Warnings) > 0 {
+			continue
+		}
+		rep, err := Analyze(unit, core.Options{PruneUnused: true, PruneDistance: true})
+		if err != nil {
+			t.Fatalf("iter %d: %v\n%s", iter, err, src)
+		}
+		base, err := interp.Run(prog, nil, interp.Limits{})
+		if err != nil {
+			t.Fatalf("iter %d: %v\n%s", iter, err, src)
+		}
+		// The report's loops are numbered by the lowerer's pre-order, which
+		// for a flat program is the top-level loop order.
+		loopNo := 0
+		for _, st := range prog.Stmts {
+			if _, ok := st.(*lang.For); !ok {
+				continue
+			}
+			loopNo++
+			var info *LoopInfo
+			for i := range rep.Loops {
+				if rep.Loops[i].ID == loopNo {
+					info = &rep.Loops[i]
+				}
+			}
+			if info == nil || !info.Parallel {
+				continue
+			}
+			validated++
+			revTrace, err := interp.Run(reverseLoop(prog, loopNo), nil, interp.Limits{})
+			if err != nil {
+				t.Fatalf("iter %d: %v\n%s", iter, err, src)
+			}
+			if !base.FinalEqual(revTrace) {
+				t.Fatalf("iter %d: loop %d marked PARALLEL but reversal changes results\n%s\nreport:\n%s",
+					iter, loopNo, src, rep)
+			}
+		}
+	}
+	if validated < 100 {
+		t.Fatalf("only %d parallel loops validated — generator drifted", validated)
+	}
+}

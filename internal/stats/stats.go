@@ -1,0 +1,91 @@
+// Package stats collects the counters the paper's evaluation reports:
+// per-test application counts (Table 1), memoization uniqueness (Tables
+// 2–3), direction-vector test counts (Tables 4, 5, 7), and verdict tallies
+// (§7's accuracy comparison).
+package stats
+
+import "exactdep/internal/dtest"
+
+// numKinds sizes the per-test arrays (indexed by dtest.Kind).
+const numKinds = int(dtest.KindFourierMotzkin) + 1
+
+// Counters accumulates analysis statistics for one program (or a whole
+// suite when merged).
+type Counters struct {
+	// Pairs is the number of candidate pairs examined.
+	Pairs int
+	// Constant counts pairs handled without testing (Table 1 column 1).
+	Constant int
+	// GCDIndependent counts pairs rejected by Extended GCD alone (column 2).
+	GCDIndependent int
+	// Tests counts the deciding test of each base cascade run, indexed by
+	// dtest.Kind (Table 1 columns 3–6).
+	Tests [numKinds]int
+	// DirTests counts every cascade invocation during direction-vector
+	// refinement, indexed by dtest.Kind (Tables 4, 5, 7).
+	DirTests [numKinds]int
+	// TestIndependent counts, per kind, how often the direction-vector
+	// cascade invocations returned independent (§7's per-test yields).
+	TestIndependent [numKinds]int
+
+	// Memoization.
+	FullLookups, FullHits int // with-bounds table
+	EqLookups, EqHits     int // without-bounds (GCD) table
+	UniqueFull, UniqueEq  int
+
+	// Verdicts.
+	Independent int
+	Dependent   int
+	Unknown     int
+	ImplicitBB  int
+	// Vectors is the total number of dependence direction vectors found.
+	Vectors int
+}
+
+// Add merges other into c.
+func (c *Counters) Add(o *Counters) {
+	c.Pairs += o.Pairs
+	c.Constant += o.Constant
+	c.GCDIndependent += o.GCDIndependent
+	for i := range c.Tests {
+		c.Tests[i] += o.Tests[i]
+		c.DirTests[i] += o.DirTests[i]
+		c.TestIndependent[i] += o.TestIndependent[i]
+	}
+	c.FullLookups += o.FullLookups
+	c.FullHits += o.FullHits
+	c.EqLookups += o.EqLookups
+	c.EqHits += o.EqHits
+	c.UniqueFull += o.UniqueFull
+	c.UniqueEq += o.UniqueEq
+	c.Independent += o.Independent
+	c.Dependent += o.Dependent
+	c.Unknown += o.Unknown
+	c.ImplicitBB += o.ImplicitBB
+	c.Vectors += o.Vectors
+}
+
+// TotalTests is the number of base cascade applications (Table 1 columns
+// 3–6 summed; the paper's 5,679).
+func (c *Counters) TotalTests() int {
+	n := 0
+	for _, v := range c.Tests {
+		n += v
+	}
+	return n
+}
+
+// TotalDirTests is the number of direction-vector cascade invocations.
+func (c *Counters) TotalDirTests() int {
+	n := 0
+	for _, v := range c.DirTests {
+		n += v
+	}
+	return n
+}
+
+// TestCount returns the base-test count for one kind.
+func (c *Counters) TestCount(k dtest.Kind) int { return c.Tests[int(k)] }
+
+// DirTestCount returns the direction-vector test count for one kind.
+func (c *Counters) DirTestCount(k dtest.Kind) int { return c.DirTests[int(k)] }

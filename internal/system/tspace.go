@@ -1,0 +1,369 @@
+package system
+
+import (
+	"fmt"
+	"strings"
+
+	"exactdep/internal/ir"
+	"exactdep/internal/linalg"
+)
+
+// TExpr is an affine expression over the free t variables:
+// Const + Σ Coef[f]·t_f.
+type TExpr struct {
+	Const int64
+	Coef  []int64
+}
+
+// IsConst reports whether the expression has no t terms.
+func (e TExpr) IsConst() bool {
+	for _, c := range e.Coef {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Sub returns e - f (both must share a coefficient length).
+func (e TExpr) Sub(f TExpr) (TExpr, error) {
+	out := TExpr{Coef: make([]int64, len(e.Coef))}
+	var err error
+	if out.Const, err = linalg.AddChecked(e.Const, -f.Const); err != nil {
+		return TExpr{}, err
+	}
+	for i := range e.Coef {
+		if out.Coef[i], err = linalg.AddChecked(e.Coef[i], -f.Coef[i]); err != nil {
+			return TExpr{}, err
+		}
+	}
+	return out, nil
+}
+
+// String renders e over t1..tn.
+func (e TExpr) String() string {
+	var b strings.Builder
+	first := true
+	for i, c := range e.Coef {
+		if c == 0 {
+			continue
+		}
+		writeT(&b, c, i+1, first)
+		first = false
+	}
+	if e.Const != 0 || first {
+		if !first {
+			if e.Const >= 0 {
+				fmt.Fprintf(&b, " + %d", e.Const)
+			} else {
+				fmt.Fprintf(&b, " - %d", -e.Const)
+			}
+		} else {
+			fmt.Fprintf(&b, "%d", e.Const)
+		}
+	}
+	return b.String()
+}
+
+func writeT(b *strings.Builder, c int64, idx int, first bool) {
+	switch {
+	case first && c < 0:
+		b.WriteString("-")
+		c = -c
+	case !first && c < 0:
+		b.WriteString(" - ")
+		c = -c
+	case !first:
+		b.WriteString(" + ")
+	}
+	if c != 1 {
+		fmt.Fprintf(b, "%d*", c)
+	}
+	fmt.Fprintf(b, "t%d", idx)
+}
+
+// Constraint is the inequality Σ Coef[f]·t_f ≤ C.
+type Constraint struct {
+	Coef []int64
+	C    int64
+}
+
+// NumVarsUsed returns the count of nonzero coefficients.
+func (c Constraint) NumVarsUsed() int {
+	n := 0
+	for _, v := range c.Coef {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the constraint.
+func (c Constraint) String() string {
+	e := TExpr{Coef: c.Coef}
+	return fmt.Sprintf("%s <= %d", e.String(), c.C)
+}
+
+// Normalize divides the constraint by the gcd of its coefficients,
+// tightening the constant with a floor (valid for integer solutions). It
+// reports ok=false when the constraint is an unsatisfiable "0 ≤ negative".
+func (c Constraint) Normalize() (Constraint, bool) {
+	g := linalg.GCDAll(c.Coef)
+	if g == 0 {
+		// no variables: feasible iff 0 ≤ C
+		return c, c.C >= 0
+	}
+	if g > 1 {
+		out := Constraint{Coef: make([]int64, len(c.Coef)), C: linalg.FloorDiv(c.C, g)}
+		for i, v := range c.Coef {
+			out.Coef[i] = v / g
+		}
+		return out, true
+	}
+	return c, true
+}
+
+// TSystem is the dependence problem after Extended GCD preprocessing: an
+// inequality system over the free t variables, plus the parameterization of
+// the original x variables in terms of t (used for distance vectors and
+// direction constraints).
+type TSystem struct {
+	NumT int
+	Cons []Constraint
+	// XOf[i] expresses original variable i as an affine function of t.
+	XOf []TExpr
+	// Prob points back to the x-space problem.
+	Prob *Problem
+	// Infeasible is set when a bound constraint degenerated to an
+	// unsatisfiable constant inequality during construction.
+	Infeasible bool
+}
+
+// Clone returns a deep copy of the system sharing XOf/Prob (which are
+// immutable after construction) but with an independent constraint slice.
+func (s *TSystem) Clone() *TSystem {
+	out := *s
+	out.Cons = make([]Constraint, len(s.Cons))
+	copy(out.Cons, s.Cons)
+	return &out
+}
+
+// GCDResult reports the outcome of the Extended GCD test.
+type GCDResult int
+
+const (
+	// GCDIndependent: the equality system alone has no integer solution.
+	GCDIndependent GCDResult = iota
+	// GCDDependent: integer solutions exist ignoring bounds; the returned
+	// TSystem carries the bound constraints for the exact tests.
+	GCDDependent
+)
+
+// Preprocess runs the Extended GCD test and, when it does not prove
+// independence, builds the t-space inequality system.
+func Preprocess(p *Problem) (GCDResult, *TSystem, error) {
+	ech, err := linalg.Factor(p.Eq)
+	if err != nil {
+		return 0, nil, err
+	}
+	sol, ok, err := ech.Solve(p.RHS)
+	if err != nil {
+		return 0, nil, err
+	}
+	if !ok {
+		return GCDIndependent, nil, nil
+	}
+	n := len(p.Vars)
+	numT := n - ech.Rank
+	// x_k = Σ_{i<rank} sol_i·U[i][k] + Σ_{f} t_f·U[rank+f][k]
+	xof := make([]TExpr, n)
+	for k := 0; k < n; k++ {
+		e := TExpr{Coef: make([]int64, numT)}
+		for i := 0; i < ech.Rank; i++ {
+			prod, err := linalg.MulChecked(sol[i], ech.U.At(i, k))
+			if err != nil {
+				return 0, nil, err
+			}
+			if e.Const, err = linalg.AddChecked(e.Const, prod); err != nil {
+				return 0, nil, err
+			}
+		}
+		for f := 0; f < numT; f++ {
+			e.Coef[f] = ech.U.At(ech.Rank+f, k)
+		}
+		xof[k] = e
+	}
+	ts := &TSystem{NumT: numT, XOf: xof, Prob: p}
+	// Transform each bound into a t-space constraint.
+	for i := range p.Vars {
+		if p.Lower[i].Has {
+			// L(x) ≤ x_i  →  L(x) - x_i ≤ 0
+			lhs, err := p.exprToT(p.Lower[i].Expr, xof)
+			if err != nil {
+				return 0, nil, err
+			}
+			diff, err := lhs.Sub(xof[i])
+			if err != nil {
+				return 0, nil, err
+			}
+			ts.addConstraint(diff)
+		}
+		if p.Upper[i].Has {
+			// x_i ≤ U(x)  →  x_i - U(x) ≤ 0
+			rhs, err := p.exprToT(p.Upper[i].Expr, xof)
+			if err != nil {
+				return 0, nil, err
+			}
+			diff, err := xof[i].Sub(rhs)
+			if err != nil {
+				return 0, nil, err
+			}
+			ts.addConstraint(diff)
+		}
+	}
+	return GCDDependent, ts, nil
+}
+
+// exprToT converts an affine x-space expression into a TExpr by substituting
+// each variable's t parameterization.
+func (p *Problem) exprToT(e ir.Expr, xof []TExpr) (TExpr, error) {
+	var numT int
+	if len(xof) > 0 {
+		numT = len(xof[0].Coef)
+	}
+	out := TExpr{Coef: make([]int64, numT), Const: e.Const}
+	var err error
+	for _, v := range e.Vars() {
+		i := p.VarIndex(v)
+		if i < 0 {
+			return TExpr{}, fmt.Errorf("system: unknown variable %q in bound", v)
+		}
+		c := e.Coeff(v)
+		prod, err2 := linalg.MulChecked(c, xof[i].Const)
+		if err2 != nil {
+			return TExpr{}, err2
+		}
+		if out.Const, err = linalg.AddChecked(out.Const, prod); err != nil {
+			return TExpr{}, err
+		}
+		for f := 0; f < numT; f++ {
+			prod, err2 := linalg.MulChecked(c, xof[i].Coef[f])
+			if err2 != nil {
+				return TExpr{}, err2
+			}
+			if out.Coef[f], err = linalg.AddChecked(out.Coef[f], prod); err != nil {
+				return TExpr{}, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// addConstraint appends "expr ≤ 0" as a normalized constraint, folding the
+// constant to the right-hand side. Trivially true constraints are dropped;
+// trivially false ones mark the system infeasible.
+func (s *TSystem) addConstraint(e TExpr) {
+	c := Constraint{Coef: e.Coef, C: -e.Const}
+	c, ok := c.Normalize()
+	if !ok {
+		s.Infeasible = true
+		return
+	}
+	if c.NumVarsUsed() == 0 {
+		return // 0 ≤ C with C ≥ 0: vacuous
+	}
+	s.Cons = append(s.Cons, c)
+}
+
+// AddDirection appends the constraint for direction dir at common loop level
+// lvl: '<' means iA < iB, '=' equality (two inequalities), '>' iA > iB.
+// It returns an error for unknown directions or overflow.
+func (s *TSystem) AddDirection(lvl int, dir byte) error {
+	ai, bi := s.Prob.CommonPair(lvl)
+	if ai < 0 || bi < 0 {
+		return fmt.Errorf("system: level %d is not a common loop", lvl)
+	}
+	diff, err := s.XOf[ai].Sub(s.XOf[bi]) // iA - iB
+	if err != nil {
+		return err
+	}
+	switch dir {
+	case '<': // iA - iB ≤ -1
+		s.addConstraint(TExpr{Const: diff.Const + 1, Coef: diff.Coef})
+	case '=': // iA - iB ≤ 0 and iB - iA ≤ 0
+		s.addConstraint(diff)
+		neg := TExpr{Const: -diff.Const, Coef: make([]int64, len(diff.Coef))}
+		for i, c := range diff.Coef {
+			neg.Coef[i] = -c
+		}
+		s.addConstraint(neg)
+	case '>': // iB - iA ≤ -1
+		neg := TExpr{Const: -diff.Const + 1, Coef: make([]int64, len(diff.Coef))}
+		for i, c := range diff.Coef {
+			neg.Coef[i] = -c
+		}
+		s.addConstraint(neg)
+	default:
+		return fmt.Errorf("system: unknown direction %q", string(dir))
+	}
+	return nil
+}
+
+// Distance returns iB - iA at common level lvl as a t-space expression. A
+// constant result is a known dependence distance (paper §6).
+func (s *TSystem) Distance(lvl int) (TExpr, error) {
+	ai, bi := s.Prob.CommonPair(lvl)
+	if ai < 0 || bi < 0 {
+		return TExpr{}, fmt.Errorf("system: level %d is not a common loop", lvl)
+	}
+	return s.XOf[bi].Sub(s.XOf[ai])
+}
+
+// LevelUsed reports whether common level lvl's index variables actually
+// constrain the problem (see Problem.LevelUsed).
+func (s *TSystem) LevelUsed(lvl int) bool { return s.Prob.LevelUsed(lvl) }
+
+// LevelUsed reports whether common level lvl's index variables actually
+// constrain the problem: either instance appears in a subscript equation or
+// in the bound of any variable. Unused levels always admit every direction
+// (the paper's unused-variable pruning, §5 and §6).
+func (p *Problem) LevelUsed(lvl int) bool {
+	ai, bi := p.CommonPair(lvl)
+	for _, i := range []int{ai, bi} {
+		if i < 0 {
+			continue
+		}
+		for d := 0; d < p.Eq.Cols; d++ {
+			if p.Eq.At(i, d) != 0 {
+				return true
+			}
+		}
+		name := p.Vars[i].Name
+		for j := range p.Vars {
+			if j == i {
+				continue
+			}
+			if p.Lower[j].Has && p.Lower[j].Expr.Uses(name) {
+				return true
+			}
+			if p.Upper[j].Has && p.Upper[j].Expr.Uses(name) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// String renders the t-space system.
+func (s *TSystem) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "t-system (%d vars, %d constraints)\n", s.NumT, len(s.Cons))
+	for i, x := range s.XOf {
+		fmt.Fprintf(&b, "  %s = %s\n", s.Prob.Vars[i].Name, x.String())
+	}
+	for _, c := range s.Cons {
+		fmt.Fprintf(&b, "  %s\n", c.String())
+	}
+	return b.String()
+}

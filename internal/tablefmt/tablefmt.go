@@ -1,0 +1,103 @@
+// Package tablefmt renders aligned plain-text tables for the experiment
+// harness, in the visual style of the paper's tables.
+package tablefmt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// New returns a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are rendered with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.1f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddSeparator appends a horizontal rule before the next row.
+func (t *Table) AddSeparator() {
+	t.rows = append(t.rows, nil)
+}
+
+// String renders the table. The first column is left-aligned; all others
+// right-aligned (numbers).
+func (t *Table) String() string {
+	ncols := len(t.Headers)
+	for _, r := range t.rows {
+		if len(r) > ncols {
+			ncols = len(r)
+		}
+	}
+	widths := make([]int, ncols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title + "\n")
+	}
+	writeRow := func(r []string) {
+		for i := 0; i < ncols; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			} else {
+				fmt.Fprintf(&b, "%*s", widths[i], cell)
+			}
+		}
+		b.WriteString("\n")
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		b.WriteString(strings.Repeat("-", totalWidth(widths)) + "\n")
+	}
+	for _, r := range t.rows {
+		if r == nil {
+			b.WriteString(strings.Repeat("-", totalWidth(widths)) + "\n")
+			continue
+		}
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func totalWidth(widths []int) int {
+	n := 0
+	for _, w := range widths {
+		n += w
+	}
+	return n + 2*(len(widths)-1)
+}

@@ -1,0 +1,70 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRender(t *testing.T) {
+	tb := New("Table X", "Program", "Tests", "Ratio")
+	tb.AddRow("AP", 613, 7.04)
+	tb.AddRow("CS", 142, 16.2)
+	tb.AddSeparator()
+	tb.AddRow("TOTAL", 755, 0.0)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Table X" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "Program") || !strings.Contains(lines[1], "Ratio") {
+		t.Fatalf("header = %q", lines[1])
+	}
+	// separator rows
+	seps := 0
+	for _, l := range lines {
+		if strings.HasPrefix(l, "---") {
+			seps++
+		}
+	}
+	if seps != 2 {
+		t.Fatalf("separators = %d, want 2 (after header + explicit)", seps)
+	}
+	// numeric right alignment: "613" and "142" should end at same column
+	var c1, c2 int
+	for _, l := range lines {
+		if strings.HasPrefix(l, "AP") {
+			c1 = strings.Index(l, "613") + 3
+		}
+		if strings.HasPrefix(l, "CS") {
+			c2 = strings.Index(l, "142") + 3
+		}
+	}
+	if c1 != c2 || c1 == 2 {
+		t.Fatalf("misaligned numeric columns: %d vs %d\n%s", c1, c2, out)
+	}
+	if !strings.Contains(out, "7.0") || !strings.Contains(out, "16.2") {
+		t.Fatalf("float formatting wrong:\n%s", out)
+	}
+}
+
+func TestNoTitleNoHeaders(t *testing.T) {
+	tb := New("")
+	tb.AddRow("a", 1)
+	out := tb.String()
+	if strings.Contains(out, "---") {
+		t.Fatalf("no header rule expected:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "a") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestRaggedRows(t *testing.T) {
+	tb := New("", "A", "B")
+	tb.AddRow("x")
+	tb.AddRow("y", 1, 2) // wider than headers
+	out := tb.String()
+	if !strings.Contains(out, "2") {
+		t.Fatalf("extra column lost:\n%s", out)
+	}
+}

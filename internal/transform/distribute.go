@@ -1,0 +1,110 @@
+package transform
+
+import (
+	"fmt"
+
+	"exactdep/internal/core"
+	"exactdep/internal/ddg"
+	"exactdep/internal/lang"
+	"exactdep/internal/opt"
+)
+
+// Loop distribution (loop fission): split a loop's body into one loop per
+// π-block of the dependence graph, ordered topologically. Statements in
+// different blocks have no cyclic dependence, so running all iterations of
+// the first block's loop before the second preserves every dependence; the
+// resulting smaller loops often parallelize individually even when the
+// original did not.
+
+// DistributeLoop splits one flat loop (a body of assignments only) into a
+// sequence of loops by π-blocks. It returns the replacement loops in
+// execution order; a single-element result means distribution found nothing
+// to split. Loops with nested control flow are rejected.
+func DistributeLoop(loop *lang.For) ([]*lang.For, error) {
+	for _, st := range loop.Body {
+		if _, ok := st.(*lang.Assign); !ok {
+			return nil, fmt.Errorf("transform: distribution needs a flat assignment body, found %T", st)
+		}
+	}
+	// Analyze the loop in isolation.
+	prog := &lang.Program{Stmts: []lang.Stmt{loop}}
+	unit := opt.Lower(prog)
+	if len(unit.Warnings) > 0 {
+		return nil, fmt.Errorf("transform: loop not fully analyzable: %s", unit.Warnings[0])
+	}
+	a := core.New(core.Options{DirectionVectors: true, PruneUnused: true, PruneDistance: true})
+	results, err := a.AnalyzeUnit(unit)
+	if err != nil {
+		return nil, err
+	}
+	g := ddg.Build(unit, results)
+
+	// Loop-carried scalars forbid distribution outright (every block would
+	// need the accumulator).
+	if len(unit.ScalarCarried) > 0 {
+		return []*lang.For{loop}, nil
+	}
+
+	// Tarjan emits components sinks-first; execution order needs sources
+	// first.
+	sccs := g.SCCs()
+	for i, j := 0, len(sccs)-1; i < j; i, j = i+1, j-1 {
+		sccs[i], sccs[j] = sccs[j], sccs[i]
+	}
+	if len(sccs) <= 1 {
+		return []*lang.For{loop}, nil
+	}
+
+	// Statement ordinals follow the lowerer's pre-order over the body.
+	byID := map[int]*lang.Assign{}
+	for i, st := range loop.Body {
+		byID[i+1] = st.(*lang.Assign)
+	}
+	var out []*lang.For
+	for _, comp := range sccs {
+		nl := &lang.For{Index: loop.Index, Lo: loop.Lo, Hi: loop.Hi, Step: loop.Step, Pos: loop.Pos}
+		for _, id := range comp {
+			st, ok := byID[id]
+			if !ok {
+				return nil, fmt.Errorf("transform: unknown statement id %d", id)
+			}
+			nl.Body = append(nl.Body, st)
+		}
+		out = append(out, nl)
+	}
+	return out, nil
+}
+
+// DistributeProgram applies DistributeLoop to every top-level flat loop of
+// the program, leaving other statements as they are. Loops that cannot be
+// distributed (nested control flow, carried scalars, a single π-block) are
+// kept intact.
+func DistributeProgram(prog *lang.Program) (*lang.Program, error) {
+	out := &lang.Program{Name: prog.Name}
+	for _, st := range prog.Stmts {
+		loop, ok := st.(*lang.For)
+		if !ok {
+			out.Stmts = append(out.Stmts, st)
+			continue
+		}
+		flat := true
+		for _, inner := range loop.Body {
+			if _, ok := inner.(*lang.Assign); !ok {
+				flat = false
+				break
+			}
+		}
+		if !flat {
+			out.Stmts = append(out.Stmts, st)
+			continue
+		}
+		pieces, err := DistributeLoop(loop)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pieces {
+			out.Stmts = append(out.Stmts, p)
+		}
+	}
+	return out, nil
+}

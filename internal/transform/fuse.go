@@ -1,0 +1,113 @@
+package transform
+
+import (
+	"fmt"
+
+	"exactdep/internal/core"
+	"exactdep/internal/depvec"
+	"exactdep/internal/dtest"
+	"exactdep/internal/lang"
+	"exactdep/internal/opt"
+	"exactdep/internal/refs"
+)
+
+// Loop fusion — the inverse of distribution. Two adjacent loops with
+// identical headers may be merged iff no dependence between their bodies is
+// fusion-preventing: in the original program every conflict runs
+// first-loop-access before second-loop-access (the first loop completes
+// first); in the fused loop that order is preserved for '=' and '<'
+// directions but reversed for '>' (the second body's earlier iteration now
+// executes before the first body's later one). Kennedy's classic criterion.
+
+// FuseLoops merges two flat loops with identical headers when legal. It
+// reports ok=false (with a reason) when the headers differ or a
+// fusion-preventing dependence exists.
+func FuseLoops(l1, l2 *lang.For) (fused *lang.For, ok bool, reason string) {
+	if l1.Index != l2.Index ||
+		l1.Lo.String() != l2.Lo.String() || l1.Hi.String() != l2.Hi.String() ||
+		!sameStep(l1.Step, l2.Step) {
+		return nil, false, "loop headers differ"
+	}
+	for _, st := range append(append([]lang.Stmt{}, l1.Body...), l2.Body...) {
+		if _, isAssign := st.(*lang.Assign); !isAssign {
+			return nil, false, "bodies must be flat assignments"
+		}
+	}
+	candidate := &lang.For{
+		Index: l1.Index, Lo: l1.Lo, Hi: l1.Hi, Step: l1.Step, Pos: l1.Pos,
+		Body: append(append([]lang.Stmt{}, l1.Body...), l2.Body...),
+	}
+	prog := &lang.Program{Stmts: []lang.Stmt{candidate}}
+	unit := opt.Lower(prog)
+	if len(unit.Warnings) > 0 {
+		return nil, false, "fused body not fully analyzable: " + unit.Warnings[0]
+	}
+	a := core.New(core.Options{DirectionVectors: true, PruneUnused: true, PruneDistance: true})
+	firstBody := len(l1.Body) // statement ids 1..firstBody belong to loop 1
+	for _, c := range refs.PairsOpts(unit, refs.Options{NoSelfPairs: true}) {
+		res, err := a.AnalyzeCandidate(c)
+		if err != nil {
+			return nil, false, err.Error()
+		}
+		if res.Outcome == dtest.Independent {
+			continue
+		}
+		s1, s2 := c.Pair.A.Ref.Stmt, c.Pair.B.Ref.Stmt
+		cross := (s1 <= firstBody) != (s2 <= firstBody)
+		if !cross {
+			continue // intra-body dependences keep their order
+		}
+		// Orient so "first" is the loop-1 statement.
+		flip := s1 > firstBody
+		vectors := res.Vectors
+		if len(vectors) == 0 {
+			return nil, false, "no direction information for a cross dependence"
+		}
+		for _, v := range vectors {
+			dir := fusedDirection(v, flip)
+			if dir == '>' || dir == '*' {
+				return nil, false, fmt.Sprintf(
+					"fusion-preventing dependence %s vs %s %s",
+					c.Pair.A.Ref, c.Pair.B.Ref, v)
+			}
+		}
+	}
+	return candidate, true, ""
+}
+
+// fusedDirection returns the first non-'=' component of the vector oriented
+// from the loop-1 statement to the loop-2 statement ('=' for an all-equal
+// vector, '*' when a component is ambiguous).
+func fusedDirection(v depvec.Vector, flip bool) byte {
+	for _, d := range v {
+		switch d {
+		case depvec.Equal:
+			continue
+		case depvec.Any:
+			return '*'
+		case depvec.Less:
+			if flip {
+				return '>'
+			}
+			return '<'
+		case depvec.Greater:
+			if flip {
+				return '<'
+			}
+			return '>'
+		}
+	}
+	return '='
+}
+
+// sameStep compares optional step expressions structurally.
+func sameStep(a, b lang.Expr) bool {
+	switch {
+	case a == nil && b == nil:
+		return true
+	case a == nil || b == nil:
+		return false
+	default:
+		return a.String() == b.String()
+	}
+}

@@ -1,0 +1,171 @@
+package transform
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"exactdep/internal/interp"
+	"exactdep/internal/lang"
+)
+
+func twoLoops(t *testing.T, src string) (*lang.For, *lang.For, *lang.Program) {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loops []*lang.For
+	for _, st := range prog.Stmts {
+		if f, ok := st.(*lang.For); ok {
+			loops = append(loops, f)
+		}
+	}
+	if len(loops) != 2 {
+		t.Fatalf("want 2 loops, got %d", len(loops))
+	}
+	return loops[0], loops[1], prog
+}
+
+func TestFuseLegalProducerConsumer(t *testing.T) {
+	// loop2 consumes loop1's value from the SAME iteration ('='): fusable.
+	l1, l2, prog := twoLoops(t, `
+for i = 1 to 20
+  a[i] = i
+end
+for i = 1 to 20
+  b[i] = a[i] + 1
+end
+`)
+	fused, ok, reason := FuseLoops(l1, l2)
+	if !ok {
+		t.Fatalf("fusion must be legal: %s", reason)
+	}
+	// semantics check via the interpreter
+	orig, err := interp.Run(prog, nil, interp.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fusedTrace, err := interp.Run(&lang.Program{Stmts: []lang.Stmt{fused}}, nil, interp.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !orig.FinalEqual(fusedTrace) {
+		t.Fatalf("fusion changed semantics:\n%s", fused)
+	}
+}
+
+func TestFuseLegalBackwardReadDistance(t *testing.T) {
+	// loop2 reads loop1's value from an EARLIER iteration ('<'): still
+	// fusable (the producer's iteration precedes the consumer's).
+	l1, l2, prog := twoLoops(t, `
+for i = 2 to 20
+  a[i] = i
+end
+for i = 2 to 20
+  b[i] = a[i-1] + 1
+end
+`)
+	fused, ok, reason := FuseLoops(l1, l2)
+	if !ok {
+		t.Fatalf("fusion must be legal: %s", reason)
+	}
+	orig, _ := interp.Run(prog, nil, interp.Limits{})
+	ft, _ := interp.Run(&lang.Program{Stmts: []lang.Stmt{fused}}, nil, interp.Limits{})
+	if !orig.FinalEqual(ft) {
+		t.Fatalf("fusion changed semantics:\n%s", fused)
+	}
+}
+
+func TestFusePreventingDependenceRejected(t *testing.T) {
+	// loop2 reads a[i+1], produced by loop1's LATER iteration: in the
+	// fused loop the read of iteration i would run before the write of
+	// iteration i+1 — the classic fusion-preventing '>' dependence.
+	l1, l2, prog := twoLoops(t, `
+for i = 1 to 20
+  a[i] = i
+end
+for i = 1 to 20
+  b[i] = a[i+1] + 1
+end
+`)
+	if _, ok, reason := FuseLoops(l1, l2); ok {
+		t.Fatalf("fusion must be rejected: %s", reason)
+	} else if !strings.Contains(reason, "fusion-preventing") {
+		t.Fatalf("reason = %q", reason)
+	}
+	// double-check with the interpreter that naive fusion WOULD be wrong
+	naive := &lang.For{Index: l1.Index, Lo: l1.Lo, Hi: l1.Hi,
+		Body: append(append([]lang.Stmt{}, l1.Body...), l2.Body...)}
+	orig, _ := interp.Run(prog, nil, interp.Limits{})
+	ft, _ := interp.Run(&lang.Program{Stmts: []lang.Stmt{naive}}, nil, interp.Limits{})
+	if orig.FinalEqual(ft) {
+		t.Fatal("test premise broken: naive fusion happened to be safe")
+	}
+}
+
+func TestFuseHeaderMismatch(t *testing.T) {
+	l1, l2, _ := twoLoops(t, `
+for i = 1 to 20
+  a[i] = 0
+end
+for i = 1 to 21
+  b[i] = 0
+end
+`)
+	if _, ok, reason := FuseLoops(l1, l2); ok || !strings.Contains(reason, "headers differ") {
+		t.Fatalf("mismatched bounds must be rejected: %v %q", ok, reason)
+	}
+}
+
+func TestFuseNestedRejected(t *testing.T) {
+	l1, l2, _ := twoLoops(t, `
+for i = 1 to 5
+  for j = 1 to 5
+    a[i][j] = 0
+  end
+end
+for i = 1 to 5
+  b[i] = 0
+end
+`)
+	if _, ok, _ := FuseLoops(l1, l2); ok {
+		t.Fatal("nested bodies must be rejected")
+	}
+}
+
+// TestFuseRandomSemantics: whenever FuseLoops declares a random pair legal,
+// the interpreter must agree.
+func TestFuseRandomSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	fusedCount := 0
+	for iter := 0; iter < 300; iter++ {
+		mk := func() string {
+			arr := []string{"a", "b", "c"}[rng.Intn(3)]
+			arr2 := []string{"a", "b", "c"}[rng.Intn(3)]
+			return "  " + arr + "[i+" + itoa64(int64(rng.Intn(3)-1)) + "] = " +
+				arr2 + "[i+" + itoa64(int64(rng.Intn(3)-1)) + "] + 1\n"
+		}
+		src := "for i = 2 to 15\n" + mk() + "end\nfor i = 2 to 15\n" + mk() + "end\n"
+		l1, l2, prog := twoLoops(t, src)
+		fused, ok, _ := FuseLoops(l1, l2)
+		if !ok {
+			continue
+		}
+		fusedCount++
+		orig, err := interp.Run(prog, nil, interp.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ft, err := interp.Run(&lang.Program{Stmts: []lang.Stmt{fused}}, nil, interp.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !orig.FinalEqual(ft) {
+			t.Fatalf("iter %d: legal fusion changed semantics\n%s", iter, src)
+		}
+	}
+	if fusedCount < 50 {
+		t.Fatalf("only %d legal fusions — generator drifted", fusedCount)
+	}
+}

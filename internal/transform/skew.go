@@ -1,0 +1,162 @@
+package transform
+
+import (
+	"fmt"
+
+	"exactdep/internal/depvec"
+)
+
+// Loop skewing operates on distance vectors (which the analyzer derives
+// from the Extended GCD parameterization whenever they are constant, §6).
+// Skewing loop `target` by factor f with respect to loop `source` maps
+// iteration (…, i_s, …, i_t, …) to (…, i_s, …, i_t + f·i_s, …); a distance
+// vector transforms the same way. Skewing never reorders iterations, so it
+// is always legal — its value is making a subsequent interchange or inner
+// parallelization legal (the classic wavefront pipeline).
+
+// DistanceVector is a constant dependence distance per loop level.
+type DistanceVector []int64
+
+// String renders the vector as "(1, -2)".
+func (d DistanceVector) String() string {
+	s := "("
+	for i, v := range d {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%d", v)
+	}
+	return s + ")"
+}
+
+// Directions converts a distance vector to its direction vector.
+func (d DistanceVector) Directions() depvec.Vector {
+	out := make(depvec.Vector, len(d))
+	for i, v := range d {
+		switch {
+		case v > 0:
+			out[i] = depvec.Less
+		case v < 0:
+			out[i] = depvec.Greater
+		default:
+			out[i] = depvec.Equal
+		}
+	}
+	return out
+}
+
+// LexPositive reports whether the distance vector is lexicographically
+// positive or zero (a valid execution-order dependence).
+func (d DistanceVector) LexPositive() bool {
+	for _, v := range d {
+		if v > 0 {
+			return true
+		}
+		if v < 0 {
+			return false
+		}
+	}
+	return true // all-zero: loop-independent
+}
+
+// Skew returns the distance vectors after skewing level target by factor
+// with respect to level source: d[target] += factor · d[source].
+func Skew(dists []DistanceVector, source, target int, factor int64) ([]DistanceVector, error) {
+	out := make([]DistanceVector, len(dists))
+	for i, d := range dists {
+		if source < 0 || source >= len(d) || target < 0 || target >= len(d) || source == target {
+			return nil, fmt.Errorf("transform: skew(source=%d, target=%d) on %d-level vector",
+				source, target, len(d))
+		}
+		nd := append(DistanceVector(nil), d...)
+		nd[target] += factor * nd[source]
+		out[i] = nd
+	}
+	return out, nil
+}
+
+// PermuteDistances applies a loop permutation to distance vectors.
+func PermuteDistances(dists []DistanceVector, perm []int) ([]DistanceVector, error) {
+	out := make([]DistanceVector, len(dists))
+	for i, d := range dists {
+		if len(perm) != len(d) {
+			return nil, fmt.Errorf("transform: permutation of length %d on %d-level vector", len(perm), len(d))
+		}
+		nd := make(DistanceVector, len(d))
+		seen := make([]bool, len(d))
+		for j, p := range perm {
+			if p < 0 || p >= len(d) || seen[p] {
+				return nil, fmt.Errorf("transform: invalid permutation %v", perm)
+			}
+			seen[p] = true
+			nd[j] = d[p]
+		}
+		out[i] = nd
+	}
+	return out, nil
+}
+
+// AllLexPositive reports whether every distance vector remains a valid
+// execution-order dependence (the legality condition for any unimodular
+// transformation expressed on distances).
+func AllLexPositive(dists []DistanceVector) bool {
+	for _, d := range dists {
+		if !d.LexPositive() {
+			return false
+		}
+	}
+	return true
+}
+
+// ParallelLevels returns the loop levels that carry no dependence under the
+// given distance vectors: level l is parallel iff no vector's first nonzero
+// component is at l.
+func ParallelLevels(dists []DistanceVector, depth int) []bool {
+	out := make([]bool, depth)
+	for i := range out {
+		out[i] = true
+	}
+	for _, d := range dists {
+		for l, v := range d {
+			if v > 0 {
+				if l < depth {
+					out[l] = false
+				}
+				break
+			}
+			if v < 0 {
+				break // not lexicographically normalized; caller's problem
+			}
+		}
+	}
+	return out
+}
+
+// WavefrontSkew searches for a skew factor (1..maxFactor) of the inner loop
+// of a 2-deep nest that makes the inner level parallel after skewing,
+// returning the factor. This is the textbook wavefront transformation: with
+// distances {(1,0),(0,1)} a skew by 1 gives {(1,1),(0,1)}... which still
+// carries at level 1 for (0,1); the correct pipeline is skew-then-
+// interchange: after skewing, interchanging makes the (old) inner level
+// outermost sequential and the outer level innermost parallel. The returned
+// factor is the smallest making the *interchanged* inner level parallel.
+func WavefrontSkew(dists []DistanceVector, maxFactor int64) (factor int64, ok bool) {
+	for f := int64(1); f <= maxFactor; f++ {
+		skewed, err := Skew(dists, 0, 1, f)
+		if err != nil {
+			return 0, false
+		}
+		swapped, err := PermuteDistances(skewed, []int{1, 0})
+		if err != nil {
+			return 0, false
+		}
+		if !AllLexPositive(swapped) {
+			continue
+		}
+		par := ParallelLevels(swapped, 2)
+		if par[1] {
+			return f, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,116 @@
+package transform
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func dv(vs ...int64) DistanceVector { return DistanceVector(vs) }
+
+func TestDistanceVectorBasics(t *testing.T) {
+	d := dv(1, -2, 0)
+	if d.String() != "(1, -2, 0)" {
+		t.Fatalf("String = %s", d)
+	}
+	if d.Directions().String() != "(<, >, =)" {
+		t.Fatalf("Directions = %s", d.Directions())
+	}
+	if !dv(1, -5).LexPositive() || dv(-1, 3).LexPositive() || !dv(0, 0).LexPositive() {
+		t.Fatal("LexPositive wrong")
+	}
+}
+
+func TestSkew(t *testing.T) {
+	// wavefront distances: (1,0) and (0,1); skew inner by 1 wrt outer
+	out, err := Skew([]DistanceVector{dv(1, 0), dv(0, 1)}, 0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].String() != "(1, 1)" || out[1].String() != "(0, 1)" {
+		t.Fatalf("skewed = %v", out)
+	}
+	if _, err := Skew([]DistanceVector{dv(1, 0)}, 0, 0, 1); err == nil {
+		t.Fatal("source == target must error")
+	}
+	if _, err := Skew([]DistanceVector{dv(1, 0)}, 0, 5, 1); err == nil {
+		t.Fatal("out-of-range target must error")
+	}
+}
+
+// Property: skewing preserves lexicographic positivity when skewing an
+// inner level with a non-negative factor (outer components unchanged).
+func TestSkewPreservesLegality(t *testing.T) {
+	prop := func(a, b int8, f uint8) bool {
+		d := dv(int64(a), int64(b))
+		if !d.LexPositive() {
+			return true
+		}
+		out, err := Skew([]DistanceVector{d}, 0, 1, int64(f%5))
+		if err != nil {
+			return false
+		}
+		return out[0].LexPositive()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelLevels(t *testing.T) {
+	par := ParallelLevels([]DistanceVector{dv(1, 0), dv(0, 1)}, 2)
+	if par[0] || par[1] {
+		t.Fatalf("wavefront has no parallel level: %v", par)
+	}
+	par = ParallelLevels([]DistanceVector{dv(1, 1), dv(1, -1)}, 2)
+	if par[0] || !par[1] {
+		t.Fatalf("outer-carried distances leave the inner parallel: %v", par)
+	}
+}
+
+func TestWavefrontSkew(t *testing.T) {
+	// The classic: w[i][j] = w[i-1][j] + w[i][j-1] has distances
+	// (1,0), (0,1). Skew by 1 then interchange: distances become
+	// (1,1),(1,0) — wait: skew(0,1,1): (1,1),(0,1); interchange → (1,1),
+	// (1,0): all lexicographically positive, and level 1 components are
+	// {1,0}: the first nonzero of (1,0) is at level 0 and of (1,1) at
+	// level 0 → inner level parallel. Factor 1 suffices.
+	f, ok := WavefrontSkew([]DistanceVector{dv(1, 0), dv(0, 1)}, 4)
+	if !ok || f != 1 {
+		t.Fatalf("factor = %d ok = %v", f, ok)
+	}
+	// An already-parallel inner loop also succeeds.
+	f, ok = WavefrontSkew([]DistanceVector{dv(1, 0)}, 4)
+	if !ok {
+		t.Fatalf("skew search failed: %d %v", f, ok)
+	}
+	// Distances that defeat any skew up to the budget: (0,1) forces the
+	// interchanged outer... (0,1) skewed by f wrt level 0 stays (0,1);
+	// interchanged → (1,0): level 1 is parallel! So use a vector pair that
+	// keeps a level-1 carrier after interchange: (1,-1) needs f ≥ 2 to make
+	// (1, f-1) with f-1 ≥ 1... choose budget 0 to force failure instead.
+	if _, ok := WavefrontSkew([]DistanceVector{dv(1, -1)}, 0); ok {
+		t.Fatal("zero budget must fail")
+	}
+}
+
+func TestPermuteDistances(t *testing.T) {
+	out, err := PermuteDistances([]DistanceVector{dv(1, 2, 3)}, []int{2, 0, 1})
+	if err != nil || out[0].String() != "(3, 1, 2)" {
+		t.Fatalf("permuted = %v, %v", out, err)
+	}
+	if _, err := PermuteDistances([]DistanceVector{dv(1, 2)}, []int{0}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := PermuteDistances([]DistanceVector{dv(1, 2)}, []int{1, 1}); err == nil {
+		t.Fatal("duplicate must error")
+	}
+}
+
+func TestAllLexPositive(t *testing.T) {
+	if !AllLexPositive([]DistanceVector{dv(1, -1), dv(0, 0)}) {
+		t.Fatal("positive set rejected")
+	}
+	if AllLexPositive([]DistanceVector{dv(0, -1)}) {
+		t.Fatal("negative vector accepted")
+	}
+}

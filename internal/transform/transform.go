@@ -1,0 +1,182 @@
+// Package transform answers loop-transformation legality questions from
+// dependence direction vectors — the decisions a parallelizing compiler
+// makes once the exact analysis has produced the vectors. A transformation
+// is legal iff every dependence's transformed direction vector remains
+// lexicographically non-negative (the source still executes no later than
+// the sink).
+package transform
+
+import (
+	"fmt"
+
+	"exactdep/internal/depvec"
+)
+
+// Normalize orients a vector to be lexicographically non-negative: if its
+// first non-'=' component is '>', the conflict's true source is the other
+// reference, and the mirrored vector describes the dependence properly.
+func Normalize(v depvec.Vector) depvec.Vector {
+	for _, d := range v {
+		switch d {
+		case depvec.Less, depvec.Any:
+			return v.Clone()
+		case depvec.Greater:
+			return mirror(v)
+		}
+	}
+	return v.Clone()
+}
+
+func mirror(v depvec.Vector) depvec.Vector {
+	out := make(depvec.Vector, len(v))
+	for i, d := range v {
+		switch d {
+		case depvec.Less:
+			out[i] = depvec.Greater
+		case depvec.Greater:
+			out[i] = depvec.Less
+		default:
+			out[i] = d
+		}
+	}
+	return out
+}
+
+// lexSign classifies a vector: +1 lexicographically positive, 0 all-'=',
+// -1 negative, and ambiguous=true when a leading '*' makes the sign
+// input-dependent (which a legality check must treat as possibly negative).
+func lexSign(v depvec.Vector) (sign int, ambiguous bool) {
+	for _, d := range v {
+		switch d {
+		case depvec.Less:
+			return 1, false
+		case depvec.Greater:
+			return -1, false
+		case depvec.Any:
+			return 0, true
+		}
+	}
+	return 0, false
+}
+
+// Permute applies a loop permutation to the vector: out[i] = v[perm[i]],
+// where perm[i] names the original level that moves to position i.
+func Permute(v depvec.Vector, perm []int) (depvec.Vector, error) {
+	if len(perm) != len(v) {
+		return nil, fmt.Errorf("transform: permutation of length %d on %d-level vector", len(perm), len(v))
+	}
+	seen := make([]bool, len(v))
+	out := make(depvec.Vector, len(v))
+	for i, p := range perm {
+		if p < 0 || p >= len(v) || seen[p] {
+			return nil, fmt.Errorf("transform: invalid permutation %v", perm)
+		}
+		seen[p] = true
+		out[i] = v[p]
+	}
+	return out, nil
+}
+
+// InterchangeLegal reports whether permuting the loops of a nest is legal
+// for the given dependence vectors: every normalized vector must stay
+// lexicographically non-negative after permutation. Vectors whose
+// transformed sign is ambiguous ('*' before any '<') are conservatively
+// illegal.
+func InterchangeLegal(vectors []depvec.Vector, perm []int) (bool, error) {
+	for _, v := range vectors {
+		nv, err := Permute(Normalize(v), perm)
+		if err != nil {
+			return false, err
+		}
+		sign, amb := lexSign(nv)
+		if sign < 0 || amb {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// ReversalLegal reports whether reversing the loop at the given level is
+// legal: reversal flips that component, so it is legal iff no normalized
+// vector carries the dependence at that level ('<' or '>' or '*' there with
+// all-'=' before it... precisely: after flipping the component, the vector
+// must remain lexicographically non-negative).
+func ReversalLegal(vectors []depvec.Vector, level int) bool {
+	for _, v := range vectors {
+		nv := Normalize(v)
+		if level < 0 || level >= len(nv) {
+			return false
+		}
+		switch nv[level] {
+		case depvec.Less:
+			nv = nv.Clone()
+			nv[level] = depvec.Greater
+		case depvec.Greater:
+			nv = nv.Clone()
+			nv[level] = depvec.Less
+		case depvec.Any:
+			return false // could flip either way
+		}
+		if sign, amb := lexSign(nv); sign < 0 || amb {
+			return false
+		}
+	}
+	return true
+}
+
+// ParallelizableLevel reports whether the loop at the given level can run
+// its iterations concurrently: no normalized vector may be carried at that
+// level (its first non-'=' component must not be at `level`).
+func ParallelizableLevel(vectors []depvec.Vector, level int) bool {
+	for _, v := range vectors {
+		nv := Normalize(v)
+		carrier := -1
+		for i, d := range nv {
+			if d != depvec.Equal {
+				carrier = i
+				break
+			}
+		}
+		if carrier == level {
+			return false
+		}
+	}
+	return true
+}
+
+// InterchangeToParallelize searches all ways to bring a parallelizable loop
+// outermost: it returns the first legal permutation (in lexicographic
+// order over rotations) whose outermost level is parallel afterwards, or
+// ok=false. Nest depth is taken from the vectors.
+func InterchangeToParallelize(vectors []depvec.Vector) (perm []int, ok bool) {
+	if len(vectors) == 0 {
+		return nil, false
+	}
+	depth := len(vectors[0])
+	for lvl := 0; lvl < depth; lvl++ {
+		// rotation bringing lvl to the front, preserving the rest's order
+		p := make([]int, 0, depth)
+		p = append(p, lvl)
+		for i := 0; i < depth; i++ {
+			if i != lvl {
+				p = append(p, i)
+			}
+		}
+		legal, err := InterchangeLegal(vectors, p)
+		if err != nil || !legal {
+			continue
+		}
+		permuted := make([]depvec.Vector, len(vectors))
+		for i, v := range vectors {
+			pv, err := Permute(Normalize(v), p)
+			if err != nil {
+				return nil, false
+			}
+			permuted[i] = pv
+		}
+		if ParallelizableLevel(permuted, 0) {
+			return p, true
+		}
+	}
+	return nil, false
+}

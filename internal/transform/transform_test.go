@@ -1,0 +1,211 @@
+package transform
+
+import (
+	"math/rand"
+	"testing"
+
+	"exactdep/internal/depvec"
+)
+
+func vec(s string) depvec.Vector {
+	v := make(depvec.Vector, len(s))
+	for i := range s {
+		v[i] = depvec.Direction(s[i])
+	}
+	return v
+}
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"<=", "<="},
+		{">=", "<="},
+		{"==", "=="},
+		{"=>", "=<"},
+		{"*<", "*<"}, // leading '*' treated as potentially forward
+	}
+	for _, c := range cases {
+		if got := Normalize(vec(c.in)); got.String() != vec(c.want).String() {
+			t.Errorf("Normalize(%s) = %s, want %s", c.in, got, vec(c.want))
+		}
+	}
+}
+
+func TestPermute(t *testing.T) {
+	v := vec("<=>")
+	got, err := Permute(v, []int{2, 0, 1})
+	if err != nil || got.String() != vec("><=").String() {
+		t.Fatalf("Permute = %v, %v", got, err)
+	}
+	if _, err := Permute(v, []int{0, 1}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := Permute(v, []int{0, 0, 1}); err == nil {
+		t.Fatal("duplicate index must error")
+	}
+	if _, err := Permute(v, []int{0, 1, 5}); err == nil {
+		t.Fatal("out-of-range index must error")
+	}
+}
+
+func TestInterchangeLegal(t *testing.T) {
+	// Classic: (<, >) — e.g. a[i][j] = a[i-1][j+1] — interchange gives
+	// (>, <): lexicographically negative → illegal.
+	legal, err := InterchangeLegal([]depvec.Vector{vec("<>")}, []int{1, 0})
+	if err != nil || legal {
+		t.Fatalf("(<,>) interchange must be illegal: %v %v", legal, err)
+	}
+	// (<, <) interchanges fine.
+	legal, err = InterchangeLegal([]depvec.Vector{vec("<<")}, []int{1, 0})
+	if err != nil || !legal {
+		t.Fatalf("(<,<) interchange must be legal: %v %v", legal, err)
+	}
+	// (=, <) stays non-negative under interchange: (<, =).
+	legal, err = InterchangeLegal([]depvec.Vector{vec("=<")}, []int{1, 0})
+	if err != nil || !legal {
+		t.Fatalf("(=,<) interchange must be legal: %v %v", legal, err)
+	}
+	// '>' leading vectors normalize first: (>, <) describes the same
+	// dependence as (<, >) → illegal to interchange.
+	legal, err = InterchangeLegal([]depvec.Vector{vec("><")}, []int{1, 0})
+	if err != nil || legal {
+		t.Fatalf("(>,<) interchange must be illegal after normalization: %v %v", legal, err)
+	}
+	// ambiguous '*' is conservatively illegal when it could lead
+	legal, err = InterchangeLegal([]depvec.Vector{vec("<*")}, []int{1, 0})
+	if err != nil || legal {
+		t.Fatalf("(*,...) leading after permute must be illegal: %v %v", legal, err)
+	}
+}
+
+func TestReversalLegal(t *testing.T) {
+	// a loop carrying a dependence cannot be reversed
+	if ReversalLegal([]depvec.Vector{vec("<")}, 0) {
+		t.Fatal("reversing a carrying loop must be illegal")
+	}
+	// '=' at the level: reversal harmless
+	if !ReversalLegal([]depvec.Vector{vec("=<")}, 0) {
+		t.Fatal("reversing an '='-level must be legal")
+	}
+	// inner level under an outer '<': the outer carrier absorbs the flip
+	if !ReversalLegal([]depvec.Vector{vec("<>")}, 1) {
+		t.Fatal("reversing inner '>' under outer '<' must be legal")
+	}
+	if ReversalLegal([]depvec.Vector{vec("*")}, 0) {
+		t.Fatal("'*' at the level must be conservatively illegal")
+	}
+	if ReversalLegal([]depvec.Vector{vec("<")}, 3) {
+		t.Fatal("out-of-range level must be illegal")
+	}
+}
+
+func TestParallelizableLevel(t *testing.T) {
+	vs := []depvec.Vector{vec("<="), vec("==")}
+	if ParallelizableLevel(vs, 0) {
+		t.Fatal("level 0 carries (<,=)")
+	}
+	if !ParallelizableLevel(vs, 1) {
+		t.Fatal("level 1 carries nothing")
+	}
+	// normalization: (>,=) is carried by level 0 too
+	if ParallelizableLevel([]depvec.Vector{vec(">=")}, 0) {
+		t.Fatal("(>,=) normalizes to (<,=): level 0 carried")
+	}
+}
+
+func TestInterchangeToParallelize(t *testing.T) {
+	// (=, <): level 0 already parallel → identity rotation works.
+	perm, ok := InterchangeToParallelize([]depvec.Vector{vec("=<")})
+	if !ok || perm[0] != 0 {
+		t.Fatalf("perm = %v ok = %v", perm, ok)
+	}
+	// (<, =): level 0 carried, level 1 parallel; bringing level 1 out gives
+	// (=, <)?? wait permuting (<,=) by [1,0] gives (=,<): legal, outer '='
+	// → parallel. So perm [1,0].
+	perm, ok = InterchangeToParallelize([]depvec.Vector{vec("<=")})
+	if !ok || perm[0] != 1 {
+		t.Fatalf("perm = %v ok = %v", perm, ok)
+	}
+	// (<, >): interchange illegal and level 0 carried → no parallel outer.
+	if _, ok := InterchangeToParallelize([]depvec.Vector{vec("<>")}); ok {
+		t.Fatal("(<,>) has no legal parallelizing interchange")
+	}
+	if _, ok := InterchangeToParallelize(nil); ok {
+		t.Fatal("no vectors → not applicable")
+	}
+}
+
+// Algebraic properties of the vector operations.
+func TestTransformAlgebraProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dirs := []byte{'<', '=', '>', '*'}
+	randVec := func(n int) depvec.Vector {
+		v := make(depvec.Vector, n)
+		for i := range v {
+			v[i] = depvec.Direction(dirs[rng.Intn(len(dirs))])
+		}
+		return v
+	}
+	randPerm := func(n int) []int {
+		p := rng.Perm(n)
+		return p
+	}
+	inverse := func(p []int) []int {
+		inv := make([]int, len(p))
+		for i, v := range p {
+			inv[v] = i
+		}
+		return inv
+	}
+	for iter := 0; iter < 500; iter++ {
+		n := 1 + rng.Intn(4)
+		v := randVec(n)
+		// Normalize is idempotent
+		n1 := Normalize(v)
+		n2 := Normalize(n1)
+		if n1.String() != n2.String() {
+			t.Fatalf("Normalize not idempotent: %s → %s → %s", v, n1, n2)
+		}
+		// Permute by p then by p's inverse restores the vector
+		p := randPerm(n)
+		pv, err := Permute(v, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Permute(pv, inverse(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.String() != v.String() {
+			t.Fatalf("Permute inverse broken: %s, perm %v → %s → %s", v, p, pv, back)
+		}
+		// a legal interchange of normalized vectors keeps them acceptable
+		// under ParallelizableLevel queries (no panic, consistent answers)
+		for lvl := 0; lvl < n; lvl++ {
+			_ = ParallelizableLevel([]depvec.Vector{v}, lvl)
+		}
+	}
+}
+
+// Skewing distance vectors is invertible with the negated factor.
+func TestSkewInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for iter := 0; iter < 300; iter++ {
+		d := DistanceVector{int64(rng.Intn(9) - 4), int64(rng.Intn(9) - 4), int64(rng.Intn(9) - 4)}
+		f := int64(rng.Intn(7) - 3)
+		src, dst := rng.Intn(3), rng.Intn(3)
+		if src == dst {
+			continue
+		}
+		skewed, err := Skew([]DistanceVector{d}, src, dst, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Skew(skewed, src, dst, -f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back[0].String() != d.String() {
+			t.Fatalf("skew not invertible: %s --f=%d--> %s --> %s", d, f, skewed[0], back[0])
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package workload
+
+import (
+	"fmt"
+
+	"exactdep/internal/core"
+	"exactdep/internal/lang"
+	"exactdep/internal/opt"
+	"exactdep/internal/refs"
+)
+
+// Analyze runs one synthetic program through the full pipeline (parse →
+// prepass → pair extraction → analyzer) and returns the analyzer with its
+// counters. Pairs are enumerated without self-pairs: the harness counts
+// distinct-reference pairs, the paper's notion of a dependence-test call.
+func Analyze(s Spec, opts core.Options, symbolic bool) (*core.Analyzer, error) {
+	a := core.New(opts)
+	if err := AnalyzeInto(a, s, symbolic); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// AnalyzeInto runs one synthetic program through an existing analyzer
+// (sharing its memo tables, as a compiler would across a session).
+func AnalyzeInto(a *core.Analyzer, s Spec, symbolic bool) error {
+	cands, err := Candidates(s, symbolic)
+	if err != nil {
+		return err
+	}
+	for _, c := range cands {
+		if _, err := a.AnalyzeCandidate(c); err != nil {
+			return fmt.Errorf("workload %s: %w", s.Name, err)
+		}
+	}
+	return nil
+}
+
+// Candidates parses and lowers one synthetic program and enumerates its
+// candidate pairs (without self-pairs — the paper's counting unit).
+func Candidates(s Spec, symbolic bool) ([]refs.Candidate, error) {
+	src := Source(s, symbolic)
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", s.Name, err)
+	}
+	unit := opt.Lower(prog)
+	if len(unit.Warnings) > 0 {
+		return nil, fmt.Errorf("workload %s: unexpected lowering warnings: %v", s.Name, unit.Warnings)
+	}
+	return refs.PairsOpts(unit, refs.Options{NoSelfPairs: true}), nil
+}

@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"testing"
+
+	"exactdep/internal/core"
+	"exactdep/internal/dtest"
+)
+
+// TestCalibrationTable1 locks the workload to the paper's Table 1: per
+// program, the pipeline must classify exactly the specified number of cases
+// into each column.
+func TestCalibrationTable1(t *testing.T) {
+	for _, s := range Programs() {
+		a, err := Analyze(s, core.Options{}, false)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		st := &a.Stats
+		if st.Constant != s.Constant {
+			t.Errorf("%s: constants = %d, want %d", s.Name, st.Constant, s.Constant)
+		}
+		if st.GCDIndependent != s.GCD.Total {
+			t.Errorf("%s: gcd = %d, want %d", s.Name, st.GCDIndependent, s.GCD.Total)
+		}
+		checks := []struct {
+			kind dtest.Kind
+			want int
+			name string
+		}{
+			{dtest.KindSVPC, s.SVPC.Total, "SVPC"},
+			{dtest.KindAcyclic, s.Acyclic.Total, "Acyclic"},
+			{dtest.KindLoopResidue, s.Residue.Total, "LoopResidue"},
+			{dtest.KindFourierMotzkin, s.FM.Total, "FourierMotzkin"},
+		}
+		for _, c := range checks {
+			if got := st.TestCount(c.kind); got != c.want {
+				t.Errorf("%s: %s = %d, want %d", s.Name, c.name, got, c.want)
+			}
+		}
+		if st.Unknown != 0 {
+			t.Errorf("%s: %d unknown verdicts (cascade must stay exact)", s.Name, st.Unknown)
+		}
+	}
+}
+
+// TestCalibrationTable3 locks the unique-case counts under memoization.
+func TestCalibrationTable3(t *testing.T) {
+	for _, s := range Programs() {
+		a, err := Analyze(s, core.Options{Memoize: true, ImprovedMemo: true}, false)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		st := &a.Stats
+		checks := []struct {
+			kind dtest.Kind
+			want int
+			name string
+		}{
+			{dtest.KindSVPC, s.SVPC.Unique, "SVPC"},
+			{dtest.KindAcyclic, s.Acyclic.Unique, "Acyclic"},
+			{dtest.KindLoopResidue, s.Residue.Unique, "LoopResidue"},
+			{dtest.KindFourierMotzkin, s.FM.Unique, "FourierMotzkin"},
+		}
+		for _, c := range checks {
+			if got := st.TestCount(c.kind); got != c.want {
+				t.Errorf("%s: unique %s = %d, want %d", s.Name, c.name, got, c.want)
+			}
+		}
+	}
+}
+
+// TestSuiteTotals checks the headline numbers: 11,859 constants, 384 GCD,
+// 5,679 tests reducing to 332 unique.
+func TestSuiteTotals(t *testing.T) {
+	plain := core.New(core.Options{})
+	memod := core.New(core.Options{Memoize: true, ImprovedMemo: true})
+	for _, s := range Programs() {
+		if err := AnalyzeInto(plain, s, false); err != nil {
+			t.Fatal(err)
+		}
+		if err := AnalyzeInto(memod, s, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if plain.Stats.Constant != 11859 {
+		t.Errorf("suite constants = %d, want 11859", plain.Stats.Constant)
+	}
+	if plain.Stats.GCDIndependent != 384 {
+		t.Errorf("suite gcd = %d, want 384", plain.Stats.GCDIndependent)
+	}
+	if plain.Stats.TotalTests() != 5679 {
+		t.Errorf("suite tests = %d, want 5679", plain.Stats.TotalTests())
+	}
+	// Memoized: per-program tables are shared across the suite here, so the
+	// unique total can only be ≤ the per-program sum (332); cross-program
+	// sharing is the paper's "standard table" idea.
+	if got := memod.Stats.TotalTests(); got > 332 {
+		t.Errorf("suite unique tests = %d, want ≤ 332", got)
+	}
+	if got := memod.Stats.TotalTests(); got < 200 {
+		t.Errorf("suite unique tests = %d, suspiciously low", got)
+	}
+}
+
+// TestSymbolicAddsCases: Table 7's symbolic cases must add tests and shift
+// some toward Acyclic/FM.
+func TestSymbolicAddsCases(t *testing.T) {
+	for _, s := range Programs() {
+		if (s.Sym == SymSpec{}) {
+			continue
+		}
+		base, err := Analyze(s, core.Options{Memoize: true, ImprovedMemo: true}, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sym, err := Analyze(s, core.Options{Memoize: true, ImprovedMemo: true}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sym.Stats.TotalTests() <= base.Stats.TotalTests() {
+			t.Errorf("%s: symbolic run must add unique tests (%d vs %d)",
+				s.Name, sym.Stats.TotalTests(), base.Stats.TotalTests())
+		}
+		if sym.Stats.Unknown != 0 {
+			t.Errorf("%s: symbolic cases must stay exact", s.Name)
+		}
+	}
+}
+
+// TestIndependentMix checks the suite-wide independent-pair population used
+// by the §7 comparison (the paper's 482 independent pairs out of 5,679).
+func TestIndependentMix(t *testing.T) {
+	a := core.New(core.Options{})
+	for _, s := range Programs() {
+		if err := AnalyzeInto(a, s, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// independent pairs among tested (excluding constants): GCD cases are
+	// all independent; SVPC/... carry the IndepUnique share.
+	indepTested := a.Stats.Independent - constantIndependents()
+	if indepTested < 300 || indepTested > 700 {
+		t.Errorf("independent tested pairs = %d, want a few hundred (paper: 482)", indepTested)
+	}
+}
+
+// constantIndependents counts the constant-class independent pairs the suite
+// generates (4 of every 5 constant cases differ).
+func constantIndependents() int {
+	n := 0
+	for _, s := range Programs() {
+		for i := 0; i < s.Constant; i++ {
+			if i%5 != 4 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TestDepthWrapping: wrapped patterns must carry both the unused outer
+// loops and the used constant-distance dimensions.
+func TestDepthWrapping(t *testing.T) {
+	s, ok := ProgramByName("LG")
+	if !ok || s.Free != 2 || s.Depth != 2 {
+		t.Fatalf("LG spec changed: %+v", s)
+	}
+	src := Source(s, false)
+	for _, want := range []string{"for w2", "for u2", "[u1][u2]", "[u1-1][u2-1]"} {
+		if !contains(src, want) {
+			t.Fatalf("LG source lacks %q", want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}
+
+// TestSourcesParse ensures every generated source (plain and symbolic) is
+// valid input.
+func TestSourcesParse(t *testing.T) {
+	for _, s := range Programs() {
+		for _, symbolic := range []bool{false, true} {
+			if _, err := Analyze(s, core.Options{}, symbolic); err != nil {
+				t.Errorf("%s symbolic=%v: %v", s.Name, symbolic, err)
+			}
+		}
+	}
+}
