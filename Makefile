@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test vet race check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the CI gate: vet plus race-enabled tests, so the concurrent
+# driver (core.AnalyzeAll, memo.ShardedTable) is race-checked on every run.
+check: vet race
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -9,7 +9,9 @@ package exactdep_test
 // tiny fraction of compilation.
 
 import (
+	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"exactdep"
@@ -92,6 +94,55 @@ func BenchmarkTable6Cost(b *testing.B) {
 func BenchmarkTable7Symbolic(b *testing.B) {
 	suite(b, core.Options{Memoize: true, ImprovedMemo: true, DirectionVectors: true,
 		PruneUnused: true, PruneDistance: true}, true)
+}
+
+// BenchmarkConcurrentSuite: the concurrent driver (worker pool + sharded
+// memoization, core.Analyzer.AnalyzeAll) over the whole suite's candidate
+// pairs, serial vs fan-out. Pairs are independent up to the shared cache,
+// so wall-clock should drop with workers on multi-core hardware while the
+// results stay byte-identical — which is asserted here before timing.
+func BenchmarkConcurrentSuite(b *testing.B) {
+	opts := core.Options{Memoize: true, ImprovedMemo: true, DirectionVectors: true,
+		PruneUnused: true, PruneDistance: true}
+	var all []refs.Candidate
+	for _, s := range workload.Programs() {
+		cs, err := workload.Candidates(s, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		all = append(all, cs...)
+	}
+
+	serial := core.New(opts)
+	want, err := serial.AnalyzeAll(all, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	workerCounts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, w := range workerCounts[1:] {
+		par := core.New(opts)
+		got, err := par.AnalyzeAll(all, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", want) {
+			b.Fatalf("results with %d workers differ from the 1-worker run", w)
+		}
+	}
+
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a := core.New(opts)
+				if _, err := a.AnalyzeAll(all, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkFigure1Residue: the §3.4 residue-graph construction and

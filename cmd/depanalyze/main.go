@@ -9,6 +9,7 @@
 //	-vectors=false    skip direction/distance vectors
 //	-memo             enable memoization (improved scheme)
 //	-memo-file=path   persist the memo table across runs (implies -memo)
+//	-workers=N        analysis goroutines (default GOMAXPROCS; 1 = serial)
 //	-stats            print the analyzer counters
 //	-parallel=false   skip the parallelization summary
 //	-annotate         print the source with parallel loops marked 'parfor'
@@ -21,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"exactdep"
 )
@@ -29,6 +31,7 @@ func main() {
 	vectors := flag.Bool("vectors", true, "compute direction and distance vectors")
 	memo := flag.Bool("memo", false, "memoize repeated dependence problems")
 	memoFile := flag.String("memo-file", "", "persist the memo table across runs (implies -memo)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "analysis worker goroutines (1 = serial)")
 	showStats := flag.Bool("stats", false, "print analyzer statistics")
 	par := flag.Bool("parallel", true, "print the loop-parallelization summary")
 	annotate := flag.Bool("annotate", false, "print the source with parallel loops marked 'parfor'")
@@ -73,7 +76,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	results, err := analyzer.AnalyzeUnit(unit)
+	results, err := analyzer.AnalyzeAll(exactdep.Pairs(unit), *workers)
 	if err != nil {
 		fatal(err)
 	}

@@ -212,6 +212,20 @@ func AnalyzeUnit(u *Unit, opts Options) (*Report, error) {
 	return &Report{Unit: u, Results: res, Stats: a.Stats}, nil
 }
 
+// AnalyzeUnitWorkers is AnalyzeUnit on the concurrent driver: candidate
+// pairs fan out over a pool of workers goroutines sharing sharded memo
+// tables (workers <= 0 means GOMAXPROCS, 1 runs serially). Results come
+// back in candidate order and are identical to the serial run's; see
+// Analyzer.AnalyzeAll for the counter-determinism caveats.
+func AnalyzeUnitWorkers(u *Unit, opts Options, workers int) (*Report, error) {
+	a := core.New(opts)
+	res, err := a.AnalyzeAll(refs.Pairs(u), workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Unit: u, Results: res, Stats: a.Stats}, nil
+}
+
 // Loop-parallelism reporting (the application the paper's introduction
 // motivates): a loop parallelizes iff no dependence is carried by it.
 type (

@@ -4,6 +4,15 @@
 // requested — direction/distance vector computation with pruning (§6) and
 // symbolic unknowns (§8). Statistics are collected in the exact shape of the
 // paper's tables.
+//
+// Candidate pairs are independent of each other up to the shared memo cache,
+// so the package also provides the concurrent driver Analyzer.AnalyzeAll: a
+// worker pool over the pair list, sharing sharded memo tables
+// (memo.ShardedTable), accumulating stats.Counters per worker and merging
+// them at the end, with results returned in candidate order. This is the
+// analyzer running *on* many goroutines — not to be confused with
+// internal/parallel, which *detects* loop-level parallelism in the analyzed
+// program. See ARCHITECTURE.md for the full concurrency model.
 package core
 
 import (
@@ -170,10 +179,15 @@ func (c cached) expand(prob *system.Problem) Result {
 }
 
 // Analyzer runs the full pipeline and accumulates statistics.
+//
+// An Analyzer is not safe for concurrent use directly: call AnalyzeAll to
+// fan candidate pairs out over a worker pool. The memo tables start as
+// unsynchronized memo.Tables and are promoted in place to sharded,
+// mutex-guarded tables the first time a concurrent run needs them.
 type Analyzer struct {
 	opts  Options
-	full  *memo.Table[cached]
-	eq    *memo.Table[system.GCDResult]
+	full  memo.Map[cached]
+	eq    memo.Map[system.GCDResult]
 	Stats stats.Counters
 }
 
@@ -211,6 +225,25 @@ func (a *Analyzer) AnalyzePair(p ir.Pair) (Result, error) {
 
 // AnalyzeCandidate analyzes one pre-classified candidate.
 func (a *Analyzer) AnalyzeCandidate(c refs.Candidate) (Result, error) {
+	return a.analyzeCandidate(c, nil)
+}
+
+// provenance records where a result's verdict came from in scheduling-
+// independent terms, so the concurrent driver can rewrite DecidedBy to
+// exactly what a serial pass would have reported (see AnalyzeAll).
+type provenance struct {
+	// key is the canonical full-problem key ("" for constant pairs or when
+	// memoization is off); mirror is the swapped pair's key under
+	// SymmetricMemo.
+	key, mirror string
+	// fresh is the DecidedBy a fresh (uncached) analysis of this canonical
+	// problem reports; for a cache hit it is read from the cached entry.
+	fresh DecidedBy
+}
+
+// analyzeCandidate analyzes one pre-classified candidate, optionally
+// recording provenance for the concurrent driver.
+func (a *Analyzer) analyzeCandidate(c refs.Candidate, prov *provenance) (Result, error) {
 	a.Stats.Pairs++
 	p := c.Pair
 	switch c.Class {
@@ -245,8 +278,19 @@ func (a *Analyzer) AnalyzeCandidate(c refs.Candidate) (Result, error) {
 	if a.opts.Memoize {
 		fullKey = memo.EncodeFull(prob, a.opts.ImprovedMemo)
 		a.Stats.FullLookups++
+		if prov != nil {
+			prov.key = fullKey.Bytes()
+			if a.opts.SymmetricMemo {
+				if mk, err := a.mirrorKey(p); err == nil {
+					prov.mirror = mk.Bytes()
+				}
+			}
+		}
 		if hit, ok := a.full.Lookup(fullKey); ok {
 			a.Stats.FullHits++
+			if prov != nil {
+				prov.fresh = hit.res.DecidedBy
+			}
 			res := hit.expand(prob)
 			res.Pair = p
 			res.DecidedBy = ByCache
@@ -254,10 +298,13 @@ func (a *Analyzer) AnalyzeCandidate(c refs.Candidate) (Result, error) {
 			return res, nil
 		}
 		if a.opts.SymmetricMemo {
-			if res, ok, err := a.lookupMirrored(p, prob); err != nil {
+			if res, under, ok, err := a.lookupMirrored(p, prob); err != nil {
 				return Result{}, err
 			} else if ok {
 				a.Stats.FullHits++
+				if prov != nil {
+					prov.fresh = under
+				}
 				a.tallyVerdict(res)
 				return res, nil
 			}
@@ -265,6 +312,9 @@ func (a *Analyzer) AnalyzeCandidate(c refs.Candidate) (Result, error) {
 	}
 
 	res := a.analyzeFresh(prob, p)
+	if prov != nil {
+		prov.fresh = res.DecidedBy
+	}
 	// GCD-independent verdicts live only in the without-bounds table (the
 	// paper's split: the bounds table holds the cases that actually reached
 	// the exact tests).
@@ -276,17 +326,28 @@ func (a *Analyzer) AnalyzeCandidate(c refs.Candidate) (Result, error) {
 	return res, nil
 }
 
-// lookupMirrored consults the cache under the key of the swapped pair
-// (B, A) and mirrors a hit back onto the original orientation.
-func (a *Analyzer) lookupMirrored(p ir.Pair, prob *system.Problem) (Result, bool, error) {
+// mirrorKey returns the full-problem key of the swapped pair (B, A).
+func (a *Analyzer) mirrorKey(p ir.Pair) (memo.Key, error) {
 	swapped := ir.Pair{A: p.B, B: p.A, Common: p.Common, Symbols: p.Symbols, Label: p.Label}
 	sprob, err := system.Build(swapped)
 	if err != nil {
-		return Result{}, false, err
+		return nil, err
+	}
+	return memo.EncodeFull(sprob, a.opts.ImprovedMemo), nil
+}
+
+// lookupMirrored consults the cache under the key of the swapped pair
+// (B, A) and mirrors a hit back onto the original orientation. under is the
+// cached entry's own DecidedBy (how the entry was originally obtained).
+func (a *Analyzer) lookupMirrored(p ir.Pair, prob *system.Problem) (_ Result, under DecidedBy, _ bool, _ error) {
+	swapped := ir.Pair{A: p.B, B: p.A, Common: p.Common, Symbols: p.Symbols, Label: p.Label}
+	sprob, err := system.Build(swapped)
+	if err != nil {
+		return Result{}, 0, false, err
 	}
 	hit, ok := a.full.Lookup(memo.EncodeFull(sprob, a.opts.ImprovedMemo))
 	if !ok {
-		return Result{}, false, nil
+		return Result{}, 0, false, nil
 	}
 	res := hit.expand(prob)
 	res.Pair = p
@@ -310,7 +371,7 @@ func (a *Analyzer) lookupMirrored(p ir.Pair, prob *system.Problem) (Result, bool
 	for di := range res.Distances {
 		res.Distances[di].Value = -res.Distances[di].Value
 	}
-	return res, true, nil
+	return res, hit.res.DecidedBy, true, nil
 }
 
 // analyzeFresh runs GCD preprocessing and the tests on a cache miss.

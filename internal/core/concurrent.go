@@ -1,0 +1,183 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"exactdep/internal/memo"
+	"exactdep/internal/refs"
+	"exactdep/internal/stats"
+	"exactdep/internal/system"
+)
+
+// AnalyzeAll analyzes every candidate pair with a pool of workers sharing
+// this analyzer's memo tables, and returns the results in candidate order.
+// workers <= 0 means runtime.GOMAXPROCS(0); workers == 1 runs serially on
+// the calling goroutine with no synchronization overhead.
+//
+// The first concurrent run promotes the analyzer's memo tables to sharded,
+// mutex-guarded tables (existing entries — e.g. from LoadMemo — are
+// carried over), so a warm table keeps serving hits across runs. Each
+// worker accumulates its own stats.Counters, merged into a.Stats at the
+// end; UniqueFull/UniqueEq are then snapshotted from the shared tables.
+//
+// Results are deterministic — byte-identical across worker counts and
+// schedules. Verdicts, vectors, and distances are deterministic because a
+// cache hit expands to exactly what a fresh computation of the same
+// canonical problem produces, so racing workers can only agree. DecidedBy
+// is provenance (cache vs test) and *does* depend on which worker reached a
+// problem first, so workers record each pair's canonical key plus its
+// underlying fresh verdict, and an ordered post-pass replays the serial
+// rule: the first occurrence of each cacheable problem keeps its fresh
+// DecidedBy, later occurrences report ByCache. (Exception: with
+// Options.SymmetricMemo the *order* of a result's direction vectors can
+// depend on whether the mirrored entry was cached first; verdicts, vector
+// sets, and distances remain deterministic.)
+//
+// Counter values that depend on cache timing — hit and per-test counts —
+// may vary between concurrent runs; verdict tallies (Pairs, Constant,
+// GCDIndependent, Independent, Dependent, Unknown) and the unique-problem
+// counts do not.
+func (a *Analyzer) AnalyzeAll(cands []refs.Candidate, workers int) ([]Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers <= 1 {
+		out := make([]Result, 0, len(cands))
+		for _, c := range cands {
+			r, err := a.AnalyzeCandidate(c)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+		return out, nil
+	}
+
+	a.shardTables(workers)
+
+	// Snapshot the keys already cached (LoadMemo, earlier runs) before
+	// workers start: the provenance post-pass must treat them as hits from
+	// the first occurrence on, exactly as a serial pass over a warm table
+	// would.
+	var provs []provenance
+	var seen map[string]bool
+	if a.opts.Memoize {
+		provs = make([]provenance, len(cands))
+		seen = make(map[string]bool, a.full.Len())
+		a.full.Range(func(k memo.Key, _ cached) bool {
+			seen[k.Bytes()] = true
+			return true
+		})
+	}
+
+	out := make([]Result, len(cands))
+	counters := make([]stats.Counters, workers)
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+		errMu  sync.Mutex
+		errIdx = len(cands)
+		errVal error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker is a private Analyzer view over the shared
+			// tables: options are read-only, counters are per-worker.
+			wa := &Analyzer{opts: a.opts, full: a.full, eq: a.eq}
+			defer func() { counters[w] = wa.Stats }()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(cands) {
+					return
+				}
+				var prov *provenance
+				if provs != nil {
+					prov = &provs[i]
+				}
+				r, err := wa.analyzeCandidate(cands[i], prov)
+				if err != nil {
+					errMu.Lock()
+					// Keep the error of the earliest failing candidate so
+					// the reported failure does not depend on scheduling.
+					if i < errIdx {
+						errIdx, errVal = i, err
+					}
+					errMu.Unlock()
+					failed.Store(true)
+					return
+				}
+				out[i] = r
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := range counters {
+		a.Stats.Add(&counters[w])
+	}
+	// Add sums the per-worker uniqueness snapshots, which is meaningless for
+	// a shared table — replace with the table's final size.
+	a.Stats.UniqueFull = a.full.Len()
+	a.Stats.UniqueEq = a.eq.Len()
+	if errVal != nil {
+		return nil, errVal
+	}
+
+	// Provenance post-pass: rewrite DecidedBy in candidate order to the
+	// serial rule. GCD-independent verdicts are never stored in the full
+	// table, so every occurrence reports ByGCD; any other problem's first
+	// occurrence keeps its fresh verdict and marks the key, later
+	// occurrences (directly or, under SymmetricMemo, via the mirrored key)
+	// report ByCache.
+	for i := range provs {
+		pv := &provs[i]
+		if pv.key == "" { // constant pair: decided before memoization
+			continue
+		}
+		if pv.fresh == ByGCD {
+			out[i].DecidedBy = ByGCD
+			continue
+		}
+		if seen[pv.key] || (pv.mirror != "" && seen[pv.mirror]) {
+			out[i].DecidedBy = ByCache
+		} else {
+			out[i].DecidedBy = pv.fresh
+		}
+		seen[pv.key] = true
+	}
+	return out, nil
+}
+
+// shardTables promotes the memo tables to their concurrent form, copying
+// any existing entries. Idempotent; must be called before workers start.
+func (a *Analyzer) shardTables(workers int) {
+	// More shards than workers keeps the collision probability low without
+	// noticeable memory cost; the cap bounds the per-Len/Stats sweep.
+	shards := 4 * workers
+	if shards > 256 {
+		shards = 256
+	}
+	if _, ok := a.full.(*memo.ShardedTable[cached]); !ok {
+		st := memo.NewShardedTable[cached](shards)
+		a.full.Range(func(k memo.Key, v cached) bool {
+			st.Insert(k, v)
+			return true
+		})
+		a.full = st
+	}
+	if _, ok := a.eq.(*memo.ShardedTable[system.GCDResult]); !ok {
+		st := memo.NewShardedTable[system.GCDResult](shards)
+		a.eq.Range(func(k memo.Key, v system.GCDResult) bool {
+			st.Insert(k, v)
+			return true
+		})
+		a.eq = st
+	}
+}

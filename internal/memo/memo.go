@@ -10,9 +10,15 @@
 // full problem. The "improved" encoding first drops loop variables that
 // cannot affect the verdict (unused indices), merging cases such as the
 // paper's pair of doubly nested loops that both collapse to a single loop.
+//
+// Two table implementations share the Map interface: Table is the paper's
+// open hash table, unsynchronized, for serial analysis; ShardedTable splits
+// the key space over power-of-two mutex-guarded shards so the concurrent
+// driver's workers can share one cache (see core.Analyzer.AnalyzeAll).
 package memo
 
 import (
+	"encoding/binary"
 	"sort"
 
 	"exactdep/internal/system"
@@ -20,6 +26,18 @@ import (
 
 // Key is a canonical integer encoding of a dependence problem.
 type Key []int64
+
+// Bytes renders the key as a compact string usable as a Go map key: eight
+// little-endian bytes per element, so keys of different lengths can never
+// collide. The concurrent driver uses this to replay cache provenance
+// deterministically.
+func (k Key) Bytes() string {
+	b := make([]byte, 8*len(k))
+	for i, v := range k {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(v))
+	}
+	return string(b)
+}
 
 // hash implements the paper's function: size(x) + Σ 2^i·x_i. Shifts wrap at
 // 63 bits; the table resolves residual collisions by key comparison.

@@ -1,0 +1,141 @@
+package memo
+
+import "sync"
+
+// Map is the table surface the analyzer depends on. Table implements it for
+// serial use; ShardedTable implements it for concurrent use. Both share the
+// paper's canonical keys, so a serial table can be promoted to a sharded one
+// by re-inserting its entries.
+type Map[V any] interface {
+	Lookup(Key) (V, bool)
+	Insert(Key, V)
+	Len() int
+	Stats() (lookups, hits int)
+	Range(func(Key, V) bool)
+}
+
+var (
+	_ Map[int] = (*Table[int])(nil)
+	_ Map[int] = (*ShardedTable[int])(nil)
+)
+
+// ShardedTable is a concurrency-safe memo table: N power-of-two shards, each
+// a mutex-guarded Table, with the shard chosen by the key's hash. Workers of
+// the concurrent driver contend only when their keys land in the same shard,
+// which the workload's skew makes rare: the hot keys (the paper's few
+// hundred canonical problems) spread across shards, and the common case is
+// an uncontended lock acquire around a short probe.
+//
+// Values are stored as given; callers that cache the same key from multiple
+// goroutines must make the value deterministic in the key (true for the
+// analyzer: a canonical problem has exactly one verdict), so a racing
+// double-insert is a benign same-value overwrite.
+type ShardedTable[V any] struct {
+	shift uint
+	sh    []shard[V]
+}
+
+// shard pads each mutex+table to its own cache line so neighbouring shards
+// do not false-share under write-heavy warmup.
+type shard[V any] struct {
+	mu sync.Mutex
+	t  *Table[V]
+	_  [64 - 8 - 8]byte
+}
+
+// DefaultShards is the shard count NewShardedTable uses for n <= 0.
+const DefaultShards = 16
+
+// NewShardedTable returns an empty table with n shards, rounded up to a
+// power of two (n <= 0 means DefaultShards).
+func NewShardedTable[V any](n int) *ShardedTable[V] {
+	if n <= 0 {
+		n = DefaultShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	s := &ShardedTable[V]{sh: make([]shard[V], p)}
+	for i := range s.sh {
+		s.sh[i].t = NewTable[V]()
+	}
+	for p > 1 {
+		s.shift++
+		p >>= 1
+	}
+	return s
+}
+
+// shardFor picks a shard from the key's hash. The in-shard Table indexes
+// buckets with the hash's low bits, so the shard choice uses the high bits
+// of a Fibonacci-mixed hash — shard and bucket selection stay uncorrelated
+// even for the paper's additive hash on short keys.
+func (s *ShardedTable[V]) shardFor(k Key) *shard[V] {
+	h := k.hash() * 0x9E3779B97F4A7C15
+	return &s.sh[h>>(64-s.shift)&uint64(len(s.sh)-1)]
+}
+
+// Lookup returns the cached value for k. Safe for concurrent use.
+func (s *ShardedTable[V]) Lookup(k Key) (V, bool) {
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	v, ok := sh.t.Lookup(k)
+	sh.mu.Unlock()
+	return v, ok
+}
+
+// Insert stores v under k (overwriting an existing entry). Safe for
+// concurrent use.
+func (s *ShardedTable[V]) Insert(k Key, v V) {
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	sh.t.Insert(k, v)
+	sh.mu.Unlock()
+}
+
+// Len returns the number of unique entries, summed across shards. During
+// concurrent inserts the sum is a point-in-time snapshot per shard.
+func (s *ShardedTable[V]) Len() int {
+	n := 0
+	for i := range s.sh {
+		s.sh[i].mu.Lock()
+		n += s.sh[i].t.Len()
+		s.sh[i].mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns lookup and hit counts merged across shards.
+func (s *ShardedTable[V]) Stats() (lookups, hits int) {
+	for i := range s.sh {
+		s.sh[i].mu.Lock()
+		l, h := s.sh[i].t.Stats()
+		s.sh[i].mu.Unlock()
+		lookups += l
+		hits += h
+	}
+	return lookups, hits
+}
+
+// Range calls f for every entry until f returns false, shard by shard. Each
+// shard's lock is held while its entries are visited: f must not call back
+// into the table.
+func (s *ShardedTable[V]) Range(f func(Key, V) bool) {
+	for i := range s.sh {
+		sh := &s.sh[i]
+		sh.mu.Lock()
+		done := false
+		sh.t.Range(func(k Key, v V) bool {
+			if !f(k, v) {
+				done = true
+				return false
+			}
+			return true
+		})
+		sh.mu.Unlock()
+		if done {
+			return
+		}
+	}
+}

@@ -4,6 +4,12 @@
 // A dependence with direction vector ψ is carried by the outermost level k
 // whose component is not '=' ; if that component is '<' (or '>'), the two
 // iterations conflict across different iterations of loop k, serializing it.
+//
+// Naming note: this package is about parallelism *in the analyzed program*
+// (loop-parallelism detection, the paper's application). The concurrency of
+// the analyzer itself — fanning candidate pairs over a goroutine worker
+// pool with sharded memoization — is the concurrent driver in
+// internal/core (Analyzer.AnalyzeAll).
 package parallel
 
 import (

@@ -9,31 +9,80 @@ import (
 	"exactdep/internal/refs"
 )
 
-// Analyze runs one synthetic program through the full pipeline (parse →
-// prepass → pair extraction → analyzer) and returns the analyzer with its
-// counters. Pairs are enumerated without self-pairs: the harness counts
-// distinct-reference pairs, the paper's notion of a dependence-test call.
-func Analyze(s Spec, opts core.Options, symbolic bool) (*core.Analyzer, error) {
-	a := core.New(opts)
-	if err := AnalyzeInto(a, s, symbolic); err != nil {
+// RunnerOptions configures one suite-runner invocation.
+type RunnerOptions struct {
+	// Core configures the analyzer (memoization, direction vectors, …).
+	Core core.Options
+	// Symbolic appends the Table 7 symbolic cases to each program.
+	Symbolic bool
+	// Workers is the fan-out of the concurrent driver (core.AnalyzeAll):
+	// 0 or 1 analyzes serially on the calling goroutine, N > 1 shares the
+	// analyzer's sharded memo tables across N goroutines. Results and
+	// verdict tallies are identical either way; only wall-clock changes.
+	Workers int
+}
+
+// Run analyzes one synthetic program with a fresh analyzer and returns the
+// analyzer with its counters.
+func Run(s Spec, ro RunnerOptions) (*core.Analyzer, error) {
+	a := core.New(ro.Core)
+	if _, err := RunInto(a, s, ro); err != nil {
 		return nil, err
 	}
 	return a, nil
 }
 
+// RunInto runs one synthetic program through an existing analyzer (sharing
+// its memo tables, as a compiler would across a session) and returns the
+// per-pair results in candidate order.
+func RunInto(a *core.Analyzer, s Spec, ro RunnerOptions) ([]core.Result, error) {
+	cands, err := Candidates(s, ro.Symbolic)
+	if err != nil {
+		return nil, err
+	}
+	if ro.Workers <= 1 {
+		out := make([]core.Result, 0, len(cands))
+		for _, c := range cands {
+			r, err := a.AnalyzeCandidate(c)
+			if err != nil {
+				return nil, fmt.Errorf("workload %s: %w", s.Name, err)
+			}
+			out = append(out, r)
+		}
+		return out, nil
+	}
+	out, err := a.AnalyzeAll(cands, ro.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", s.Name, err)
+	}
+	return out, nil
+}
+
+// RunSuite runs every program of the suite through one analyzer (shared
+// memo tables, one compiler session) and returns it with merged counters.
+func RunSuite(ro RunnerOptions) (*core.Analyzer, error) {
+	a := core.New(ro.Core)
+	for _, s := range Programs() {
+		if _, err := RunInto(a, s, ro); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// Analyze runs one synthetic program through the full pipeline (parse →
+// prepass → pair extraction → analyzer) and returns the analyzer with its
+// counters. Pairs are enumerated without self-pairs: the harness counts
+// distinct-reference pairs, the paper's notion of a dependence-test call.
+func Analyze(s Spec, opts core.Options, symbolic bool) (*core.Analyzer, error) {
+	return Run(s, RunnerOptions{Core: opts, Symbolic: symbolic})
+}
+
 // AnalyzeInto runs one synthetic program through an existing analyzer
 // (sharing its memo tables, as a compiler would across a session).
 func AnalyzeInto(a *core.Analyzer, s Spec, symbolic bool) error {
-	cands, err := Candidates(s, symbolic)
-	if err != nil {
-		return err
-	}
-	for _, c := range cands {
-		if _, err := a.AnalyzeCandidate(c); err != nil {
-			return fmt.Errorf("workload %s: %w", s.Name, err)
-		}
-	}
-	return nil
+	_, err := RunInto(a, s, RunnerOptions{Symbolic: symbolic})
+	return err
 }
 
 // Candidates parses and lowers one synthetic program and enumerates its
