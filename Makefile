@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench
+.PHONY: build test vet race check allocgate bench
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,19 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# check is the CI gate: vet plus race-enabled tests, so the concurrent
-# driver (core.AnalyzeAll, memo.ShardedTable) is race-checked on every run.
-check: vet race
+# allocgate re-runs the steady-state allocation assertions without the race
+# detector (they skip themselves under it, since the instrumentation
+# allocates), so the zero-allocation cascade path stays gated even though
+# the main test run is race-enabled.
+allocgate:
+	$(GO) test ./internal/dtest -run 'TestCascadeZeroAllocs|TestRunTracedReusesScratch'
 
+# check is the CI gate: vet plus race-enabled tests, so the concurrent
+# driver (core.AnalyzeAll, memo.ShardedTable) is race-checked on every run,
+# plus the allocation-regression gate.
+check: vet race allocgate
+
+# bench runs the paper-evaluation benchmarks (root package) and the cascade
+# stage/allocation microbenchmarks (internal/dtest) with allocation counts.
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -run '^$$' -bench . -benchmem . ./internal/dtest

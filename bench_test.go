@@ -219,13 +219,16 @@ func perTestProblem(b *testing.B, kind dtest.Kind) *system.TSystem {
 
 // benchCascade times the cascade on a problem decided by one test — the
 // paper's §7 microbenchmark (0.1 / 0.5 / 0.9 / 3 ms on a 12-MIPS machine;
-// the reproduced claim is the ordering).
+// the reproduced claim is the ordering). A persistent pipeline reuses its
+// scratch across iterations, as the analyzer's workers do, so allocs/op is
+// the steady-state figure (0 for the cheap tests).
 func benchCascade(b *testing.B, kind dtest.Kind) {
 	ts := perTestProblem(b, kind)
+	p := dtest.DefaultConfig().NewPipeline()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, _ := dtest.Solve(ts.Clone())
-		if r.Kind != kind {
+		if r := p.Run(ts); r.Kind != kind {
 			b.Fatalf("decided by %v", r.Kind)
 		}
 	}
@@ -237,17 +240,22 @@ func BenchmarkLoopResidue(b *testing.B)    { benchCascade(b, dtest.KindLoopResid
 func BenchmarkFourierMotzkin(b *testing.B) { benchCascade(b, dtest.KindFourierMotzkin) }
 
 // BenchmarkAblationCascadeVsFMOnly: design-choice ablation — the cascade
-// against running the backup test alone on the SVPC-dominated workload.
+// against running the backup test alone on the SVPC-dominated workload,
+// via the two registered pipeline configurations.
 func BenchmarkAblationCascadeVsFMOnly(b *testing.B) {
 	ts := perTestProblem(b, dtest.KindSVPC)
 	b.Run("cascade", func(b *testing.B) {
+		p := dtest.DefaultConfig().NewPipeline()
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			dtest.Solve(ts.Clone())
+			p.Run(ts)
 		}
 	})
 	b.Run("fm-only", func(b *testing.B) {
+		p := dtest.FMOnlyConfig().NewPipeline()
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			dtest.FourierMotzkin(dtest.NewState(ts.Clone()))
+			p.Run(ts)
 		}
 	})
 }

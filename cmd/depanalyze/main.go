@@ -10,6 +10,8 @@
 //	-memo             enable memoization (improved scheme)
 //	-memo-file=path   persist the memo table across runs (implies -memo)
 //	-workers=N        analysis goroutines (default GOMAXPROCS; 1 = serial)
+//	-cascade=full     cascade pipeline: full (cost-ordered) or fm-only
+//	                  (Fourier–Motzkin alone, for cross-validation)
 //	-stats            print the analyzer counters
 //	-parallel=false   skip the parallelization summary
 //	-annotate         print the source with parallel loops marked 'parfor'
@@ -32,6 +34,7 @@ func main() {
 	memo := flag.Bool("memo", false, "memoize repeated dependence problems")
 	memoFile := flag.String("memo-file", "", "persist the memo table across runs (implies -memo)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "analysis worker goroutines (1 = serial)")
+	cascade := flag.String("cascade", "full", "cascade pipeline: full (cost-ordered) or fm-only (cross-validation)")
 	showStats := flag.Bool("stats", false, "print analyzer statistics")
 	par := flag.Bool("parallel", true, "print the loop-parallelization summary")
 	annotate := flag.Bool("annotate", false, "print the source with parallel loops marked 'parfor'")
@@ -58,6 +61,7 @@ func main() {
 		PruneDistance:    *vectors,
 		Memoize:          *memo,
 		ImprovedMemo:     *memo,
+		Cascade:          *cascade,
 	}
 	prog, err := exactdep.Parse(src)
 	if err != nil {

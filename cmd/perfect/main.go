@@ -11,6 +11,7 @@
 //	perfect -figure 1    the Loop Residue constraint graph of §3.4
 //	perfect -compare     §7 exact-vs-inexact accuracy comparison
 //	perfect -shared      §5 standard-table-across-compilations experiment
+//	perfect -costs       Table 6 cost model: cascade probes consulted per stage
 //	perfect -dump AP     print program AP's generated synthetic source
 //	perfect -all         everything above in order
 //
@@ -31,6 +32,7 @@ func main() {
 	figure := flag.Int("figure", 0, "regenerate figure N (1)")
 	compare := flag.Bool("compare", false, "run the §7 exact-vs-inexact comparison")
 	shared := flag.Bool("shared", false, "run the §5 standard-table-across-compilations experiment")
+	costs := flag.Bool("costs", false, "print the Table 6 cost-model report (cascade probes per stage)")
 	dump := flag.String("dump", "", "print the generated synthetic source of one program (e.g. -dump AP)")
 	symbolic := flag.Bool("symbolic", false, "with -dump: include the Table 7 symbolic cases")
 	all := flag.Bool("all", false, "run every experiment")
@@ -54,6 +56,7 @@ func main() {
 		run("figure 1", func() error { return h.Figure(1) })
 		run("compare", h.Compare)
 		run("shared", h.SharedTable)
+		run("costs", h.CostReport)
 		return
 	}
 	if *table != 0 {
@@ -67,6 +70,9 @@ func main() {
 	}
 	if *shared {
 		run("shared table", h.SharedTable)
+	}
+	if *costs {
+		run("cost report", h.CostReport)
 	}
 	if *dump != "" {
 		run("dump", func() error {

@@ -49,6 +49,15 @@ type Options struct {
 	// and a hit is mirrored back: directions flip between '<' and '>',
 	// distances negate.
 	SymmetricMemo bool
+	// Cascade names the dtest pipeline configuration: "" or "full" for the
+	// paper's cost-ordered cascade, "fm-only" to run the Fourier–Motzkin
+	// backup alone (cross-validation). An unknown name surfaces as an error
+	// from the first Analyze call.
+	Cascade string
+	// TimeCascade enables per-stage wall-time accounting in the cascade
+	// (stats.Counters.StageTimeNs). Off by default: two clock reads per
+	// consulted stage are measurable next to a sub-microsecond SVPC probe.
+	TimeCascade bool
 }
 
 // DecidedBy identifies how a pair's verdict was obtained.
@@ -189,14 +198,70 @@ type Analyzer struct {
 	full  memo.Map[cached]
 	eq    memo.Map[system.GCDResult]
 	Stats stats.Counters
+
+	// The cascade engine: cfg is the shared, immutable stage configuration
+	// (selected by Options.Cascade); pipe is this analyzer's private
+	// pipeline with its own scratch. prevStage holds the pipeline metrics
+	// at the last sync so syncStageStats can fold pure deltas into Stats,
+	// keeping the counters additive across worker merges. cfgErr is a
+	// deferred Options.Cascade resolution error, reported by the first
+	// Analyze call.
+	cfg       *dtest.Config
+	pipe      *dtest.Pipeline
+	prevStage []dtest.StageMetrics
+	cfgErr    error
 }
 
 // New returns an analyzer with the given options.
 func New(opts Options) *Analyzer {
-	return &Analyzer{
+	a := &Analyzer{
 		opts: opts,
 		full: memo.NewTable[cached](),
 		eq:   memo.NewTable[system.GCDResult](),
+	}
+	cfg, err := dtest.ConfigByName(opts.Cascade)
+	if err != nil {
+		a.cfgErr = err
+		return a
+	}
+	a.cfg = cfg
+	a.pipe = a.newPipeline()
+	a.prevStage = make([]dtest.StageMetrics, cfg.NumStages())
+	return a
+}
+
+// newPipeline builds a pipeline over the analyzer's stage configuration,
+// honoring the timing option.
+func (a *Analyzer) newPipeline() *dtest.Pipeline {
+	p := a.cfg.NewPipeline()
+	p.SetTimed(a.opts.TimeCascade)
+	return p
+}
+
+// workerView returns a private analyzer view over the shared memo tables
+// for one worker goroutine: options and the stage configuration are shared
+// read-only; the pipeline (with its scratch) and the counters are
+// per-worker.
+func (a *Analyzer) workerView() *Analyzer {
+	wa := &Analyzer{opts: a.opts, full: a.full, eq: a.eq, cfg: a.cfg, cfgErr: a.cfgErr}
+	if wa.cfg != nil {
+		wa.pipe = wa.newPipeline()
+		wa.prevStage = make([]dtest.StageMetrics, wa.cfg.NumStages())
+	}
+	return wa
+}
+
+// syncStageStats folds the pipeline's cumulative per-stage metrics into the
+// Table 6 counters as deltas since the last sync.
+func (a *Analyzer) syncStageStats() {
+	for i := 0; i < a.cfg.NumStages(); i++ {
+		m := a.pipe.StageMetrics(i)
+		prev := a.prevStage[i]
+		k := int(a.cfg.Stage(i).Kind())
+		a.Stats.StageConsulted[k] += m.Consulted - prev.Consulted
+		a.Stats.StageDecided[k] += m.Decided - prev.Decided
+		a.Stats.StageTimeNs[k] += int64(m.Time - prev.Time)
+		a.prevStage[i] = m
 	}
 }
 
@@ -244,6 +309,9 @@ type provenance struct {
 // analyzeCandidate analyzes one pre-classified candidate, optionally
 // recording provenance for the concurrent driver.
 func (a *Analyzer) analyzeCandidate(c refs.Candidate, prov *provenance) (Result, error) {
+	if a.cfgErr != nil {
+		return Result{}, a.cfgErr
+	}
 	a.Stats.Pairs++
 	p := c.Pair
 	switch c.Class {
@@ -409,8 +477,9 @@ func (a *Analyzer) analyzeFresh(prob *system.Problem, p ir.Pair) Result {
 	}
 
 	if !a.opts.DirectionVectors {
-		r, _ := dtest.Solve(ts)
+		r := a.pipe.Run(ts)
 		a.Stats.Tests[int(r.Kind)]++
+		a.syncStageStats()
 		return Result{Pair: p, Outcome: r.Outcome, Exact: r.Exact, DecidedBy: ByTest, Kind: r.Kind}
 	}
 
@@ -422,6 +491,7 @@ func (a *Analyzer) analyzeFresh(prob *system.Problem, p ir.Pair) Result {
 		PruneUnused:   a.opts.PruneUnused,
 		PruneDistance: a.opts.PruneDistance,
 		Separable:     a.opts.Separable,
+		Pipeline:      a.pipe,
 	}, func(r dtest.Result) {
 		if first {
 			baseKind = r.Kind
@@ -454,6 +524,7 @@ func (a *Analyzer) analyzeFresh(prob *system.Problem, p ir.Pair) Result {
 		}
 	}
 	a.Stats.Vectors += len(sum.Vectors)
+	a.syncStageStats()
 	return out
 }
 

@@ -1,0 +1,112 @@
+package core_test
+
+// Tests for the analyzer's cascade-pipeline wiring: configuration selection
+// via Options.Cascade, the deferred error for unknown names, and the
+// per-stage Table 6 counters surviving the concurrent merge.
+
+import (
+	"strings"
+	"testing"
+
+	"exactdep/internal/core"
+	"exactdep/internal/dtest"
+	"exactdep/internal/workload"
+)
+
+var cascadeKinds = []dtest.Kind{
+	dtest.KindSVPC, dtest.KindAcyclic, dtest.KindLoopResidue, dtest.KindFourierMotzkin,
+}
+
+// TestCascadeOptionFMOnly cross-validates the fm-only configuration at the
+// analyzer level: on every candidate both configurations answer exactly, the
+// verdicts must agree, and the stage counters must show that fm-only never
+// consulted a cheap test.
+func TestCascadeOptionFMOnly(t *testing.T) {
+	cands := suiteCandidates(t, false)
+	def := core.New(core.Options{})
+	fm := core.New(core.Options{Cascade: "fm-only"})
+	compared := 0
+	for i, c := range cands {
+		rd, err := def.AnalyzeCandidate(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf, err := fm.AnalyzeCandidate(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rd.Exact || !rf.Exact {
+			continue // FM hit its caps, or the pair is unanalyzable exactly
+		}
+		if rd.Outcome != rf.Outcome {
+			t.Fatalf("candidate %d: default cascade %v, fm-only %v", i, rd.Outcome, rf.Outcome)
+		}
+		compared++
+	}
+	if compared < 100 {
+		t.Fatalf("only %d comparable candidates — suite drifted", compared)
+	}
+	for _, k := range []dtest.Kind{dtest.KindSVPC, dtest.KindAcyclic, dtest.KindLoopResidue} {
+		if n := fm.Stats.ConsultedCount(k); n != 0 {
+			t.Errorf("fm-only analyzer consulted %v %d times", k, n)
+		}
+	}
+	if fm.Stats.ConsultedCount(dtest.KindFourierMotzkin) == 0 {
+		t.Error("fm-only analyzer never consulted Fourier–Motzkin")
+	}
+	if def.Stats.ConsultedCount(dtest.KindSVPC) == 0 {
+		t.Error("default analyzer never consulted SVPC")
+	}
+}
+
+// TestCascadeOptionInvalid: an unknown configuration name surfaces as an
+// error on first use (core.New cannot return one), from both entry points.
+func TestCascadeOptionInvalid(t *testing.T) {
+	s, ok := workload.ProgramByName("TI")
+	if !ok {
+		t.Fatal("TI missing")
+	}
+	cands, err := workload.Candidates(s, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := core.New(core.Options{Cascade: "bogus"})
+	if _, err := a.AnalyzeCandidate(cands[0]); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("AnalyzeCandidate error = %v, want one naming the bad configuration", err)
+	}
+	b := core.New(core.Options{Cascade: "bogus"})
+	if _, err := b.AnalyzeAll(cands, 4); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("AnalyzeAll error = %v, want one naming the bad configuration", err)
+	}
+}
+
+// TestStageCountersDeterministicWithoutMemo pins the per-worker delta merge:
+// without memoization every candidate is computed fresh regardless of
+// scheduling, so the merged per-stage consulted/decided counters must equal
+// the serial run's exactly, at any worker count.
+func TestStageCountersDeterministicWithoutMemo(t *testing.T) {
+	opts := core.Options{DirectionVectors: true, PruneUnused: true, PruneDistance: true}
+	cands := suiteCandidates(t, false)
+
+	serial := core.New(opts)
+	if _, err := serial.AnalyzeAll(cands, 1); err != nil {
+		t.Fatal(err)
+	}
+	if serial.Stats.ConsultedCount(dtest.KindSVPC) == 0 {
+		t.Fatal("serial run consulted nothing — counters not wired")
+	}
+	for _, workers := range []int{2, 8} {
+		par := core.New(opts)
+		if _, err := par.AnalyzeAll(cands, workers); err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range cascadeKinds {
+			if got, want := par.Stats.ConsultedCount(k), serial.Stats.ConsultedCount(k); got != want {
+				t.Errorf("workers=%d: %v consulted %d, serial %d", workers, k, got, want)
+			}
+			if got, want := par.Stats.DecidedCount(k), serial.Stats.DecidedCount(k); got != want {
+				t.Errorf("workers=%d: %v decided %d, serial %d", workers, k, got, want)
+			}
+		}
+	}
+}

@@ -90,8 +90,11 @@ func (a *Analyzer) AnalyzeAll(cands []refs.Candidate, workers int) ([]Result, er
 		go func(w int) {
 			defer wg.Done()
 			// Each worker is a private Analyzer view over the shared
-			// tables: options are read-only, counters are per-worker.
-			wa := &Analyzer{opts: a.opts, full: a.full, eq: a.eq}
+			// tables: options and the cascade stage configuration are
+			// read-only; the cascade pipeline (with its scratch) and the
+			// counters — including the per-stage Table 6 cost counters —
+			// are per-worker and merged at the end.
+			wa := a.workerView()
 			defer func() { counters[w] = wa.Stats }()
 			for !failed.Load() {
 				i := int(next.Add(1)) - 1

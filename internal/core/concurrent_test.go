@@ -6,6 +6,7 @@ package core_test
 import (
 	"fmt"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"exactdep/internal/core"
@@ -66,7 +67,11 @@ func TestAnalyzeAllDeterministic(t *testing.T) {
 	wantBytes := fmt.Sprintf("%+v", want)
 	wantTallies := deterministicTallies(&serial.Stats)
 
-	for _, workers := range []int{2, 4, 8} {
+	workerCounts := []int{2, 4, 8}
+	if n := runtime.GOMAXPROCS(0); n != 2 && n != 4 && n != 8 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
 			par := core.New(opts)
 			got, err := par.AnalyzeAll(cands, workers)

@@ -140,6 +140,11 @@ type Options struct {
 	// instead of up to 3^L. Non-separable systems fall back to the
 	// hierarchical method.
 	Separable bool
+	// Pipeline, when non-nil, runs every cascade invocation through this
+	// engine (reusing its scratch and feeding its per-stage cost metrics)
+	// instead of a throwaway dtest.Solve. The analyzer passes its worker's
+	// pipeline here so direction tests are cost-accounted like base tests.
+	Pipeline *dtest.Pipeline
 }
 
 // Summary is the direction-vector analysis result for one pair.
@@ -199,7 +204,12 @@ func ComputeObserved(ts *system.TSystem, opts Options, onTest func(dtest.Result)
 	}
 
 	run := func(s *system.TSystem) dtest.Result {
-		r, _ := dtest.Solve(s)
+		var r dtest.Result
+		if opts.Pipeline != nil {
+			r = opts.Pipeline.Run(s)
+		} else {
+			r, _ = dtest.Solve(s)
+		}
 		sum.TestsRun++
 		if r.Outcome == dtest.Unknown {
 			sum.Exact = false

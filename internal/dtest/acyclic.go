@@ -14,9 +14,11 @@ type elimEntry struct {
 	// For unbounded eliminations: sign +1 means the multi-variable
 	// constraints only bounded v from above (all coefficients positive), so
 	// the dropped constraints are satisfied by a small enough value.
-	sign      int
-	dropped   []system.Constraint
-	selfBound optInt // v's own single-variable bound on the satisfiable side
+	sign int
+	// The dropped constraints are the run [dropStart, dropEnd) of the
+	// scratch's shared dropped buffer.
+	dropStart, dropEnd int
+	selfBound          optInt // v's own single-variable bound on the satisfiable side
 }
 
 // Acyclic runs the Acyclic test (paper §3.3). It repeatedly finds a variable
@@ -30,29 +32,45 @@ type elimEntry struct {
 // When a cycle blocks progress the test is inapplicable: it returns
 // decided=false together with the partially simplified state, which the
 // paper notes "simplifies the system for the next stages".
+//
+// This convenience wrapper allocates a private scratch; the pipeline calls
+// acyclicApply on its own.
 func Acyclic(s *state) (res Result, simplified *state, decided bool) {
-	st := s.clone()
-	var journal []elimEntry
+	return acyclicApply(s, newScratch())
+}
+
+// acyclicApply is Acyclic working entirely out of sc: the clone, the
+// journal, the dropped-constraint runs, and the witness all live in scratch
+// buffers, so a decision allocates nothing at steady state. The returned
+// simplified state and witness alias sc and stay valid until its next
+// prepare.
+func acyclicApply(s *state, sc *Scratch) (res Result, simplified *state, decided bool) {
+	st := &sc.ac
+	sc.cloneStateInto(st, s)
+	sc.journal = sc.journal[:0]
+	sc.dropped = sc.dropped[:0]
 	for {
 		if st.infeasible || st.firstConflict() >= 0 {
 			return independent(KindAcyclic), nil, true
 		}
 		if len(st.multi) == 0 {
-			w := st.boundsWitness()
-			replayJournal(w, journal)
-			return dependent(KindAcyclic, w), nil, true
+			sc.witness = st.boundsWitness(sc.witness)
+			replayJournal(sc.witness, sc.journal, sc.dropped)
+			return dependent(KindAcyclic, sc.witness), nil, true
 		}
 		v, sign := st.findOneSided()
 		if v < 0 {
 			return Result{}, st, false // cycle: not applicable
 		}
-		entry, err := st.eliminate(v, sign)
+		entry, err := st.eliminate(v, sign, sc)
 		if err != nil {
 			// Arithmetic overflow: treat as inapplicable and let the backup
-			// test (which handles its own overflow) take over.
-			return Result{}, s.clone(), false
+			// test (which handles its own overflow) take over, on a fresh
+			// copy of the unsimplified system.
+			sc.cloneStateInto(st, s)
+			return Result{}, st, false
 		}
-		journal = append(journal, entry)
+		sc.journal = append(sc.journal, entry)
 	}
 }
 
@@ -83,8 +101,8 @@ func (s *state) findOneSided() (v, sign int) {
 
 // eliminate removes variable v from all multi-variable constraints, either
 // by substituting its tight bound or by dropping the constraints when the
-// bound is infinite.
-func (s *state) eliminate(v, sign int) (elimEntry, error) {
+// bound is infinite. Dropped constraints are parked in sc.dropped.
+func (s *state) eliminate(v, sign int, sc *Scratch) (elimEntry, error) {
 	var fixVal int64
 	hasFix := false
 	if sign > 0 && s.lb[v].has {
@@ -94,14 +112,14 @@ func (s *state) eliminate(v, sign int) (elimEntry, error) {
 		fixVal, hasFix = s.ub[v].v, true
 	}
 	if hasFix {
-		if err := s.substitute(v, fixVal); err != nil {
+		if err := s.substitute(v, fixVal, sc); err != nil {
 			return elimEntry{}, err
 		}
 		return elimEntry{v: v, fixed: true, val: fixVal}, nil
 	}
 	// Unbounded on the satisfiable side: every multi constraint containing v
 	// can be discharged by pushing v far enough.
-	entry := elimEntry{v: v, sign: sign}
+	entry := elimEntry{v: v, sign: sign, dropStart: len(sc.dropped)}
 	if sign > 0 {
 		entry.selfBound = s.ub[v]
 	} else {
@@ -110,12 +128,13 @@ func (s *state) eliminate(v, sign int) (elimEntry, error) {
 	keep := s.multi[:0]
 	for _, c := range s.multi {
 		if c.Coef[v] != 0 {
-			entry.dropped = append(entry.dropped, c)
+			sc.dropped = append(sc.dropped, c)
 		} else {
 			keep = append(keep, c)
 		}
 	}
 	s.multi = keep
+	entry.dropEnd = len(sc.dropped)
 	// v's own single bounds are trivially satisfiable now; clear them so the
 	// final bounds check ignores v (the replay assigns it a valid value).
 	s.lb[v], s.ub[v] = optInt{}, optInt{}
@@ -124,10 +143,13 @@ func (s *state) eliminate(v, sign int) (elimEntry, error) {
 
 // substitute sets t_v := val in every multi-variable constraint,
 // reclassifying constraints that become single-variable or constant. It
-// also pins v's bounds to val.
-func (s *state) substitute(v int, val int64) error {
+// also pins v's bounds to val. Rewritten coefficient rows come from the
+// scratch arena; the multi list is compacted in place (each iteration
+// appends at most one constraint, so the write index never passes the read
+// index).
+func (s *state) substitute(v int, val int64, sc *Scratch) error {
 	old := s.multi
-	s.multi = nil
+	s.multi = s.multi[:0]
 	for _, c := range old {
 		a := c.Coef[v]
 		if a == 0 {
@@ -142,9 +164,10 @@ func (s *state) substitute(v int, val int64) error {
 		if err != nil {
 			return err
 		}
-		coef := append([]int64(nil), c.Coef...)
+		coef := sc.sys.Row(len(c.Coef))
+		copy(coef, c.Coef)
 		coef[v] = 0
-		norm, ok := (system.Constraint{Coef: coef, C: nc}).Normalize()
+		norm, ok := (system.Constraint{Coef: coef, C: nc}).NormalizeInPlace()
 		if !ok {
 			s.infeasible = true
 			continue
@@ -159,7 +182,7 @@ func (s *state) substitute(v int, val int64) error {
 // replayJournal assigns values to eliminated variables, newest elimination
 // first, so every constraint dropped at step k is evaluated with the values
 // of all variables that were still alive at step k.
-func replayJournal(w []int64, journal []elimEntry) {
+func replayJournal(w []int64, journal []elimEntry, dropped []system.Constraint) {
 	for k := len(journal) - 1; k >= 0; k-- {
 		e := journal[k]
 		if e.fixed {
@@ -167,7 +190,7 @@ func replayJournal(w []int64, journal []elimEntry) {
 			continue
 		}
 		bound := e.selfBound
-		for _, c := range e.dropped {
+		for _, c := range dropped[e.dropStart:e.dropEnd] {
 			var rest int64
 			for j, a := range c.Coef {
 				if j == e.v || a == 0 {

@@ -17,50 +17,20 @@ type Trace struct {
 // system, cheapest test first. The returned Result carries the verdict, the
 // deciding test, and (for exact verdicts) a witness where available. The
 // Trace reports the applicability path.
+//
+// Solve is a convenience wrapper over a throwaway default Pipeline; callers
+// solving many problems should hold a Pipeline and use Run/RunTraced, which
+// reuse one Scratch across problems and keep per-stage cost metrics.
 func Solve(ts *system.TSystem) (Result, Trace) {
-	var tr Trace
-	s := newState(ts)
-
-	// An infeasible constant constraint (caught during normalization) is an
-	// immediate exact independence; the bounds check owns that verdict.
-	tr.Consulted = append(tr.Consulted, KindSVPC)
-	if r, ok := SVPC(s); ok {
-		tr.Decided = KindSVPC
-		return r, tr
-	}
-
-	tr.Consulted = append(tr.Consulted, KindAcyclic)
-	r, simplified, decided := Acyclic(s)
-	if decided {
-		tr.Decided = KindAcyclic
-		return r, tr
-	}
-
-	tr.Consulted = append(tr.Consulted, KindLoopResidue)
-	if r, ok := LoopResidue(simplified); ok {
-		tr.Decided = KindLoopResidue
-		return r, tr
-	}
-
-	tr.Consulted = append(tr.Consulted, KindFourierMotzkin)
-	tr.Decided = KindFourierMotzkin
-	return FourierMotzkin(simplified), tr
+	return DefaultConfig().NewPipeline().RunTraced(ts)
 }
 
 // SolveState is Solve for callers that already built a state (testing and
-// benchmarking individual stages).
+// benchmarking individual stages), without trace collection.
 func SolveState(s *state) Result {
-	if r, ok := SVPC(s); ok {
-		return r
-	}
-	r, simplified, decided := Acyclic(s)
-	if decided {
-		return r
-	}
-	if r, ok := LoopResidue(simplified); ok {
-		return r
-	}
-	return FourierMotzkin(simplified)
+	p := DefaultConfig().NewPipeline()
+	r, _ := p.run(s, false)
+	return r
 }
 
 // NewState exposes state construction to sibling packages' tests and to the

@@ -126,6 +126,44 @@ func TestAcyclicAgreesWithFM(t *testing.T) {
 	}
 }
 
+// TestCascadeAgreesWithFMOnly cross-validates the two registered pipeline
+// configurations: any verdict the cost-ordered cascade reaches must also be
+// reached by Fourier–Motzkin running alone (FM is exact whenever it answers
+// without hitting its caps), on a stream of mixed-shape random systems.
+func TestCascadeAgreesWithFMOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	full := DefaultConfig().NewPipeline()
+	fm := FMOnlyConfig().NewPipeline()
+	agreed := 0
+	for iter := 0; iter < 3000; iter++ {
+		n := 1 + rng.Intn(4)
+		cs := randBoxed(rng, n, int64(rng.Intn(6)))
+		for k := rng.Intn(5); k > 0; k-- {
+			coef := make([]int64, n)
+			for j := range coef {
+				coef[j] = int64(rng.Intn(5) - 2)
+			}
+			cs = append(cs, system.Constraint{Coef: coef, C: int64(rng.Intn(11) - 5)})
+		}
+		ts := sys(n, cs...)
+		r := full.Run(ts)
+		if r.Outcome == Unknown {
+			continue
+		}
+		fr := fm.Run(ts)
+		if fr.Outcome == Unknown { // FM hit its size caps
+			continue
+		}
+		if r.Outcome != fr.Outcome {
+			t.Fatalf("iter %d: cascade (%v) %v vs fm-only %v on\n%v", iter, r.Kind, r.Outcome, fr.Outcome, cs)
+		}
+		agreed++
+	}
+	if agreed < 1000 {
+		t.Fatalf("only %d comparable samples — generator drifted", agreed)
+	}
+}
+
 // TestFMAgreesWithBruteForce closes the loop: FM itself against
 // enumeration on tightly boxed systems.
 func TestFMAgreesWithBruteForce(t *testing.T) {

@@ -30,14 +30,24 @@ var EnableExplicitBranchAndBound = true
 // an integral sample; the paper's first-variable special case (an empty
 // integer range before any choice has been made proves independence); and
 // branch-and-bound on the first fractional range otherwise.
+// This convenience wrapper allocates a private scratch; the pipeline calls
+// fourierApply on its own.
 func FourierMotzkin(s *state) Result {
+	return fourierApply(s, newScratch())
+}
+
+// fourierApply is FourierMotzkin drawing the flat constraint list and its
+// bound rows from sc. The elimination itself still allocates — it is the
+// rare, expensive end of the cascade, and its workspace shape depends on
+// how constraints multiply during elimination.
+func fourierApply(s *state, sc *Scratch) Result {
 	if s.infeasible || s.firstConflict() >= 0 {
 		// A constant constraint already refuted the system during
 		// classification (state drops it from the constraint list, so the
 		// verdict must be taken from the flag).
 		return independent(KindFourierMotzkin)
 	}
-	cons := s.allConstraints()
+	cons := s.allConstraintsInto(sc)
 	r := fmSolve(cons, s.n, 0)
 	if r.Outcome == Unknown {
 		// The fast path gave up — possibly from int64 overflow in the

@@ -1,0 +1,157 @@
+package dtest
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"exactdep/internal/system"
+)
+
+// TestConfigCostOrder: NewConfig sorts stages into the paper's cost order
+// regardless of registration order, stably.
+func TestConfigCostOrder(t *testing.T) {
+	cfg := NewConfig("scrambled", fourierStage{}, residueStage{}, svpcStage{}, acyclicStage{})
+	want := []Kind{KindSVPC, KindAcyclic, KindLoopResidue, KindFourierMotzkin}
+	if cfg.NumStages() != len(want) {
+		t.Fatalf("%d stages, want %d", cfg.NumStages(), len(want))
+	}
+	for i, k := range want {
+		st := cfg.Stage(i)
+		if st.Kind() != k {
+			t.Errorf("stage %d is %v, want %v", i, st.Kind(), k)
+		}
+		if st.CostRank() != i+1 {
+			t.Errorf("stage %d has cost rank %d, want %d", i, st.CostRank(), i+1)
+		}
+	}
+	if cfg.Name() != "scrambled" {
+		t.Errorf("Name = %q", cfg.Name())
+	}
+	def := DefaultConfig()
+	for i, k := range want {
+		if def.Stage(i).Kind() != k {
+			t.Fatalf("default config stage %d is %v, want %v", i, def.Stage(i).Kind(), k)
+		}
+	}
+	fm := FMOnlyConfig()
+	if fm.NumStages() != 1 || fm.Stage(0).Kind() != KindFourierMotzkin {
+		t.Fatalf("fm-only config has unexpected stages")
+	}
+}
+
+// TestConfigByName covers the registered names and the error path.
+func TestConfigByName(t *testing.T) {
+	for _, name := range []string{"", "full"} {
+		cfg, err := ConfigByName(name)
+		if err != nil || cfg != DefaultConfig() {
+			t.Fatalf("ConfigByName(%q) = %v, %v; want the default config", name, cfg, err)
+		}
+	}
+	cfg, err := ConfigByName("fm-only")
+	if err != nil || cfg != FMOnlyConfig() {
+		t.Fatalf("ConfigByName(fm-only) = %v, %v", cfg, err)
+	}
+	if _, err := ConfigByName("bogus"); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("ConfigByName(bogus) error = %v, want one naming the bad configuration", err)
+	}
+}
+
+// TestPipelineMetrics checks the Table 6 accounting: every problem consults
+// the stages up to and including the one that decides it, and nothing after.
+func TestPipelineMetrics(t *testing.T) {
+	p := DefaultConfig().NewPipeline()
+	runs := []struct {
+		ts   *system.TSystem
+		n    int
+		kind Kind
+	}{
+		{svpcSys(), 3, KindSVPC},
+		{acyclicSys(), 2, KindAcyclic},
+		{residueSys(), 1, KindLoopResidue},
+		{fmSys(), 1, KindFourierMotzkin},
+	}
+	for _, r := range runs {
+		for i := 0; i < r.n; i++ {
+			if got := p.Run(r.ts); got.Kind != r.kind {
+				t.Fatalf("decided by %v, want %v", got.Kind, r.kind)
+			}
+		}
+	}
+	wantConsulted := []int{7, 4, 2, 1} // SVPC sees all, each later stage only the fall-through
+	wantDecided := []int{3, 2, 1, 1}
+	for i := 0; i < p.Config().NumStages(); i++ {
+		m := p.StageMetrics(i)
+		if m.Consulted != wantConsulted[i] {
+			t.Errorf("stage %v consulted %d, want %d", p.Config().Stage(i).Name(), m.Consulted, wantConsulted[i])
+		}
+		if m.Decided != wantDecided[i] {
+			t.Errorf("stage %v decided %d, want %d", p.Config().Stage(i).Name(), m.Decided, wantDecided[i])
+		}
+		if m.Time != 0 {
+			t.Errorf("stage %v accumulated time %v with timing off", p.Config().Stage(i).Name(), m.Time)
+		}
+	}
+}
+
+// TestPipelineTimed: with SetTimed the consulted stages accumulate wall
+// time; the clock is only read around consulted stages.
+func TestPipelineTimed(t *testing.T) {
+	p := DefaultConfig().NewPipeline()
+	p.SetTimed(true)
+	ts := fmSys() // consults every stage
+	var total time.Duration
+	for i := 0; i < 10000 && total == 0; i++ {
+		p.Run(ts)
+		total = 0
+		for j := 0; j < p.Config().NumStages(); j++ {
+			total += p.StageMetrics(j).Time
+		}
+	}
+	if total == 0 {
+		t.Fatal("timed pipeline accumulated no stage time")
+	}
+	// A pipeline that never consults Loop Residue must not time it.
+	q := DefaultConfig().NewPipeline()
+	q.SetTimed(true)
+	for i := 0; i < 100; i++ {
+		q.Run(svpcSys())
+	}
+	if m := q.StageMetrics(2); m.Consulted != 0 || m.Time != 0 {
+		t.Fatalf("unconsulted stage accumulated metrics %+v", m)
+	}
+}
+
+// TestPipelineReuseMatchesFresh is the scratch-reuse regression: one
+// long-lived pipeline over a stream of random systems must return exactly
+// what a fresh throwaway pipeline (Solve) returns for each — verdict,
+// exactness, deciding kind, witness, and trace.
+func TestPipelineReuseMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	p := DefaultConfig().NewPipeline()
+	for iter := 0; iter < 3000; iter++ {
+		n := 1 + rng.Intn(4)
+		cs := randBoxed(rng, n, int64(rng.Intn(6)))
+		for k := rng.Intn(5); k > 0; k-- {
+			coef := make([]int64, n)
+			for j := range coef {
+				coef[j] = int64(rng.Intn(5) - 2)
+			}
+			cs = append(cs, system.Constraint{Coef: coef, C: int64(rng.Intn(11) - 5)})
+		}
+		ts := sys(n, cs...)
+		wantR, wantTr := Solve(ts)
+		gotR, gotTr := p.RunTraced(ts)
+		if gotR.Outcome != wantR.Outcome || gotR.Exact != wantR.Exact || gotR.Kind != wantR.Kind {
+			t.Fatalf("iter %d: reused pipeline %+v, fresh %+v on\n%v", iter, gotR, wantR, cs)
+		}
+		if !reflect.DeepEqual(gotR.Witness, wantR.Witness) {
+			t.Fatalf("iter %d: witness %v, fresh %v", iter, gotR.Witness, wantR.Witness)
+		}
+		if gotTr.Decided != wantTr.Decided || !reflect.DeepEqual(gotTr.Consulted, wantTr.Consulted) {
+			t.Fatalf("iter %d: trace %+v, fresh %+v", iter, gotTr, wantTr)
+		}
+	}
+}

@@ -57,7 +57,17 @@ func (g *ResidueGraph) Dot() string {
 // a·(t_i - t_j) ≤ c — the class Shostak's extensions handle only inexactly,
 // which the paper therefore routes to Fourier–Motzkin instead.
 func BuildResidueGraph(s *state) (*ResidueGraph, bool) {
-	g := &ResidueGraph{N: s.n}
+	g := &ResidueGraph{}
+	if !buildResidueGraphInto(g, s) {
+		return nil, false
+	}
+	return g, true
+}
+
+// buildResidueGraphInto is BuildResidueGraph reusing g's edge buffer.
+func buildResidueGraphInto(g *ResidueGraph, s *state) bool {
+	g.N = s.n
+	g.Edges = g.Edges[:0]
 	for _, c := range s.multi {
 		// exactly two variables with coefficients +a and -a
 		pi, ni := -1, -1
@@ -81,7 +91,7 @@ func BuildResidueGraph(s *state) (*ResidueGraph, bool) {
 			}
 		}
 		if !ok || pi == -1 || ni == -1 || c.Coef[pi] != -c.Coef[ni] {
-			return nil, false
+			return false
 		}
 		// a(t_pi - t_ni) ≤ c  →  t_pi - t_ni ≤ ⌊c/a⌋  (integer tightening,
 		// the exact extension the paper describes for a·t_i ≤ a·t_j + c)
@@ -95,7 +105,7 @@ func BuildResidueGraph(s *state) (*ResidueGraph, bool) {
 			g.Edges = append(g.Edges, ResidueEdge{From: s.n, To: i, Weight: -s.lb[i].v})
 		}
 	}
-	return g, true
+	return true
 }
 
 // LoopResidue runs the Loop Residue test (paper §3.4) on a system whose
@@ -104,21 +114,38 @@ func BuildResidueGraph(s *state) (*ResidueGraph, bool) {
 // otherwise Bellman–Ford potentials give an integral witness (difference
 // constraint systems are integrally feasible whenever real-feasible, which
 // keeps the test exact). The bool reports applicability.
+//
+// This convenience wrapper allocates a private scratch; the pipeline calls
+// residueApply on its own.
 func LoopResidue(s *state) (Result, bool) {
+	return residueApply(s, newScratch())
+}
+
+// residueApply is LoopResidue working out of sc: the graph, the distance
+// vector, and the witness all reuse scratch buffers. The witness aliases sc
+// and stays valid until its next prepare.
+func residueApply(s *state, sc *Scratch) (Result, bool) {
 	if s.infeasible || s.firstConflict() >= 0 {
 		return independent(KindLoopResidue), true
 	}
-	g, ok := BuildResidueGraph(s)
-	if !ok {
+	g := &sc.graph
+	if !buildResidueGraphInto(g, s) {
 		return Result{}, false
 	}
-	dist, neg := bellmanFord(g)
+	dist, neg := bellmanFordInto(g, sc.dist)
+	sc.dist = dist
 	if neg {
 		return independent(KindLoopResidue), true
 	}
 	// Potentials: t_u ≤ t_v + w holds for t_x = -dist[x]; shift so that the
 	// n0 node maps to exactly 0.
-	w := make([]int64, s.n)
+	w := sc.witness
+	if cap(w) < s.n {
+		w = make([]int64, s.n)
+	} else {
+		w = w[:s.n]
+	}
+	sc.witness = w
 	shift := dist[g.N]
 	for i := 0; i < s.n; i++ {
 		w[i] = -dist[i] + shift
@@ -126,11 +153,20 @@ func LoopResidue(s *state) (Result, bool) {
 	return dependent(KindLoopResidue, w), true
 }
 
-// bellmanFord runs negative-cycle detection over the whole graph using an
-// implicit super-source (all distances start at 0).
-func bellmanFord(g *ResidueGraph) (dist []int64, negCycle bool) {
+// bellmanFordInto runs negative-cycle detection over the whole graph using
+// an implicit super-source (all distances start at 0), reusing buf for the
+// distance vector when it has capacity.
+func bellmanFordInto(g *ResidueGraph, buf []int64) (dist []int64, negCycle bool) {
 	n := g.N + 1
-	dist = make([]int64, n)
+	dist = buf
+	if cap(dist) < n {
+		dist = make([]int64, n)
+	} else {
+		dist = dist[:n]
+		for i := range dist {
+			dist[i] = 0
+		}
+	}
 	for iter := 0; iter < n; iter++ {
 		changed := false
 		for _, e := range g.Edges {

@@ -64,6 +64,26 @@ func (k Kind) String() string {
 	}
 }
 
+// CostRank is the test's rank in the paper's cost ordering (§3 orders the
+// cascade cheapest first; §7 prices the tests at roughly 0.1, 0.5, 0.9 and
+// 3 ms on the paper's hardware). 1 is cheapest; KindNone ranks 0. The rank
+// doubles as the unit cost of one applicability probe in the Table 6
+// cost-accounting report.
+func (k Kind) CostRank() int {
+	switch k {
+	case KindSVPC:
+		return 1
+	case KindAcyclic:
+		return 2
+	case KindLoopResidue:
+		return 3
+	case KindFourierMotzkin:
+		return 4
+	default:
+		return 0
+	}
+}
+
 // Result is the outcome of a test or of the whole cascade.
 type Result struct {
 	Outcome Outcome

@@ -33,14 +33,43 @@ type state struct {
 	infeasible bool
 }
 
-// newState classifies the constraints of ts.
+// newState classifies the constraints of ts into a fresh state.
 func newState(ts *system.TSystem) *state {
-	s := &state{n: ts.NumT, lb: make([]optInt, ts.NumT), ub: make([]optInt, ts.NumT)}
+	s := &state{}
+	newStateInto(s, ts)
+	return s
+}
+
+// newStateInto classifies the constraints of ts into s, reusing s's buffers.
+func newStateInto(s *state, ts *system.TSystem) {
+	s.reset(ts.NumT)
 	s.infeasible = ts.Infeasible
 	for _, c := range ts.Cons {
 		s.add(c)
 	}
-	return s
+}
+
+// reset reinitializes s for a system of n variables, keeping buffer capacity.
+func (s *state) reset(n int) {
+	s.n = n
+	s.infeasible = false
+	if cap(s.lb) < n {
+		s.lb = make([]optInt, n)
+	} else {
+		s.lb = s.lb[:n]
+		for i := range s.lb {
+			s.lb[i] = optInt{}
+		}
+	}
+	if cap(s.ub) < n {
+		s.ub = make([]optInt, n)
+	} else {
+		s.ub = s.ub[:n]
+		for i := range s.ub {
+			s.ub[i] = optInt{}
+		}
+	}
+	s.multi = s.multi[:0]
 }
 
 // add classifies one normalized constraint into the state.
@@ -82,23 +111,19 @@ func (s *state) firstConflict() int {
 	return -1
 }
 
-// clone deep-copies the state.
-func (s *state) clone() *state {
-	out := &state{n: s.n, infeasible: s.infeasible}
-	out.lb = append([]optInt(nil), s.lb...)
-	out.ub = append([]optInt(nil), s.ub...)
-	out.multi = make([]system.Constraint, len(s.multi))
-	for i, c := range s.multi {
-		out.multi[i] = system.Constraint{Coef: append([]int64(nil), c.Coef...), C: c.C}
-	}
-	return out
-}
-
 // boundsWitness picks a value inside [lb,ub] for every variable, assuming
 // the bounds are consistent. Unbounded variables get 0 clamped into range.
-func (s *state) boundsWitness() []int64 {
-	w := make([]int64, s.n)
+// The witness is written into buf when it has capacity (every element is
+// overwritten), else into a fresh slice; the filled slice is returned.
+func (s *state) boundsWitness(buf []int64) []int64 {
+	w := buf
+	if cap(w) < s.n {
+		w = make([]int64, s.n)
+	} else {
+		w = w[:s.n]
+	}
 	for i := 0; i < s.n; i++ {
+		w[i] = 0
 		switch {
 		case s.lb[i].has && s.ub[i].has:
 			w[i] = s.lb[i].v + (s.ub[i].v-s.lb[i].v)/2
@@ -115,23 +140,25 @@ func (s *state) boundsWitness() []int64 {
 	return w
 }
 
-// allConstraints reassembles the state into a flat constraint list
+// allConstraintsInto reassembles the state into a flat constraint list
 // (single-variable bounds first, then multis), for the Fourier–Motzkin
-// backup which wants the whole system.
-func (s *state) allConstraints() []system.Constraint {
-	var out []system.Constraint
+// backup which wants the whole system. The list and the bound rows live in
+// the scratch and stay valid until its next prepare.
+func (s *state) allConstraintsInto(sc *Scratch) []system.Constraint {
+	out := sc.cons[:0]
 	for i := 0; i < s.n; i++ {
 		if s.lb[i].has { // t_i ≥ lb  →  -t_i ≤ -lb
-			coef := make([]int64, s.n)
+			coef := sc.sys.ZeroRow(s.n)
 			coef[i] = -1
 			out = append(out, system.Constraint{Coef: coef, C: -s.lb[i].v})
 		}
 		if s.ub[i].has {
-			coef := make([]int64, s.n)
+			coef := sc.sys.ZeroRow(s.n)
 			coef[i] = 1
 			out = append(out, system.Constraint{Coef: coef, C: s.ub[i].v})
 		}
 	}
 	out = append(out, s.multi...)
+	sc.cons = out
 	return out
 }

@@ -1,0 +1,161 @@
+package dtest_test
+
+// External-package regression suite: drives the cascade over every t-space
+// system of the full synthetic workload (all 13 programs, symbolic cases
+// included) and pins three contracts of the pipeline refactor:
+//
+//   - Solve is byte-for-byte the legacy inline stage order
+//     SVPC → Acyclic → Loop Residue → Fourier–Motzkin (Result AND Trace);
+//   - a long-lived pipeline with scratch reuse matches throwaway Solve on
+//     every problem of the suite;
+//   - every verdict the default cascade reaches is cross-validated by the
+//     fm-only configuration (Fourier–Motzkin alone).
+//
+// This file is an external test package because it imports
+// internal/workload, which imports internal/core, which imports dtest.
+
+import (
+	"reflect"
+	"testing"
+
+	"exactdep/internal/dtest"
+	"exactdep/internal/system"
+	"exactdep/internal/workload"
+)
+
+// suiteSystems builds every preprocessed, GCD-feasible t-space system of the
+// workload suite — the exact problem stream the analyzer hands the cascade.
+func suiteSystems(t testing.TB) []*system.TSystem {
+	t.Helper()
+	var out []*system.TSystem
+	for _, s := range workload.Programs() {
+		cands, err := workload.Candidates(s, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range cands {
+			prob, err := system.Build(c.Pair)
+			if err != nil {
+				continue // constant or otherwise untestable pair
+			}
+			res, ts, err := system.Preprocess(prob)
+			if err != nil || res != system.GCDDependent {
+				continue
+			}
+			out = append(out, ts)
+		}
+	}
+	if len(out) < 100 {
+		t.Fatalf("suite yielded only %d systems — workload drifted", len(out))
+	}
+	return out
+}
+
+// legacyCascade replays the pre-pipeline inline stage order through the
+// exported per-stage entry points.
+func legacyCascade(ts *system.TSystem) (dtest.Result, dtest.Trace) {
+	s := dtest.NewState(ts)
+	tr := dtest.Trace{Consulted: []dtest.Kind{dtest.KindSVPC}}
+	if r, ok := dtest.SVPC(s); ok {
+		tr.Decided = dtest.KindSVPC
+		return r, tr
+	}
+	tr.Consulted = append(tr.Consulted, dtest.KindAcyclic)
+	r, next, ok := dtest.Acyclic(s)
+	if ok {
+		tr.Decided = dtest.KindAcyclic
+		return r, tr
+	}
+	s = next
+	tr.Consulted = append(tr.Consulted, dtest.KindLoopResidue)
+	if r, ok := dtest.LoopResidue(s); ok {
+		tr.Decided = dtest.KindLoopResidue
+		return r, tr
+	}
+	tr.Consulted = append(tr.Consulted, dtest.KindFourierMotzkin)
+	r = dtest.FourierMotzkin(s)
+	tr.Decided = dtest.KindFourierMotzkin
+	return r, tr
+}
+
+func sameResult(a, b dtest.Result) bool {
+	return a.Outcome == b.Outcome && a.Exact == b.Exact && a.Kind == b.Kind &&
+		sameWitness(a.Witness, b.Witness)
+}
+
+// sameWitness compares witnesses element-wise: a nil and an empty witness
+// are the same zero-variable assignment (a scratch-backed buffer resliced to
+// [:0] versus a fresh nil — no semantic difference).
+func sameWitness(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameTrace(a, b dtest.Trace) bool {
+	return a.Decided == b.Decided && reflect.DeepEqual(a.Consulted, b.Consulted)
+}
+
+// TestSuiteSolveMatchesLegacyCascade pins Solve (now a pipeline wrapper) to
+// the inline stage order it replaced, on the full workload suite.
+func TestSuiteSolveMatchesLegacyCascade(t *testing.T) {
+	for i, ts := range suiteSystems(t) {
+		gotR, gotTr := dtest.Solve(ts.Clone())
+		wantR, wantTr := legacyCascade(ts.Clone())
+		if !sameResult(gotR, wantR) {
+			t.Fatalf("system %d: Solve %+v, legacy cascade %+v", i, gotR, wantR)
+		}
+		if !sameTrace(gotTr, wantTr) {
+			t.Fatalf("system %d: Solve trace %+v, legacy trace %+v", i, gotTr, wantTr)
+		}
+	}
+}
+
+// TestSuiteSharedPipelineMatchesSolve runs one persistent pipeline (scratch
+// reused across every problem of the suite, as the analyzer's workers do)
+// against a fresh Solve per problem.
+func TestSuiteSharedPipelineMatchesSolve(t *testing.T) {
+	p := dtest.DefaultConfig().NewPipeline()
+	for i, ts := range suiteSystems(t) {
+		wantR, wantTr := dtest.Solve(ts.Clone())
+		gotR, gotTr := p.RunTraced(ts)
+		if !sameResult(gotR, wantR) {
+			t.Fatalf("system %d: shared pipeline %+v, fresh Solve %+v", i, gotR, wantR)
+		}
+		if !sameTrace(gotTr, wantTr) {
+			t.Fatalf("system %d: shared trace %+v, fresh trace %+v", i, gotTr, wantTr)
+		}
+	}
+}
+
+// TestSuiteFMOnlyCrossValidation: every problem the default cascade decides
+// gets the same verdict from Fourier–Motzkin alone (when FM answers — it is
+// exact unless it hits its caps), over the full workload suite.
+func TestSuiteFMOnlyCrossValidation(t *testing.T) {
+	full := dtest.DefaultConfig().NewPipeline()
+	fm := dtest.FMOnlyConfig().NewPipeline()
+	agreed := 0
+	for i, ts := range suiteSystems(t) {
+		r := full.Run(ts.Clone())
+		if r.Outcome == dtest.Unknown {
+			continue
+		}
+		fr := fm.Run(ts)
+		if fr.Outcome == dtest.Unknown {
+			continue // FM hit its size caps on a problem a cheap test decided
+		}
+		if r.Outcome != fr.Outcome {
+			t.Fatalf("system %d: cascade (%v) says %v, fm-only says %v", i, r.Kind, r.Outcome, fr.Outcome)
+		}
+		agreed++
+	}
+	if agreed < 100 {
+		t.Fatalf("only %d comparable systems — suite drifted", agreed)
+	}
+}

@@ -9,11 +9,19 @@ package dtest
 // The second return value reports applicability: false means some constraint
 // involves two or more variables and the cascade must move on.
 func SVPC(s *state) (Result, bool) {
+	r, ok, _ := svpc(s, nil)
+	return r, ok
+}
+
+// svpc is SVPC writing any witness into wbuf (grown as needed and returned,
+// so a pipeline can keep the buffer across problems).
+func svpc(s *state, wbuf []int64) (Result, bool, []int64) {
 	if len(s.multi) > 0 {
-		return Result{}, false
+		return Result{}, false, wbuf
 	}
 	if s.infeasible || s.firstConflict() >= 0 {
-		return independent(KindSVPC), true
+		return independent(KindSVPC), true, wbuf
 	}
-	return dependent(KindSVPC, s.boundsWitness()), true
+	w := s.boundsWitness(wbuf)
+	return dependent(KindSVPC, w), true, w
 }

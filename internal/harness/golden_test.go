@@ -11,15 +11,16 @@ import (
 var updateGolden = flag.Bool("update-golden", false, "rewrite the golden experiment output")
 
 // TestGoldenExperiments locks the deterministic experiment outputs (every
-// table except the timing one, the figure, the comparison, and the shared-
-// table experiment) against a golden file, so any change to the analyzer,
-// the workload, or the harness that shifts a single count is surfaced.
-// Regenerate deliberately with:
+// table except the timing one, the figure, the comparison, the shared-
+// table experiment, and the cost report with timing disabled) against a
+// golden file, so any change to the analyzer, the workload, or the harness
+// that shifts a single count is surfaced. Regenerate deliberately with:
 //
 //	go test ./internal/harness -run Golden -update-golden
 func TestGoldenExperiments(t *testing.T) {
 	var buf bytes.Buffer
 	h := New(&buf, false)
+	h.Timing = false // keep the cost report deterministic (probe counts only)
 	for _, n := range []int{1, 2, 3, 4, 5, 7} {
 		if err := h.Table(n); err != nil {
 			t.Fatalf("table %d: %v", n, err)
@@ -32,6 +33,9 @@ func TestGoldenExperiments(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := h.SharedTable(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.CostReport(); err != nil {
 		t.Fatal(err)
 	}
 

@@ -29,11 +29,15 @@ const modelLinesPerSecond = 3000.0
 type Harness struct {
 	w     io.Writer
 	paper bool
+	// Timing adds wall-clock columns to CostReport (per-stage cascade time
+	// from core.Options.TimeCascade). On by default for the CLI; the golden
+	// test turns it off so the report stays deterministic.
+	Timing bool
 }
 
 // New returns a harness writing to w. With paper=true the paper's reported
 // rows are appended after each measured table.
-func New(w io.Writer, paper bool) *Harness { return &Harness{w: w, paper: paper} }
+func New(w io.Writer, paper bool) *Harness { return &Harness{w: w, paper: paper, Timing: true} }
 
 // Table regenerates table n (1–7).
 func (h *Harness) Table(n int) error {

@@ -4,7 +4,11 @@
 // (§7's accuracy comparison).
 package stats
 
-import "exactdep/internal/dtest"
+import (
+	"time"
+
+	"exactdep/internal/dtest"
+)
 
 // numKinds sizes the per-test arrays (indexed by dtest.Kind).
 const numKinds = int(dtest.KindFourierMotzkin) + 1
@@ -27,6 +31,17 @@ type Counters struct {
 	// TestIndependent counts, per kind, how often the direction-vector
 	// cascade invocations returned independent (§7's per-test yields).
 	TestIndependent [numKinds]int
+
+	// Cascade pipeline cost accounting (the paper's Table 6 shape), indexed
+	// by dtest.Kind and summed over every cascade invocation — base tests
+	// and direction-vector refinement alike. StageConsulted counts
+	// applicability probes (every problem that reached the stage),
+	// StageDecided the probes that decided, and StageTimeNs the cumulative
+	// wall time per stage when the analyzer runs with timing enabled
+	// (core.Options.TimeCascade); without timing it stays 0.
+	StageConsulted [numKinds]int
+	StageDecided   [numKinds]int
+	StageTimeNs    [numKinds]int64
 
 	// Memoization.
 	FullLookups, FullHits int // with-bounds table
@@ -51,6 +66,9 @@ func (c *Counters) Add(o *Counters) {
 		c.Tests[i] += o.Tests[i]
 		c.DirTests[i] += o.DirTests[i]
 		c.TestIndependent[i] += o.TestIndependent[i]
+		c.StageConsulted[i] += o.StageConsulted[i]
+		c.StageDecided[i] += o.StageDecided[i]
+		c.StageTimeNs[i] += o.StageTimeNs[i]
 	}
 	c.FullLookups += o.FullLookups
 	c.FullHits += o.FullHits
@@ -89,3 +107,33 @@ func (c *Counters) TestCount(k dtest.Kind) int { return c.Tests[int(k)] }
 
 // DirTestCount returns the direction-vector test count for one kind.
 func (c *Counters) DirTestCount(k dtest.Kind) int { return c.DirTests[int(k)] }
+
+// ConsultedCount returns how many cascade runs consulted the stage of kind
+// k (applicability probes, Table 6 accounting).
+func (c *Counters) ConsultedCount(k dtest.Kind) int { return c.StageConsulted[int(k)] }
+
+// DecidedCount returns how many cascade runs the stage of kind k decided.
+func (c *Counters) DecidedCount(k dtest.Kind) int { return c.StageDecided[int(k)] }
+
+// StageTime returns the cumulative wall time of the stage of kind k (zero
+// unless the analyzer ran with cascade timing enabled).
+func (c *Counters) StageTime(k dtest.Kind) time.Duration {
+	return time.Duration(c.StageTimeNs[int(k)])
+}
+
+// CostUnits prices the stage of kind k in the paper's relative units: each
+// applicability probe costs the stage's cost rank (§3's ordering, Table 6).
+func (c *Counters) CostUnits(k dtest.Kind) int {
+	return c.StageConsulted[int(k)] * k.CostRank()
+}
+
+// TotalCostUnits sums CostUnits over every stage: the price of the whole
+// cascade in probe units. A cascade that consulted only SVPC pays 1 per
+// problem; one that fell through to Fourier–Motzkin pays 1+2+3+4.
+func (c *Counters) TotalCostUnits() int {
+	n := 0
+	for k := 0; k < numKinds; k++ {
+		n += c.CostUnits(dtest.Kind(k))
+	}
+	return n
+}

@@ -1,0 +1,59 @@
+package system
+
+// Scratch is a reusable arena of coefficient rows. The cascade allocates a
+// fresh []int64 for every cloned, substituted, or re-expanded constraint; on
+// the steady-state path that garbage dominates the cost of the cheap tests
+// (§7 prices SVPC at a tenth of a millisecond — a handful of mallocs is
+// visible at that scale). A Scratch hands out rows carved from one growing
+// buffer instead, and Reset reclaims them all at once between problems.
+//
+// Rows stay valid until the arena is next Reset, even if the arena grows in
+// between (growth allocates a new buffer; rows already handed out keep
+// aliasing the old one). A Scratch is not safe for concurrent use — give
+// each worker its own.
+type Scratch struct {
+	buf []int64
+	off int
+}
+
+// Reset reclaims every row handed out since the last Reset. Rows obtained
+// earlier must no longer be referenced.
+func (s *Scratch) Reset() { s.off = 0 }
+
+// Row returns an uninitialized coefficient row of length n. The caller must
+// overwrite every element (use ZeroRow when a zeroed row is needed). The
+// row's capacity is clipped to n so an append can never clobber a
+// neighbouring row.
+func (s *Scratch) Row(n int) []int64 {
+	if s.off+n > len(s.buf) {
+		s.grow(n)
+	}
+	r := s.buf[s.off : s.off+n : s.off+n]
+	s.off += n
+	return r
+}
+
+// ZeroRow returns a zeroed coefficient row of length n.
+func (s *Scratch) ZeroRow(n int) []int64 {
+	r := s.Row(n)
+	for i := range r {
+		r[i] = 0
+	}
+	return r
+}
+
+// grow replaces the backing buffer with one that fits n more elements,
+// at least doubling so the arena reaches a steady state after a few
+// problems. Rows already handed out keep aliasing the old buffer.
+func (s *Scratch) grow(n int) {
+	size := 2 * len(s.buf)
+	const minSize = 256
+	if size < minSize {
+		size = minSize
+	}
+	if size < n {
+		size = n
+	}
+	s.buf = make([]int64, size)
+	s.off = 0
+}

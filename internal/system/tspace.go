@@ -124,6 +124,24 @@ func (c Constraint) Normalize() (Constraint, bool) {
 	return c, true
 }
 
+// NormalizeInPlace is Normalize for a constraint whose coefficient row is
+// owned by the caller (e.g. a Scratch row): the gcd division writes back
+// into c.Coef instead of allocating a fresh row. The arithmetic is identical
+// to Normalize.
+func (c Constraint) NormalizeInPlace() (Constraint, bool) {
+	g := linalg.GCDAll(c.Coef)
+	if g == 0 {
+		return c, c.C >= 0
+	}
+	if g > 1 {
+		for i, v := range c.Coef {
+			c.Coef[i] = v / g
+		}
+		c.C = linalg.FloorDiv(c.C, g)
+	}
+	return c, true
+}
+
 // TSystem is the dependence problem after Extended GCD preprocessing: an
 // inequality system over the free t variables, plus the parameterization of
 // the original x variables in terms of t (used for distance vectors and

@@ -20,12 +20,26 @@ type RunnerOptions struct {
 	// analyzer's sharded memo tables across N goroutines. Results and
 	// verdict tallies are identical either way; only wall-clock changes.
 	Workers int
+	// Cascade selects the dtest pipeline configuration by name ("" keeps
+	// Core.Cascade; "full" is the paper's cost-ordered cascade, "fm-only"
+	// runs Fourier–Motzkin alone for cross-validation). When non-empty it
+	// overrides Core.Cascade in Run/RunSuite.
+	Cascade string
+}
+
+// coreOpts resolves the analyzer options, applying the Cascade override.
+func (ro RunnerOptions) coreOpts() core.Options {
+	c := ro.Core
+	if ro.Cascade != "" {
+		c.Cascade = ro.Cascade
+	}
+	return c
 }
 
 // Run analyzes one synthetic program with a fresh analyzer and returns the
 // analyzer with its counters.
 func Run(s Spec, ro RunnerOptions) (*core.Analyzer, error) {
-	a := core.New(ro.Core)
+	a := core.New(ro.coreOpts())
 	if _, err := RunInto(a, s, ro); err != nil {
 		return nil, err
 	}
@@ -61,7 +75,7 @@ func RunInto(a *core.Analyzer, s Spec, ro RunnerOptions) ([]core.Result, error) 
 // RunSuite runs every program of the suite through one analyzer (shared
 // memo tables, one compiler session) and returns it with merged counters.
 func RunSuite(ro RunnerOptions) (*core.Analyzer, error) {
-	a := core.New(ro.Core)
+	a := core.New(ro.coreOpts())
 	for _, s := range Programs() {
 		if _, err := RunInto(a, s, ro); err != nil {
 			return nil, err
