@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check allocgate bench
+.PHONY: build test vet race check allocgate bench bench-json
 
 build:
 	$(GO) build ./...
@@ -16,10 +16,12 @@ race:
 
 # allocgate re-runs the steady-state allocation assertions without the race
 # detector (they skip themselves under it, since the instrumentation
-# allocates), so the zero-allocation cascade path stays gated even though
-# the main test run is race-enabled.
+# allocates), so the zero-allocation cascade path and the zero-allocation
+# memo path (encode + lookup + hit) stay gated even though the main test
+# run is race-enabled.
 allocgate:
 	$(GO) test ./internal/dtest -run 'TestCascadeZeroAllocs|TestRunTracedReusesScratch'
+	$(GO) test ./internal/memo -run 'TestEncoderZeroAllocs|TestMemoHitZeroAllocs'
 
 # check is the CI gate: vet plus race-enabled tests, so the concurrent
 # driver (core.AnalyzeAll, memo.ShardedTable) is race-checked on every run,
@@ -27,6 +29,11 @@ allocgate:
 check: vet race allocgate
 
 # bench runs the paper-evaluation benchmarks (root package) and the cascade
-# stage/allocation microbenchmarks (internal/dtest) with allocation counts.
+# and memo stage/allocation microbenchmarks with allocation counts.
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem . ./internal/dtest
+	$(GO) test -run '^$$' -bench . -benchmem . ./internal/dtest ./internal/memo
+
+# bench-json writes the machine-readable perf baseline (ns/op, allocs/op,
+# memo hit rates over the suite) so future PRs can diff against it.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_PR3.json

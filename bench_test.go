@@ -145,6 +145,38 @@ func BenchmarkConcurrentSuite(b *testing.B) {
 	}
 }
 
+// BenchmarkAnalyzeAllMemoHot: the steady-state memo path this PR optimizes —
+// a pre-warmed analyzer re-running the whole suite, so every non-constant
+// pair is a cache hit (encode, L1/L2 probe, expand). Run with -benchmem:
+// per-candidate allocations should be amortized noise (the result slice),
+// not per-hit garbage.
+func BenchmarkAnalyzeAllMemoHot(b *testing.B) {
+	opts := core.Options{Memoize: true, ImprovedMemo: true}
+	var all []refs.Candidate
+	for _, s := range workload.Programs() {
+		cs, err := workload.Candidates(s, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		all = append(all, cs...)
+	}
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			a := core.New(opts)
+			if _, err := a.AnalyzeAll(all, w); err != nil { // warm the tables
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.AnalyzeAll(all, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFigure1Residue: the §3.4 residue-graph construction and
 // negative-cycle check.
 func BenchmarkFigure1Residue(b *testing.B) {

@@ -1,0 +1,184 @@
+// Command benchjson emits a machine-readable benchmark baseline for the
+// memo fast path (make bench-json → BENCH_PR3.json): ns/op, bytes/op and
+// allocs/op for the key encoder, the lock-free sharded lookup, and the
+// memo-hot AnalyzeAll pass, plus per-program memo hit rates over the
+// PERFECT-style suite. Future PRs diff their own run against the committed
+// baseline to keep a perf trajectory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"exactdep/internal/core"
+	"exactdep/internal/memo"
+	"exactdep/internal/refs"
+	"exactdep/internal/system"
+	"exactdep/internal/workload"
+)
+
+type benchRecord struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type doc struct {
+	Schema     string                 `json:"schema"`
+	GoVersion  string                 `json:"go_version"`
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	Benchmarks []benchRecord          `json:"benchmarks"`
+	MemoSuite  []workload.MemoSummary `json:"memo_suite"`
+}
+
+func record(name string, fn func(b *testing.B)) benchRecord {
+	r := testing.Benchmark(fn)
+	return benchRecord{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// suiteProblems builds the unique canonical problems of the whole suite —
+// the encoder benchmark's input population.
+func suiteProblems() ([]*system.Problem, error) {
+	var probs []*system.Problem
+	for _, s := range workload.Programs() {
+		cands, err := workload.Candidates(s, false)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range cands {
+			if c.Class != refs.NeedsTest {
+				continue
+			}
+			p, err := system.Build(c.Pair)
+			if err != nil {
+				return nil, err
+			}
+			probs = append(probs, p)
+		}
+	}
+	return probs, nil
+}
+
+func suiteCandidates() ([]refs.Candidate, error) {
+	var all []refs.Candidate
+	for _, s := range workload.Programs() {
+		cs, err := workload.Candidates(s, false)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, cs...)
+	}
+	return all, nil
+}
+
+func run(out string) error {
+	probs, err := suiteProblems()
+	if err != nil {
+		return err
+	}
+	cands, err := suiteCandidates()
+	if err != nil {
+		return err
+	}
+
+	d := doc{
+		Schema:     "exactdep-bench/v1",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	d.Benchmarks = append(d.Benchmarks, record("memo_encode", func(b *testing.B) {
+		var e memo.Encoder
+		for _, p := range probs {
+			e.EncodeFull(p, true)
+			e.EncodeEq(p, true)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p := probs[i%len(probs)]
+			e.EncodeFull(p, true)
+			e.EncodeEq(p, true)
+		}
+	}))
+
+	d.Benchmarks = append(d.Benchmarks, record("sharded_lookup_parallel", func(b *testing.B) {
+		tbl := memo.NewShardedTable[int](0)
+		var e memo.Encoder
+		keys := make([]memo.Key, 0, len(probs))
+		for _, p := range probs {
+			keys = append(keys, e.EncodeFull(p, true).Clone())
+		}
+		for i, k := range keys {
+			tbl.Insert(k, i)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if _, ok := tbl.Lookup(keys[i%len(keys)]); !ok {
+					b.Fatal("lost key")
+				}
+				i++
+			}
+		})
+	}))
+
+	for _, w := range []int{1, 4} {
+		w := w
+		d.Benchmarks = append(d.Benchmarks, record(fmt.Sprintf("analyze_all_memo_hot_workers_%d", w), func(b *testing.B) {
+			a := core.New(core.Options{Memoize: true, ImprovedMemo: true})
+			if _, err := a.AnalyzeAll(cands, w); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.AnalyzeAll(cands, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+
+	d.MemoSuite, err = workload.SuiteMemoSummaries(workload.RunnerOptions{
+		Core: core.Options{Memoize: true, ImprovedMemo: true, DirectionVectors: true,
+			PruneUnused: true, PruneDistance: true},
+	})
+	if err != nil {
+		return err
+	}
+
+	buf, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(out, buf, 0o644)
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR3.json", "output path ('-' for stdout)")
+	flag.Parse()
+	if err := run(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

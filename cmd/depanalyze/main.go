@@ -13,6 +13,8 @@
 //	-cascade=full     cascade pipeline: full (cost-ordered) or fm-only
 //	                  (Fourier–Motzkin alone, for cross-validation)
 //	-stats            print the analyzer counters
+//	-memostats        print memo table occupancy, shard spread, and L1/L2
+//	                  hit rates (implies -memo)
 //	-parallel=false   skip the parallelization summary
 //	-annotate         print the source with parallel loops marked 'parfor'
 //	-dot              print the dependence graph in Graphviz dot form
@@ -36,6 +38,7 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "analysis worker goroutines (1 = serial)")
 	cascade := flag.String("cascade", "full", "cascade pipeline: full (cost-ordered) or fm-only (cross-validation)")
 	showStats := flag.Bool("stats", false, "print analyzer statistics")
+	memoStats := flag.Bool("memostats", false, "print memo occupancy, shard spread, and L1/L2 hit rates (implies -memo)")
 	par := flag.Bool("parallel", true, "print the loop-parallelization summary")
 	annotate := flag.Bool("annotate", false, "print the source with parallel loops marked 'parfor'")
 	dot := flag.Bool("dot", false, "print the statement dependence graph in Graphviz dot form")
@@ -51,7 +54,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *memoFile != "" {
+	if *memoFile != "" || *memoStats {
 		*memo = true
 	}
 
@@ -159,6 +162,41 @@ func main() {
 				s.UniqueFull, s.FullHits, s.FullLookups)
 		}
 	}
+	if *memoStats {
+		printMemoStats(analyzer)
+	}
+}
+
+// printMemoStats renders the memo hierarchy introspection: table occupancy,
+// shard spread of the concurrent form, and the L1/L2 split of the lookup
+// traffic.
+func printMemoStats(a *exactdep.Analyzer) {
+	m := a.MemoStats()
+	fmt.Println()
+	fmt.Println("memo hierarchy:")
+	fmt.Printf("  full table: %d entries / %d buckets (%s occupancy)\n",
+		m.FullEntries, m.FullBuckets, rate(m.FullEntries, m.FullBuckets))
+	fmt.Printf("  eq table:   %d entries / %d buckets (%s occupancy)\n",
+		m.EqEntries, m.EqBuckets, rate(m.EqEntries, m.EqBuckets))
+	if m.Shards > 0 {
+		fmt.Printf("  shards:     %d (entries per shard %d..%d)\n", m.Shards, m.ShardMin, m.ShardMax)
+	} else {
+		fmt.Printf("  shards:     unsharded (serial table)\n")
+	}
+	if m.L1Capacity > 0 {
+		fmt.Printf("  L1:         %d/%d slots live, %d/%d hits (%s)\n",
+			m.L1Entries, m.L1Capacity, m.L1Hits, m.L1Lookups, rate(m.L1Hits, m.L1Lookups))
+	} else {
+		fmt.Printf("  L1:         disabled\n")
+	}
+	fmt.Printf("  L2:         %d/%d hits (%s)\n", m.L2Hits, m.L2Lookups, rate(m.L2Hits, m.L2Lookups))
+}
+
+func rate(part, whole int) string {
+	if whole == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(part)/float64(whole))
 }
 
 func readSource(path string) (string, error) {

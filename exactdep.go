@@ -85,6 +85,9 @@ type (
 	Result = core.Result
 	// Analyzer runs the full pipeline and accumulates statistics.
 	Analyzer = core.Analyzer
+	// MemoStats is the memo-hierarchy introspection snapshot
+	// (Analyzer.MemoStats, depanalyze -memostats).
+	MemoStats = core.MemoStats
 	// Counters is the statistics block in the shape of the paper's tables.
 	Counters = stats.Counters
 	// Outcome is a test verdict (Independent / Dependent / Unknown).

@@ -58,6 +58,10 @@ type Options struct {
 	// (stats.Counters.StageTimeNs). Off by default: two clock reads per
 	// consulted stage are measurable next to a sub-microsecond SVPC probe.
 	TimeCascade bool
+	// L1Size is the per-worker direct-mapped L1 memo cache's slot count,
+	// used only when Memoize is on: 0 means the default (memo.DefaultL1Size),
+	// negative disables the L1 so every lookup goes to the shared table.
+	L1Size int
 }
 
 // DecidedBy identifies how a pair's verdict was obtained.
@@ -164,9 +168,14 @@ func project(res Result, prob *system.Problem) cached {
 // expand rebuilds vectors/distances for the requesting pair's levels.
 func (c cached) expand(prob *system.Problem) Result {
 	res := c.res
-	used := usedLevels(prob)
 	res.Vectors = nil
 	res.Distances = nil
+	if len(c.projVectors) == 0 && len(c.projDistances) == 0 {
+		// Nothing to re-expand; skip computing used levels so a vector-free
+		// memo hit stays allocation-free.
+		return res
+	}
+	used := usedLevels(prob)
 	for _, pv := range c.projVectors {
 		v := make(depvec.Vector, prob.Common)
 		for i := range v {
@@ -199,6 +208,14 @@ type Analyzer struct {
 	eq    memo.Map[system.GCDResult]
 	Stats stats.Counters
 
+	// enc is this analyzer's (or worker view's) scratch-backed key encoder:
+	// steady-state encode+lookup+hit allocates nothing. l1 is the private
+	// direct-mapped cache in front of the shared full table; it holds only
+	// keys interned by that table, so every L1 entry is also an L2 entry
+	// (which keeps AnalyzeAll's provenance post-pass valid).
+	enc memo.Encoder
+	l1  *memo.L1[cached]
+
 	// The cascade engine: cfg is the shared, immutable stage configuration
 	// (selected by Options.Cascade); pipe is this analyzer's private
 	// pipeline with its own scratch. prevStage holds the pipeline metrics
@@ -218,6 +235,9 @@ func New(opts Options) *Analyzer {
 		opts: opts,
 		full: memo.NewTable[cached](),
 		eq:   memo.NewTable[system.GCDResult](),
+	}
+	if opts.Memoize && opts.L1Size >= 0 {
+		a.l1 = memo.NewL1[cached](opts.L1Size)
 	}
 	cfg, err := dtest.ConfigByName(opts.Cascade)
 	if err != nil {
@@ -240,13 +260,16 @@ func (a *Analyzer) newPipeline() *dtest.Pipeline {
 
 // workerView returns a private analyzer view over the shared memo tables
 // for one worker goroutine: options and the stage configuration are shared
-// read-only; the pipeline (with its scratch) and the counters are
-// per-worker.
+// read-only; the pipeline (with its scratch), the key encoder, the L1 memo
+// cache, and the counters are per-worker.
 func (a *Analyzer) workerView() *Analyzer {
 	wa := &Analyzer{opts: a.opts, full: a.full, eq: a.eq, cfg: a.cfg, cfgErr: a.cfgErr}
 	if wa.cfg != nil {
 		wa.pipe = wa.newPipeline()
 		wa.prevStage = make([]dtest.StageMetrics, wa.cfg.NumStages())
+	}
+	if wa.opts.Memoize && wa.opts.L1Size >= 0 {
+		wa.l1 = memo.NewL1[cached](wa.opts.L1Size)
 	}
 	return wa
 }
@@ -344,7 +367,11 @@ func (a *Analyzer) analyzeCandidate(c refs.Candidate, prov *provenance) (Result,
 
 	var fullKey memo.Key
 	if a.opts.Memoize {
-		fullKey = memo.EncodeFull(prob, a.opts.ImprovedMemo)
+		// The steady-state fast path: scratch-backed encode, L1 probe, L2
+		// lock-free probe — zero allocations on a hit (gated by
+		// TestMemoHitZeroAllocs). FullLookups/FullHits stay the candidate-
+		// level totals; L1*/L2* split them by the layer that answered.
+		fullKey = a.enc.EncodeFull(prob, a.opts.ImprovedMemo)
 		a.Stats.FullLookups++
 		if prov != nil {
 			prov.key = fullKey.Bytes()
@@ -354,8 +381,28 @@ func (a *Analyzer) analyzeCandidate(c refs.Candidate, prov *provenance) (Result,
 				}
 			}
 		}
-		if hit, ok := a.full.Lookup(fullKey); ok {
+		if a.l1 != nil {
+			a.Stats.L1Lookups++
+			if hit, ok := a.l1.Lookup(fullKey); ok {
+				a.Stats.L1Hits++
+				a.Stats.FullHits++
+				if prov != nil {
+					prov.fresh = hit.res.DecidedBy
+				}
+				res := hit.expand(prob)
+				res.Pair = p
+				res.DecidedBy = ByCache
+				a.tallyVerdict(res)
+				return res, nil
+			}
+		}
+		a.Stats.L2Lookups++
+		if stored, hit, ok := a.full.LookupStored(fullKey); ok {
+			a.Stats.L2Hits++
 			a.Stats.FullHits++
+			if a.l1 != nil {
+				a.l1.Store(stored, hit)
+			}
 			if prov != nil {
 				prov.fresh = hit.res.DecidedBy
 			}
@@ -387,7 +434,14 @@ func (a *Analyzer) analyzeCandidate(c refs.Candidate, prov *provenance) (Result,
 	// paper's split: the bounds table holds the cases that actually reached
 	// the exact tests).
 	if a.opts.Memoize && res.DecidedBy != ByGCD {
-		a.full.Insert(fullKey, project(res, prob))
+		// fullKey aliases the encoder's scratch; the tables retain their
+		// keys, so insert an owned copy (and reuse it for the L1 fill).
+		ck := fullKey.Clone()
+		cv := project(res, prob)
+		a.full.Insert(ck, cv)
+		if a.l1 != nil {
+			a.l1.Store(ck, cv)
+		}
 		a.Stats.UniqueFull = a.full.Len()
 	}
 	a.tallyVerdict(res)
@@ -450,7 +504,9 @@ func (a *Analyzer) analyzeFresh(prob *system.Problem, p ir.Pair) Result {
 	gcdKnown := false
 	var gcdRes system.GCDResult
 	if a.opts.Memoize {
-		eqKey = memo.EncodeEq(prob, a.opts.ImprovedMemo)
+		// The encoder's eq buffer is separate from its full buffer, so the
+		// caller's still-pending fullKey stays valid across this encode.
+		eqKey = a.enc.EncodeEq(prob, a.opts.ImprovedMemo)
 		a.Stats.EqLookups++
 		if v, ok := a.eq.Lookup(eqKey); ok {
 			a.Stats.EqHits++
@@ -468,7 +524,7 @@ func (a *Analyzer) analyzeFresh(prob *system.Problem, p ir.Pair) Result {
 		return Result{Pair: p, Outcome: dtest.Unknown, DecidedBy: ByTest}
 	}
 	if a.opts.Memoize && !gcdKnown {
-		a.eq.Insert(eqKey, res)
+		a.eq.Insert(eqKey.Clone(), res)
 		a.Stats.UniqueEq = a.eq.Len()
 	}
 	if res == system.GCDIndependent {

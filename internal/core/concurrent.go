@@ -16,16 +16,22 @@ import (
 // workers <= 0 means runtime.GOMAXPROCS(0); workers == 1 runs serially on
 // the calling goroutine with no synchronization overhead.
 //
-// The first concurrent run promotes the analyzer's memo tables to sharded,
-// mutex-guarded tables (existing entries — e.g. from LoadMemo — are
-// carried over), so a warm table keeps serving hits across runs. Each
-// worker accumulates its own stats.Counters, merged into a.Stats at the
-// end; UniqueFull/UniqueEq are then snapshotted from the shared tables.
+// The first concurrent run promotes the analyzer's memo tables to sharded
+// tables with lock-free reads (memo.ShardedTable; existing entries — e.g.
+// from LoadMemo — are carried over), so a warm table keeps serving hits
+// across runs. Each worker holds its own scratch key encoder and — unless
+// Options.L1Size is negative — a private direct-mapped L1 memo in front of
+// the shared table, so a worker's hot working set is answered without
+// touching shared memory. Each worker accumulates its own stats.Counters,
+// merged into a.Stats at the end; UniqueFull/UniqueEq are then snapshotted
+// from the shared tables.
 //
 // Results are deterministic — byte-identical across worker counts and
 // schedules. Verdicts, vectors, and distances are deterministic because a
 // cache hit expands to exactly what a fresh computation of the same
-// canonical problem produces, so racing workers can only agree. DecidedBy
+// canonical problem produces, so racing workers can only agree; an L1 hit
+// only ever re-observes an entry also present in the shared table, so the
+// L1 layer cannot introduce new outcomes. DecidedBy
 // is provenance (cache vs test) and *does* depend on which worker reached a
 // problem first, so workers record each pair's canonical key plus its
 // underlying fresh verdict, and an ordered post-pass replays the serial

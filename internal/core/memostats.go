@@ -1,0 +1,79 @@
+package core
+
+import (
+	"exactdep/internal/memo"
+	"exactdep/internal/system"
+)
+
+// MemoStats is an introspection snapshot of the analyzer's memo hierarchy,
+// rendered by depanalyze -memostats: table occupancy, shard spread, and how
+// the lookup traffic split between the per-worker L1 layer and the shared
+// table. Lookup/hit totals come from stats.Counters (merged across
+// workers); entry and bucket counts are read from the live tables.
+type MemoStats struct {
+	// With-bounds (full) table occupancy.
+	FullEntries, FullBuckets int
+	// Without-bounds (GCD) table occupancy.
+	EqEntries, EqBuckets int
+	// Sharding of the full table: zero Shards means the tables are still in
+	// their serial (unsharded) form. ShardLens is the per-shard entry count;
+	// ShardMin/ShardMax summarize its spread.
+	Shards             int
+	ShardMin, ShardMax int
+	ShardLens          []int
+	// L1 layer of the analyzer that answered serial calls (worker L1s are
+	// per-goroutine and folded only into the counters). Zero L1Capacity
+	// means the L1 is disabled.
+	L1Capacity, L1Entries int
+	// Lookup traffic per layer, from the merged counters.
+	L1Lookups, L1Hits int
+	L2Lookups, L2Hits int
+}
+
+// MemoStats reports the current state of the analyzer's memo hierarchy.
+func (a *Analyzer) MemoStats() MemoStats {
+	m := MemoStats{
+		FullEntries: a.full.Len(),
+		EqEntries:   a.eq.Len(),
+		L1Lookups:   a.Stats.L1Lookups,
+		L1Hits:      a.Stats.L1Hits,
+		L2Lookups:   a.Stats.L2Lookups,
+		L2Hits:      a.Stats.L2Hits,
+	}
+	switch t := a.full.(type) {
+	case *memo.ShardedTable[cached]:
+		m.FullBuckets = t.Buckets()
+		m.Shards = t.NumShards()
+		m.ShardLens = t.ShardLens()
+		m.ShardMin, m.ShardMax = minMax(m.ShardLens)
+	case *memo.Table[cached]:
+		m.FullBuckets = t.Buckets()
+	}
+	switch t := a.eq.(type) {
+	case *memo.ShardedTable[system.GCDResult]:
+		m.EqBuckets = t.Buckets()
+	case *memo.Table[system.GCDResult]:
+		m.EqBuckets = t.Buckets()
+	}
+	if a.l1 != nil {
+		m.L1Capacity = a.l1.Cap()
+		m.L1Entries = a.l1.Len()
+	}
+	return m
+}
+
+func minMax(xs []int) (lo, hi int) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}

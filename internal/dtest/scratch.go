@@ -12,7 +12,9 @@ import (
 // cascade path (an SVPC or Acyclic decision) allocation-free, which is what
 // lets the cheap tests actually run at the cost the paper prices them at
 // (§7). A Scratch is not safe for concurrent use — each Pipeline owns one,
-// and the concurrent driver gives every worker its own Pipeline.
+// and the concurrent driver gives every worker its own Pipeline. The memo
+// layer follows the same pattern: each worker owns a memo.Encoder (key
+// scratch) and a memo.L1, sharing only the lock-free L2 table.
 type Scratch struct {
 	sys system.Scratch // coefficient-row arena (cloned/substituted/expanded rows)
 

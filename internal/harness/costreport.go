@@ -64,7 +64,16 @@ func (h *Harness) CostReport() error {
 		sum.AddRow(row...)
 	}
 	fmt.Fprintln(h.w, sum)
-	fmt.Fprintf(h.w, "cost units: sum over stages of consulted x rank — each problem pays only for the probes it consults (paper §3)\n\n")
+	fmt.Fprintf(h.w, "cost units: sum over stages of consulted x rank — each problem pays only for the probes it consults (paper §3)\n")
+
+	// The memo hierarchy is what makes the probes above the exception: most
+	// candidates are answered by a cache layer before any stage is consulted.
+	// L1 is the per-worker direct-mapped cache, L2 the shared table; their
+	// hits sum to the with-bounds hit total.
+	fmt.Fprintf(h.w, "memo hierarchy: %d lookups, %d hits (%s) — L1 %d/%d (%s), L2 %d/%d (%s)\n\n",
+		tot.FullLookups, tot.FullHits, pct(tot.FullHits, tot.FullLookups),
+		tot.L1Hits, tot.L1Lookups, pct(tot.L1Hits, tot.L1Lookups),
+		tot.L2Hits, tot.L2Lookups, pct(tot.L2Hits, tot.L2Lookups))
 	return nil
 }
 

@@ -1,0 +1,6 @@
+package memo
+
+// MixForTest exposes the indexing finalizer to the external distribution
+// test (dist_test.go), which lives in package memo_test to break the
+// memo ← core ← workload import cycle.
+var MixForTest = mix

@@ -1,0 +1,42 @@
+package memo
+
+import "testing"
+
+// TestHashShiftWrap pins the documented wrap: the shift amount is i mod 63
+// (cycling 0..62, never 63), so element i of a long key lands on the same
+// shift as element i±63, and short keys never park a contribution in the
+// bare sign bit.
+func TestHashShiftWrap(t *testing.T) {
+	k := make(Key, 130) // covers two full wraps: shifts 0..62, 0..62, 0..3
+	for i := range k {
+		k[i] = int64(i + 1)
+	}
+	want := uint64(len(k))
+	for i, v := range k {
+		want += uint64(v) << (uint(i) % 63)
+	}
+	if got := k.hash(); got != want {
+		t.Fatalf("hash = %#x, want %#x", got, want)
+	}
+
+	// Element 63 must contribute at shift 0 (63 mod 63), element 64 at
+	// shift 1 — not at shifts 63/64.
+	base := make(Key, 65)
+	bumped := base.Clone()
+	bumped[63] = 1
+	if got, want := bumped.hash()-base.hash(), uint64(1)<<0; got != want {
+		t.Fatalf("element 63 contributed %#x, want %#x (shift 0)", got, want)
+	}
+	bumped = base.Clone()
+	bumped[64] = 1
+	if got, want := bumped.hash()-base.hash(), uint64(1)<<1; got != want {
+		t.Fatalf("element 64 contributed %#x, want %#x (shift 1)", got, want)
+	}
+}
+
+func TestHashExportedMatchesInternal(t *testing.T) {
+	k := Key{3, -1, 7, 0, 2}
+	if k.Hash() != k.hash() {
+		t.Fatal("Key.Hash must expose the internal hash")
+	}
+}

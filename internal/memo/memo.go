@@ -11,20 +11,33 @@
 // cannot affect the verdict (unused indices), merging cases such as the
 // paper's pair of doubly nested loops that both collapse to a single loop.
 //
-// Two table implementations share the Map interface: Table is the paper's
-// open hash table, unsynchronized, for serial analysis; ShardedTable splits
-// the key space over power-of-two mutex-guarded shards so the concurrent
-// driver's workers can share one cache (see core.Analyzer.AnalyzeAll).
+// Because memoization eliminates most test invocations, the memo lookup
+// itself is the analyzer's steady-state hot path. The package therefore
+// provides a zero-allocation fast path end to end:
+//
+//   - Encoder canonicalizes problems into scratch-backed keys (no maps, no
+//     sorting, no fresh Key per candidate) — one Encoder per worker.
+//   - Table is the paper's open hash table, unsynchronized, for serial
+//     analysis.
+//   - ShardedTable shares one cache across the concurrent driver's workers
+//     with lock-free reads: each shard publishes an immutable open-addressed
+//     snapshot through an atomic pointer, and inserts copy-on-write under a
+//     short per-shard mutex (see sharded.go).
+//   - L1 is a small direct-mapped per-worker cache in front of the shared
+//     table, so a worker's hot working set is answered without touching
+//     shared memory at all (see l1.go).
+//
+// Table and ShardedTable share the Map interface, so a serial table can be
+// promoted to a sharded one by re-inserting its entries (the concurrent
+// driver core.Analyzer.AnalyzeAll does exactly that).
 package memo
 
-import (
-	"encoding/binary"
-	"sort"
+import "encoding/binary"
 
-	"exactdep/internal/system"
-)
-
-// Key is a canonical integer encoding of a dependence problem.
+// Key is a canonical integer encoding of a dependence problem. Keys
+// produced by an Encoder alias its scratch buffers and are valid only until
+// the encoder's next call; Clone them before storing (Table and ShardedTable
+// retain the Key they are given).
 type Key []int64
 
 // Bytes renders the key as a compact string usable as a Go map key: eight
@@ -39,13 +52,50 @@ func (k Key) Bytes() string {
 	return string(b)
 }
 
-// hash implements the paper's function: size(x) + Σ 2^i·x_i. Shifts wrap at
-// 63 bits; the table resolves residual collisions by key comparison.
+// Clone returns a copy of k with its own backing array, safe to retain
+// after the encoder that produced k reuses its buffers.
+func (k Key) Clone() Key {
+	if k == nil {
+		return nil
+	}
+	return append(Key(nil), k...)
+}
+
+// hash implements the paper's function: size(x) + Σ 2^i·x_i. The shift
+// *amount* wraps at 63 (i mod 63, cycling through 0..62), not at 64: a
+// shift of 63 or more would park short-key contributions in the sign bit or
+// (at ≥64) discard them entirely, so element i of a long key instead shares
+// a shift with element i±63 and the top bit is reached only through carry
+// propagation. Residual collisions are resolved by key comparison in the
+// tables; TestHashShiftWrap pins the wrap and TestHashDistributionOnSuiteKeys
+// watches the collision rate over the workload's real keys.
 func (k Key) hash() uint64 {
 	h := uint64(len(k))
 	for i, v := range k {
 		h += uint64(v) << (uint(i) % 63)
 	}
+	return h
+}
+
+// Hash exposes the paper's hash for introspection (occupancy reports,
+// distribution tests). The tables index buckets and shards through mix
+// rather than using it raw.
+func (k Key) Hash() uint64 { return k.hash() }
+
+// mix finalizes the paper's hash for indexing (a splitmix64-style avalanche
+// step). The additive hash keeps distinct problems apart — its collision
+// rate over the suite's real keys is fine — but it concentrates structure
+// in the low bits (every key starts with a small variable count and column
+// width), and TestHashDistributionOnSuiteKeys showed raw low-bit indexing
+// packing a quarter of the suite into one bucket chain. Diffusing the bits
+// first keeps probe chains short and lets the sharded table take shard
+// bits and bucket bits from the same value without correlation.
+func mix(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
 	return h
 }
 
@@ -61,152 +111,8 @@ func (k Key) equal(o Key) bool {
 	return true
 }
 
-// EncodeEq encodes only the subscript equation system (the without-bounds
-// key used for GCD memoization). With improved=true, variables that occur in
-// no equation are dropped first.
-func EncodeEq(p *system.Problem, improved bool) Key {
-	vars := keptVars(p, improved, false)
-	key := Key{int64(len(vars)), int64(p.Eq.Cols)}
-	for _, i := range vars {
-		for d := 0; d < p.Eq.Cols; d++ {
-			key = append(key, p.Eq.At(i, d))
-		}
-	}
-	for d := 0; d < p.Eq.Cols; d++ {
-		key = append(key, p.RHS[d])
-	}
-	return key
-}
-
-// EncodeFull encodes the subscript equations and the loop bounds (the
-// with-bounds key for full test results). With improved=true, unused
-// variables — indices that appear in no equation and, transitively, in no
-// used variable's bound — are eliminated along with their bounds, exactly
-// the paper's collapse of
-//
-//	for i…for j… a[i+10]=a[i]   and   for i…for j… a[j+10]=a[j]
-//
-// to the same single-loop problem.
-func EncodeFull(p *system.Problem, improved bool) Key {
-	vars := keptVars(p, improved, true)
-	pos := make(map[int]int, len(vars)) // original index → position
-	for n, i := range vars {
-		pos[i] = n
-	}
-	// Once unused variables are dropped, position alone no longer says
-	// whether a kept variable is the A-side or B-side instance of which
-	// loop, and two mirrored problems must not share cached direction
-	// vectors. Encode each variable's kind and the *rank* of its loop level
-	// among kept levels — absolute levels must stay out of the key so that
-	// the same pattern under extra unused loops still collapses.
-	levelRank := map[int]int{}
-	{
-		var lvls []int
-		seen := map[int]bool{}
-		for _, i := range vars {
-			if l := p.Vars[i].Level; l >= 0 && !seen[l] {
-				seen[l] = true
-				lvls = append(lvls, l)
-			}
-		}
-		sort.Ints(lvls)
-		for r, l := range lvls {
-			levelRank[l] = r
-		}
-	}
-	key := Key{int64(len(vars)), int64(p.Eq.Cols)}
-	for _, i := range vars {
-		rank := int64(-1)
-		if l := p.Vars[i].Level; l >= 0 {
-			rank = int64(levelRank[l])
-		}
-		key = append(key, int64(p.Vars[i].Kind), rank)
-		for d := 0; d < p.Eq.Cols; d++ {
-			key = append(key, p.Eq.At(i, d))
-		}
-	}
-	for d := 0; d < p.Eq.Cols; d++ {
-		key = append(key, p.RHS[d])
-	}
-	for _, i := range vars {
-		key = appendBound(key, p, p.Lower[i], pos)
-		key = appendBound(key, p, p.Upper[i], pos)
-	}
-	return key
-}
-
-// appendBound encodes one optional affine bound positionally: a presence
-// flag, the constant, then the coefficient of each kept variable.
-func appendBound(key Key, p *system.Problem, b system.Bound, pos map[int]int) Key {
-	if !b.Has {
-		return append(key, 0)
-	}
-	key = append(key, 1, b.Expr.Const)
-	coeffs := make([]int64, len(pos))
-	for _, v := range b.Expr.Vars() {
-		i := p.VarIndex(v)
-		if n, ok := pos[i]; ok {
-			coeffs[n] = b.Expr.Coeff(v)
-		}
-	}
-	return append(key, coeffs...)
-}
-
-// keptVars returns the variable indices retained by the encoding, in
-// canonical order. Simple scheme: all variables. Improved scheme: the
-// closure of variables used by some equation, where withBounds additionally
-// pulls in variables appearing in a used variable's bounds.
-func keptVars(p *system.Problem, improved, withBounds bool) []int {
-	n := len(p.Vars)
-	if !improved {
-		out := make([]int, n)
-		for i := range out {
-			out[i] = i
-		}
-		return out
-	}
-	used := make([]bool, n)
-	for i := 0; i < n; i++ {
-		for d := 0; d < p.Eq.Cols; d++ {
-			if p.Eq.At(i, d) != 0 {
-				used[i] = true
-				break
-			}
-		}
-	}
-	if withBounds {
-		for changed := true; changed; {
-			changed = false
-			for i := 0; i < n; i++ {
-				if !used[i] {
-					continue
-				}
-				for _, b := range []system.Bound{p.Lower[i], p.Upper[i]} {
-					if !b.Has {
-						continue
-					}
-					for _, v := range b.Expr.Vars() {
-						j := p.VarIndex(v)
-						if j >= 0 && !used[j] {
-							used[j] = true
-							changed = true
-						}
-					}
-				}
-			}
-		}
-	}
-	var out []int
-	for i := 0; i < n; i++ {
-		if used[i] {
-			out = append(out, i)
-		}
-	}
-	return out
-}
-
 // Table is an open-addressing hash table from Key to V using the paper's
-// hash function with linear probing.
+// hash function with linear probing. It retains the Keys it is given.
 type Table[V any] struct {
 	keys    []Key
 	vals    []V
@@ -224,27 +130,36 @@ func NewTable[V any]() *Table[V] {
 
 // Lookup returns the cached value for k.
 func (t *Table[V]) Lookup(k Key) (V, bool) {
+	_, v, ok := t.LookupStored(k)
+	return v, ok
+}
+
+// LookupStored is Lookup additionally returning the table's interned copy
+// of the key on a hit. Callers that need to retain the key (the L1 cache)
+// keep the interned one instead of cloning a scratch-backed probe key.
+func (t *Table[V]) LookupStored(k Key) (Key, V, bool) {
 	t.lookups++
 	mask := uint64(len(t.keys) - 1)
-	for i := k.hash() & mask; ; i = (i + 1) & mask {
+	for i := mix(k.hash()) & mask; ; i = (i + 1) & mask {
 		if t.keys[i] == nil {
 			var zero V
-			return zero, false
+			return nil, zero, false
 		}
 		if t.keys[i].equal(k) {
 			t.hits++
-			return t.vals[i], true
+			return t.keys[i], t.vals[i], true
 		}
 	}
 }
 
-// Insert stores v under k (overwriting an existing entry).
+// Insert stores v under k (overwriting an existing entry). The table
+// retains k: pass a stable key, never a scratch-backed one (Key.Clone).
 func (t *Table[V]) Insert(k Key, v V) {
 	if (t.n+1)*4 > len(t.keys)*3 { // keep load factor ≤ 3/4
 		t.grow()
 	}
 	mask := uint64(len(t.keys) - 1)
-	for i := k.hash() & mask; ; i = (i + 1) & mask {
+	for i := mix(k.hash()) & mask; ; i = (i + 1) & mask {
 		if t.keys[i] == nil {
 			t.keys[i] = k
 			t.vals[i] = v
@@ -272,7 +187,7 @@ func (t *Table[V]) grow() {
 
 func (t *Table[V]) reinsert(k Key, v V) {
 	mask := uint64(len(t.keys) - 1)
-	for i := k.hash() & mask; ; i = (i + 1) & mask {
+	for i := mix(k.hash()) & mask; ; i = (i + 1) & mask {
 		if t.keys[i] == nil {
 			t.keys[i] = k
 			t.vals[i] = v
@@ -284,6 +199,9 @@ func (t *Table[V]) reinsert(k Key, v V) {
 
 // Len returns the number of unique entries.
 func (t *Table[V]) Len() int { return t.n }
+
+// Buckets returns the current bucket-array size (occupancy denominator).
+func (t *Table[V]) Buckets() int { return len(t.keys) }
 
 // Stats returns lookup and hit counts.
 func (t *Table[V]) Stats() (lookups, hits int) { return t.lookups, t.hits }

@@ -11,7 +11,7 @@ import (
 
 // buildPair constructs the problem for a loop nest with the given loops and
 // one-dimensional references a[subA] = a[subB].
-func buildPair(t *testing.T, loops []ir.Loop, subA, subB ir.Expr) *system.Problem {
+func buildPair(t testing.TB, loops []ir.Loop, subA, subB ir.Expr) *system.Problem {
 	t.Helper()
 	nest := &ir.Nest{Label: "m", Loops: loops}
 	a := ir.Ref{Array: "a", Subscripts: []ir.Expr{subA}, Kind: ir.Write, Depth: len(loops)}

@@ -1,0 +1,7 @@
+//go:build race
+
+package memo
+
+// raceEnabled lets allocation-count tests skip themselves under the race
+// detector, whose instrumentation allocates.
+const raceEnabled = true

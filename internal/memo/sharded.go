@@ -1,13 +1,19 @@
 package memo
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Map is the table surface the analyzer depends on. Table implements it for
 // serial use; ShardedTable implements it for concurrent use. Both share the
 // paper's canonical keys, so a serial table can be promoted to a sharded one
-// by re-inserting its entries.
+// by re-inserting its entries. Both retain inserted Keys and hand the
+// interned copy back from LookupStored, which is what lets an L1 cache sit
+// in front of either without cloning keys.
 type Map[V any] interface {
 	Lookup(Key) (V, bool)
+	LookupStored(Key) (Key, V, bool)
 	Insert(Key, V)
 	Len() int
 	Stats() (lookups, hits int)
@@ -19,32 +25,57 @@ var (
 	_ Map[int] = (*ShardedTable[int])(nil)
 )
 
-// ShardedTable is a concurrency-safe memo table: N power-of-two shards, each
-// a mutex-guarded Table, with the shard chosen by the key's hash. Workers of
-// the concurrent driver contend only when their keys land in the same shard,
-// which the workload's skew makes rare: the hot keys (the paper's few
-// hundred canonical problems) spread across shards, and the common case is
-// an uncontended lock acquire around a short probe.
+// ShardedTable is a concurrency-safe memo table built for a read-mostly
+// workload: after warmup the overwhelming majority of operations are
+// lookups of already-cached problems (the paper's §5 observation), so the
+// read path must not serialize workers.
+//
+// The key space is split over N power-of-two shards. Each shard holds an
+// atomic pointer to an immutable open-addressed snapshot (the paper's open
+// hash table, frozen): a lookup is one atomic load plus a linear probe over
+// the snapshot — no locks, no shared writes beyond the shard's padded stat
+// counters. An insert takes the shard's mutex, copies the snapshot with the
+// new entry placed (growing when load factor would pass 3/4), and publishes
+// the copy with an atomic store. Copy-on-write makes inserts O(shard size),
+// which the workload's shape makes cheap: the suite's few hundred canonical
+// problems spread over the shards, and inserts stop once the unique
+// problems are cached.
 //
 // Values are stored as given; callers that cache the same key from multiple
 // goroutines must make the value deterministic in the key (true for the
-// analyzer: a canonical problem has exactly one verdict), so a racing
-// double-insert is a benign same-value overwrite.
+// analyzer: a canonical problem has exactly one verdict), so racing
+// lookup-miss/insert pairs can only republish an equivalent table. Inserted
+// Keys are retained: pass stable keys (Key.Clone scratch-backed ones).
 type ShardedTable[V any] struct {
 	shift uint
 	sh    []shard[V]
 }
 
-// shard pads each mutex+table to its own cache line so neighbouring shards
-// do not false-share under write-heavy warmup.
+// snapshot is one shard's immutable open-addressed table. All fields are
+// written before the snapshot is published and never after, so readers that
+// Load it may probe without synchronization. Load factor stays ≤ 3/4,
+// guaranteeing a nil slot that terminates every probe.
+type snapshot[V any] struct {
+	keys []Key
+	vals []V
+	n    int
+}
+
+// shard pads to its own cache line so neighbouring shards' stat counters
+// and snapshot publishes do not false-share.
 type shard[V any] struct {
-	mu sync.Mutex
-	t  *Table[V]
-	_  [64 - 8 - 8]byte
+	snap    atomic.Pointer[snapshot[V]]
+	mu      sync.Mutex // serializes Insert; never taken by Lookup
+	lookups atomic.Int64
+	hits    atomic.Int64
+	_       [24]byte
 }
 
 // DefaultShards is the shard count NewShardedTable uses for n <= 0.
 const DefaultShards = 16
+
+// shardBuckets is the initial snapshot size of each shard.
+const shardBuckets = 16
 
 // NewShardedTable returns an empty table with n shards, rounded up to a
 // power of two (n <= 0 means DefaultShards).
@@ -58,7 +89,7 @@ func NewShardedTable[V any](n int) *ShardedTable[V] {
 	}
 	s := &ShardedTable[V]{sh: make([]shard[V], p)}
 	for i := range s.sh {
-		s.sh[i].t = NewTable[V]()
+		s.sh[i].snap.Store(&snapshot[V]{keys: make([]Key, shardBuckets), vals: make([]V, shardBuckets)})
 	}
 	for p > 1 {
 		s.shift++
@@ -67,31 +98,85 @@ func NewShardedTable[V any](n int) *ShardedTable[V] {
 	return s
 }
 
-// shardFor picks a shard from the key's hash. The in-shard Table indexes
-// buckets with the hash's low bits, so the shard choice uses the high bits
-// of a Fibonacci-mixed hash — shard and bucket selection stay uncorrelated
-// even for the paper's additive hash on short keys.
+// shardFor picks a shard from the high bits of the mixed hash; the in-shard
+// snapshot indexes buckets with its low bits. The avalanche mix decorrelates
+// the two, so keys landing in one shard still spread over its buckets.
 func (s *ShardedTable[V]) shardFor(k Key) *shard[V] {
-	h := k.hash() * 0x9E3779B97F4A7C15
+	h := mix(k.hash())
 	return &s.sh[h>>(64-s.shift)&uint64(len(s.sh)-1)]
 }
 
-// Lookup returns the cached value for k. Safe for concurrent use.
+// Lookup returns the cached value for k. Safe for concurrent use and
+// lock-free: one atomic snapshot load, a probe, and two padded per-shard
+// stat increments — it allocates nothing and never blocks on writers.
 func (s *ShardedTable[V]) Lookup(k Key) (V, bool) {
-	sh := s.shardFor(k)
-	sh.mu.Lock()
-	v, ok := sh.t.Lookup(k)
-	sh.mu.Unlock()
+	_, v, ok := s.LookupStored(k)
 	return v, ok
 }
 
-// Insert stores v under k (overwriting an existing entry). Safe for
-// concurrent use.
+// LookupStored is Lookup additionally returning the table's interned copy
+// of the key on a hit (for L1 caches that must retain a stable key). Same
+// lock-free guarantees as Lookup.
+func (s *ShardedTable[V]) LookupStored(k Key) (Key, V, bool) {
+	sh := s.shardFor(k)
+	sh.lookups.Add(1)
+	sn := sh.snap.Load()
+	mask := uint64(len(sn.keys) - 1)
+	for i := mix(k.hash()) & mask; ; i = (i + 1) & mask {
+		sk := sn.keys[i]
+		if sk == nil {
+			var zero V
+			return nil, zero, false
+		}
+		if sk.equal(k) {
+			sh.hits.Add(1)
+			return sk, sn.vals[i], true
+		}
+	}
+}
+
+// Insert stores v under k (overwriting an existing entry) by publishing a
+// copy-on-write snapshot under the shard mutex. Safe for concurrent use;
+// the table retains k.
 func (s *ShardedTable[V]) Insert(k Key, v V) {
 	sh := s.shardFor(k)
 	sh.mu.Lock()
-	sh.t.Insert(k, v)
+	sh.snap.Store(sh.snap.Load().withInsert(k, v))
 	sh.mu.Unlock()
+}
+
+// withInsert returns a copy of sn with (k, v) placed, grown when the load
+// factor would pass 3/4. The receiver is never modified.
+func (sn *snapshot[V]) withInsert(k Key, v V) *snapshot[V] {
+	size := len(sn.keys)
+	if (sn.n+1)*4 > size*3 {
+		size *= 2
+	}
+	next := &snapshot[V]{keys: make([]Key, size), vals: make([]V, size)}
+	for i, sk := range sn.keys {
+		if sk != nil {
+			next.place(sk, sn.vals[i])
+		}
+	}
+	next.place(k, v)
+	return next
+}
+
+// place inserts or overwrites one entry in an unpublished snapshot.
+func (sn *snapshot[V]) place(k Key, v V) {
+	mask := uint64(len(sn.keys) - 1)
+	for i := mix(k.hash()) & mask; ; i = (i + 1) & mask {
+		if sn.keys[i] == nil {
+			sn.keys[i] = k
+			sn.vals[i] = v
+			sn.n++
+			return
+		}
+		if sn.keys[i].equal(k) {
+			sn.vals[i] = v
+			return
+		}
+	}
 }
 
 // Len returns the number of unique entries, summed across shards. During
@@ -99,9 +184,30 @@ func (s *ShardedTable[V]) Insert(k Key, v V) {
 func (s *ShardedTable[V]) Len() int {
 	n := 0
 	for i := range s.sh {
-		s.sh[i].mu.Lock()
-		n += s.sh[i].t.Len()
-		s.sh[i].mu.Unlock()
+		n += s.sh[i].snap.Load().n
+	}
+	return n
+}
+
+// NumShards returns the shard count.
+func (s *ShardedTable[V]) NumShards() int { return len(s.sh) }
+
+// ShardLens returns the entry count of every shard — the spread the
+// -memostats report prints to show the hash scattering hot keys.
+func (s *ShardedTable[V]) ShardLens() []int {
+	out := make([]int, len(s.sh))
+	for i := range s.sh {
+		out[i] = s.sh[i].snap.Load().n
+	}
+	return out
+}
+
+// Buckets returns the total bucket count over all shard snapshots (the
+// occupancy denominator).
+func (s *ShardedTable[V]) Buckets() int {
+	n := 0
+	for i := range s.sh {
+		n += len(s.sh[i].snap.Load().keys)
 	}
 	return n
 }
@@ -109,33 +215,26 @@ func (s *ShardedTable[V]) Len() int {
 // Stats returns lookup and hit counts merged across shards.
 func (s *ShardedTable[V]) Stats() (lookups, hits int) {
 	for i := range s.sh {
-		s.sh[i].mu.Lock()
-		l, h := s.sh[i].t.Stats()
-		s.sh[i].mu.Unlock()
-		lookups += l
-		hits += h
+		lookups += int(s.sh[i].lookups.Load())
+		hits += int(s.sh[i].hits.Load())
 	}
 	return lookups, hits
 }
 
 // Range calls f for every entry until f returns false, shard by shard. Each
-// shard's lock is held while its entries are visited: f must not call back
-// into the table.
+// shard is visited through one immutable snapshot, so Range never blocks
+// writers, sees a consistent per-shard state, and f may call back into the
+// table (inserts made during the walk may or may not be visited).
 func (s *ShardedTable[V]) Range(f func(Key, V) bool) {
 	for i := range s.sh {
-		sh := &s.sh[i]
-		sh.mu.Lock()
-		done := false
-		sh.t.Range(func(k Key, v V) bool {
-			if !f(k, v) {
-				done = true
-				return false
+		sn := s.sh[i].snap.Load()
+		for j, k := range sn.keys {
+			if k == nil {
+				continue
 			}
-			return true
-		})
-		sh.mu.Unlock()
-		if done {
-			return
+			if !f(k, sn.vals[j]) {
+				return
+			}
 		}
 	}
 }

@@ -104,6 +104,89 @@ func TestShardedTableHammer(t *testing.T) {
 	}
 }
 
+// TestShardedTableLockFreeStress hammers the lock-free read path while
+// writers grow and republish snapshots: readers spin on Lookup and must
+// only ever observe a miss or the key-determined value — never a torn
+// entry, a lost earlier insert, or an unterminated probe. Run under -race
+// (make race) this is the copy-on-write publication gate.
+func TestShardedTableLockFreeStress(t *testing.T) {
+	const (
+		readers = 8
+		writers = 4
+		keys    = 1000
+	)
+	mk := func(i int) Key { return Key{int64(i), int64(i * 31), int64(-i)} }
+	val := func(i int) int { return i*7 + 1 }
+	s := NewShardedTable[int](4) // few shards → heavy snapshot churn per shard
+
+	stop := make(chan struct{})
+	var readersDone sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		readersDone.Add(1)
+		go func(r int) {
+			defer readersDone.Done()
+			for i := r; ; i = (i + 1) % keys {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if v, ok := s.Lookup(mk(i)); ok && v != val(i) {
+					t.Errorf("Lookup(%d) = %d, want %d", i, v, val(i))
+					return
+				}
+			}
+		}(r)
+	}
+
+	var writersDone sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersDone.Add(1)
+		go func(w int) {
+			defer writersDone.Done()
+			// Interleaved, overlapping ranges: every key is inserted by at
+			// least one writer, many by several.
+			for i := w; i < keys; i += 2 {
+				k := mk(i)
+				s.Insert(k, val(i))
+				if v, ok := s.Lookup(k); !ok || v != val(i) {
+					t.Errorf("writer %d lost own insert of %d: %d, %v", w, i, v, ok)
+					return
+				}
+			}
+		}(w)
+	}
+	writersDone.Wait()
+	close(stop)
+	readersDone.Wait()
+
+	if s.Len() != keys {
+		t.Fatalf("Len = %d, want %d", s.Len(), keys)
+	}
+	for i := 0; i < keys; i++ {
+		if v, ok := s.Lookup(mk(i)); !ok || v != val(i) {
+			t.Fatalf("final Lookup(%d) = %d, %v; want %d, true", i, v, ok, val(i))
+		}
+	}
+}
+
+// TestShardedLookupStoredInterns verifies LookupStored hands back the
+// table's own key, not the probe key — the contract the L1 fill relies on
+// to avoid cloning.
+func TestShardedLookupStoredInterns(t *testing.T) {
+	s := NewShardedTable[int](0)
+	owned := Key{9, 8, 7}
+	s.Insert(owned, 1)
+	probe := owned.Clone()
+	stored, v, ok := s.LookupStored(probe)
+	if !ok || v != 1 {
+		t.Fatalf("LookupStored = %d, %v", v, ok)
+	}
+	if &stored[0] != &owned[0] {
+		t.Fatal("LookupStored must return the interned key, not the probe")
+	}
+}
+
 // ExampleShardedTable shows the concurrent memo table's hit-rate stats: the
 // same canonical problem looked up from many goroutines is computed once
 // and then served from the shard it hashed to.

@@ -43,8 +43,14 @@ type Counters struct {
 	StageDecided   [numKinds]int
 	StageTimeNs    [numKinds]int64
 
-	// Memoization.
-	FullLookups, FullHits int // with-bounds table
+	// Memoization. FullLookups/FullHits are the candidate-level totals for
+	// the with-bounds cache regardless of which layer answered; L1*/L2*
+	// split them by layer (per-worker direct-mapped L1 vs shared table), so
+	// L1Hits+L2Hits == FullHits and, with the L1 enabled,
+	// L1Lookups == FullLookups.
+	FullLookups, FullHits int // with-bounds cache, both layers combined
+	L1Lookups, L1Hits     int // per-worker direct-mapped layer
+	L2Lookups, L2Hits     int // shared table layer (L1 misses fall through)
 	EqLookups, EqHits     int // without-bounds (GCD) table
 	UniqueFull, UniqueEq  int
 
@@ -72,6 +78,10 @@ func (c *Counters) Add(o *Counters) {
 	}
 	c.FullLookups += o.FullLookups
 	c.FullHits += o.FullHits
+	c.L1Lookups += o.L1Lookups
+	c.L1Hits += o.L1Hits
+	c.L2Lookups += o.L2Lookups
+	c.L2Hits += o.L2Hits
 	c.EqLookups += o.EqLookups
 	c.EqHits += o.EqHits
 	c.UniqueFull += o.UniqueFull

@@ -1,0 +1,42 @@
+package workload
+
+// MemoSummary is one program's memo traffic under a given configuration —
+// the per-suite hit-rate shape the BENCH_PR3.json baseline records so
+// future PRs can spot cache regressions, not just time ones.
+type MemoSummary struct {
+	Program     string  `json:"program"`
+	Pairs       int     `json:"pairs"`
+	FullLookups int     `json:"full_lookups"`
+	FullHits    int     `json:"full_hits"`
+	L1Hits      int     `json:"l1_hits"`
+	L2Hits      int     `json:"l2_hits"`
+	UniqueFull  int     `json:"unique_full"`
+	HitRate     float64 `json:"hit_rate"`
+}
+
+// SuiteMemoSummaries runs every suite program through a fresh analyzer and
+// returns its memo summary (fresh per program, like the harness reports, so
+// each row is self-contained).
+func SuiteMemoSummaries(ro RunnerOptions) ([]MemoSummary, error) {
+	out := make([]MemoSummary, 0, len(Programs()))
+	for _, s := range Programs() {
+		a, err := Run(s, ro)
+		if err != nil {
+			return nil, err
+		}
+		m := MemoSummary{
+			Program:     s.Name,
+			Pairs:       a.Stats.Pairs,
+			FullLookups: a.Stats.FullLookups,
+			FullHits:    a.Stats.FullHits,
+			L1Hits:      a.Stats.L1Hits,
+			L2Hits:      a.Stats.L2Hits,
+			UniqueFull:  a.Stats.UniqueFull,
+		}
+		if m.FullLookups > 0 {
+			m.HitRate = float64(m.FullHits) / float64(m.FullLookups)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
