@@ -12,15 +12,15 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 120s ./...
 
 # allocgate re-runs the steady-state allocation assertions without the race
 # detector (they skip themselves under it, since the instrumentation
-# allocates), so the zero-allocation cascade path and the zero-allocation
-# memo path (encode + lookup + hit) stay gated even though the main test
-# run is race-enabled.
+# allocates), so the zero-allocation cascade path, the zero-allocation
+# memo path (encode + lookup + hit), and the budget-armed cascade path
+# stay gated even though the main test run is race-enabled.
 allocgate:
-	$(GO) test ./internal/dtest -run 'TestCascadeZeroAllocs|TestRunTracedReusesScratch'
+	$(GO) test ./internal/dtest -run 'TestCascadeZeroAllocs|TestRunTracedReusesScratch|TestBudgetZeroAllocs'
 	$(GO) test ./internal/memo -run 'TestEncoderZeroAllocs|TestMemoHitZeroAllocs'
 
 # check is the CI gate: vet plus race-enabled tests, so the concurrent
@@ -34,6 +34,7 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem . ./internal/dtest ./internal/memo
 
 # bench-json writes the machine-readable perf baseline (ns/op, allocs/op,
-# memo hit rates over the suite) so future PRs can diff against it.
+# memo hit rates over the suite, budget-trip profile of the FM-hard
+# adversarial suite) so future PRs can diff against it.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR3.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR4.json

@@ -1,0 +1,162 @@
+package exactdep_test
+
+// Public-API surface of the budget/cancellation layer: context-first entry
+// points, the deprecated workers shim, Report.Degraded, Maybe rendering, and
+// the conservative treatment of degraded pairs by the parallelizer.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"exactdep"
+	"exactdep/internal/workload"
+)
+
+// fmHardSrc is an adversarial program whose pairs land in Fourier–Motzkin,
+// so tiny budgets visibly trip.
+func fmHardSrc(t *testing.T) string {
+	t.Helper()
+	return workload.FMHardSource(workload.FMHardSpec{Name: "API", Depth: 4, Cases: 3})
+}
+
+// TestAnalyzeSourceContextCancelled: an already-cancelled context degrades
+// every pair to Maybe/TripCancelled; Report.Degraded returns all of them and
+// the stats count them as cancelled, not as verdicts.
+func TestAnalyzeSourceContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := exactdep.AnalyzeSourceContext(ctx, fmHardSrc(t), exactdep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) == 0 {
+		t.Fatal("no results")
+	}
+	deg := rep.Degraded()
+	if len(deg) != len(rep.Results) {
+		t.Fatalf("Degraded() returned %d of %d results", len(deg), len(rep.Results))
+	}
+	for _, r := range deg {
+		if r.Outcome != exactdep.Maybe || r.Trip != exactdep.TripCancelled {
+			t.Fatalf("degraded result %+v, want Maybe/TripCancelled", r)
+		}
+	}
+	if rep.Stats.CancelledPairs != len(rep.Results) {
+		t.Errorf("CancelledPairs = %d, want %d", rep.Stats.CancelledPairs, len(rep.Results))
+	}
+}
+
+// TestAnalyzeSourceContextTimeout is the README quick-start: a wall-clock
+// bound via context.WithTimeout completes with sound results.
+func TestAnalyzeSourceContextTimeout(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	rep, err := exactdep.AnalyzeSourceContext(ctx, fmHardSrc(t), exactdep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Results {
+		if r.Outcome != exactdep.Maybe && !r.Exact {
+			t.Errorf("result %+v neither exact nor degraded to Maybe", r)
+		}
+	}
+}
+
+// TestReportDegradedBudget: a starvation count budget produces Maybe results
+// with trip provenance; Degraded() isolates them and their string form says
+// "maybe" with the budget reason — the rendering Parallelize/AnnotateSource
+// clients see.
+func TestReportDegradedBudget(t *testing.T) {
+	rep, err := exactdep.AnalyzeSource(fmHardSrc(t), exactdep.Options{
+		Budget: exactdep.Budget{MaxFMEliminations: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := rep.Degraded()
+	if len(deg) == 0 {
+		t.Fatal("starvation budget degraded nothing")
+	}
+	for _, r := range deg {
+		if r.Outcome != exactdep.Maybe {
+			t.Fatalf("degraded result outcome %v", r.Outcome)
+		}
+		if got := r.Outcome.String(); got != "maybe" {
+			t.Errorf("Maybe renders as %q", got)
+		}
+		if got := r.Trip.String(); got != "fm-eliminations" {
+			t.Errorf("trip renders as %q, want fm-eliminations", got)
+		}
+	}
+	if rep.Stats.TotalBudgetTrips() == 0 {
+		t.Error("report stats recorded no budget trips")
+	}
+}
+
+// TestAnalyzeUnitWorkersShim: the deprecated entry point must agree with the
+// context-first one configured via Options.Workers.
+func TestAnalyzeUnitWorkersShim(t *testing.T) {
+	prog, err := exactdep.Parse(fmHardSrc(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := exactdep.Lower(prog)
+	opts := exactdep.Options{Memoize: true, ImprovedMemo: true}
+	for _, workers := range []int{1, 4} {
+		shim, err := exactdep.AnalyzeUnitWorkers(u, opts, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := opts
+		if workers != 1 {
+			o.Workers = workers
+		}
+		direct, err := exactdep.AnalyzeUnitContext(context.Background(), u, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprintf("%+v", shim.Results) != fmt.Sprintf("%+v", direct.Results) {
+			t.Errorf("workers=%d: shim and AnalyzeUnitContext disagree", workers)
+		}
+	}
+}
+
+// TestParallelizeMaybeConservative: a loop whose only dependence evidence is
+// a degraded Maybe must be reported serial — conservative, exactly as if the
+// dependence were proven — and AnnotateSource must not emit parfor for it.
+func TestParallelizeMaybeConservative(t *testing.T) {
+	src := fmHardSrc(t)
+	prog, err := exactdep.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := exactdep.Lower(prog)
+	rep, err := exactdep.AnalyzeUnit(u, exactdep.Options{
+		DirectionVectors: true, PruneUnused: true,
+		Budget: exactdep.Budget{MaxFMEliminations: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maybes := 0
+	for _, r := range rep.Results {
+		if r.Outcome == exactdep.Maybe {
+			maybes++
+		}
+	}
+	if maybes == 0 {
+		t.Fatal("no Maybe results; conservatism check would be vacuous")
+	}
+	par := exactdep.ParallelizeResults(u, rep.Results)
+	for _, l := range par.Loops {
+		if l.Parallel {
+			t.Errorf("loop %s reported parallel despite degraded dependence evidence", l.Index)
+		}
+	}
+	if annotated := exactdep.AnnotateSource(prog, par); strings.Contains(annotated, "parfor") {
+		t.Error("AnnotateSource emitted parfor under degraded evidence")
+	}
+}

@@ -1,9 +1,10 @@
-// Command benchjson emits a machine-readable benchmark baseline for the
-// memo fast path (make bench-json → BENCH_PR3.json): ns/op, bytes/op and
-// allocs/op for the key encoder, the lock-free sharded lookup, and the
-// memo-hot AnalyzeAll pass, plus per-program memo hit rates over the
-// PERFECT-style suite. Future PRs diff their own run against the committed
-// baseline to keep a perf trajectory.
+// Command benchjson emits a machine-readable benchmark baseline (make
+// bench-json → BENCH_PR4.json): ns/op, bytes/op and allocs/op for the key
+// encoder, the lock-free sharded lookup, the memo-hot AnalyzeAll pass, and
+// the budgeted FM-hard degradation pass, plus per-program memo hit rates
+// over the PERFECT-style suite and the deterministic budget-trip profile.
+// Future PRs diff their own run against the committed baseline to keep a
+// perf trajectory.
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"testing"
 
 	"exactdep/internal/core"
+	"exactdep/internal/dtest"
 	"exactdep/internal/memo"
 	"exactdep/internal/refs"
 	"exactdep/internal/system"
@@ -35,6 +37,19 @@ type doc struct {
 	GOMAXPROCS int                    `json:"gomaxprocs"`
 	Benchmarks []benchRecord          `json:"benchmarks"`
 	MemoSuite  []workload.MemoSummary `json:"memo_suite"`
+	// Budget is the degradation profile of the FM-hard adversarial suite
+	// under a starvation count budget — the budget layer's effectiveness
+	// baseline (trip counts are deterministic, so diffs are meaningful).
+	Budget budgetProfile `json:"budget"`
+}
+
+// budgetProfile summarizes one budgeted pass over the FM-hard suite.
+type budgetProfile struct {
+	MaxFMEliminations int            `json:"max_fm_eliminations"`
+	Pairs             int            `json:"pairs"`
+	Exact             int            `json:"exact"`
+	Maybe             int            `json:"maybe"`
+	Trips             map[string]int `json:"trips"`
 }
 
 func record(name string, fn func(b *testing.B)) benchRecord {
@@ -154,6 +169,49 @@ func run(out string) error {
 		}))
 	}
 
+	// Budgeted pass over the FM-hard adversarial suite: how fast the cascade
+	// degrades under a starvation budget, and the (deterministic) trip
+	// profile it produces.
+	hard, err := workload.FMHardSuiteCandidates()
+	if err != nil {
+		return err
+	}
+	budOpts := core.Options{Memoize: true, ImprovedMemo: true,
+		Budget: dtest.Budget{MaxFMEliminations: 2}}
+	d.Benchmarks = append(d.Benchmarks, record("analyze_fmhard_budgeted", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			a := core.New(budOpts)
+			if _, err := a.AnalyzeAll(hard, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	{
+		a := core.New(budOpts)
+		rs, err := a.AnalyzeAll(hard, 1)
+		if err != nil {
+			return err
+		}
+		p := budgetProfile{
+			MaxFMEliminations: budOpts.Budget.MaxFMEliminations,
+			Pairs:             len(rs),
+			Trips:             map[string]int{},
+		}
+		for _, r := range rs {
+			if r.Exact {
+				p.Exact++
+			}
+		}
+		p.Maybe = a.Stats.Maybe
+		for t := dtest.TripReason(1); int(t) < dtest.NumTripReasons; t++ {
+			if n := a.Stats.TripCount(t); n > 0 {
+				p.Trips[t.String()] = n
+			}
+		}
+		d.Budget = p
+	}
+
 	d.MemoSuite, err = workload.SuiteMemoSummaries(workload.RunnerOptions{
 		Core: core.Options{Memoize: true, ImprovedMemo: true, DirectionVectors: true,
 			PruneUnused: true, PruneDistance: true},
@@ -175,7 +233,7 @@ func run(out string) error {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR3.json", "output path ('-' for stdout)")
+	out := flag.String("out", "BENCH_PR4.json", "output path ('-' for stdout)")
 	flag.Parse()
 	if err := run(*out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

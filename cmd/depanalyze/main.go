@@ -12,47 +12,72 @@
 //	-workers=N        analysis goroutines (default GOMAXPROCS; 1 = serial)
 //	-cascade=full     cascade pipeline: full (cost-ordered) or fm-only
 //	                  (Fourier–Motzkin alone, for cross-validation)
+//	-budget-fm=N      per-pair cap on Fourier–Motzkin eliminations
+//	-budget-nodes=N   per-pair cap on branch-and-bound nodes
+//	-budget-cons=N    per-pair cap on derived constraints
+//	-budget-ms=N      per-pair wall-clock deadline in milliseconds
+//	-timeout=D        whole-run deadline (context.WithTimeout); remaining
+//	                  pairs degrade to sound 'maybe' verdicts
 //	-stats            print the analyzer counters
-//	-memostats        print memo table occupancy, shard spread, and L1/L2
-//	                  hit rates (implies -memo)
+//	-memostats        print memo table occupancy, shard spread, L1/L2 hit
+//	                  rates, and degraded-entry counts (implies -memo)
 //	-parallel=false   skip the parallelization summary
 //	-annotate         print the source with parallel loops marked 'parfor'
 //	-dot              print the dependence graph in Graphviz dot form
 //	-distribute       print the program with loops distributed by pi-blocks
+//
+// The flags compose: -workers, -cascade, and -memostats may be combined
+// freely (and with the budget flags); -memostats and -memo-file imply
+// -memo. Exit status is 0 on success, 1 on a runtime failure (unreadable
+// file, source syntax error, analysis failure), and 2 on a usage error
+// (bad flag, bad flag value, unknown cascade, negative budget).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
+	"time"
 
 	"exactdep"
 )
 
 func main() {
-	vectors := flag.Bool("vectors", true, "compute direction and distance vectors")
-	memo := flag.Bool("memo", false, "memoize repeated dependence problems")
-	memoFile := flag.String("memo-file", "", "persist the memo table across runs (implies -memo)")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "analysis worker goroutines (1 = serial)")
-	cascade := flag.String("cascade", "full", "cascade pipeline: full (cost-ordered) or fm-only (cross-validation)")
-	showStats := flag.Bool("stats", false, "print analyzer statistics")
-	memoStats := flag.Bool("memostats", false, "print memo occupancy, shard spread, and L1/L2 hit rates (implies -memo)")
-	par := flag.Bool("parallel", true, "print the loop-parallelization summary")
-	annotate := flag.Bool("annotate", false, "print the source with parallel loops marked 'parfor'")
-	dot := flag.Bool("dot", false, "print the statement dependence graph in Graphviz dot form")
-	distribute := flag.Bool("distribute", false, "print the program with top-level loops distributed by pi-blocks")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: depanalyze [flags] file.loop  (use - for stdin)")
-		flag.Usage()
-		os.Exit(2)
+// run is main with its environment made explicit, so the flag matrix and
+// exit codes are testable: 0 ok, 1 runtime error, 2 usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("depanalyze", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	vectors := fs.Bool("vectors", true, "compute direction and distance vectors")
+	memo := fs.Bool("memo", false, "memoize repeated dependence problems")
+	memoFile := fs.String("memo-file", "", "persist the memo table across runs (implies -memo)")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "analysis worker goroutines (1 = serial)")
+	cascade := fs.String("cascade", "full", "cascade pipeline: full (cost-ordered) or fm-only (cross-validation)")
+	budgetFM := fs.Int("budget-fm", 0, "per-pair cap on Fourier-Motzkin eliminations (0 = unlimited)")
+	budgetNodes := fs.Int("budget-nodes", 0, "per-pair cap on branch-and-bound nodes (0 = unlimited)")
+	budgetCons := fs.Int("budget-cons", 0, "per-pair cap on derived constraints (0 = unlimited)")
+	budgetMS := fs.Int("budget-ms", 0, "per-pair wall-clock budget in milliseconds (0 = unlimited)")
+	timeout := fs.Duration("timeout", 0, "whole-run deadline; remaining pairs degrade to 'maybe' (0 = none)")
+	showStats := fs.Bool("stats", false, "print analyzer statistics")
+	memoStats := fs.Bool("memostats", false, "print memo occupancy, shard spread, L1/L2 hit rates, degraded entries (implies -memo)")
+	par := fs.Bool("parallel", true, "print the loop-parallelization summary")
+	annotate := fs.Bool("annotate", false, "print the source with parallel loops marked 'parfor'")
+	dot := fs.Bool("dot", false, "print the statement dependence graph in Graphviz dot form")
+	distribute := fs.Bool("distribute", false, "print the program with top-level loops distributed by pi-blocks")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	src, err := readSource(flag.Arg(0))
-	if err != nil {
-		fatal(err)
+
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: depanalyze [flags] file.loop  (use - for stdin)")
+		fs.Usage()
+		return 2
 	}
 	if *memoFile != "" || *memoStats {
 		*memo = true
@@ -65,10 +90,29 @@ func main() {
 		Memoize:          *memo,
 		ImprovedMemo:     *memo,
 		Cascade:          *cascade,
+		Budget: exactdep.Budget{
+			MaxFMEliminations: *budgetFM,
+			MaxBranchNodes:    *budgetNodes,
+			MaxConstraints:    *budgetCons,
+			MaxDuration:       time.Duration(*budgetMS) * time.Millisecond,
+		},
+	}
+	// Configuration errors (unknown cascade, negative budget) are usage
+	// errors: report them before touching the input.
+	if err := opts.Validate(); err != nil {
+		fmt.Fprintf(stderr, "depanalyze: %v\n", err)
+		return 2
+	}
+
+	src, err := readSource(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "depanalyze: %v\n", err)
+		return 1
 	}
 	prog, err := exactdep.Parse(src)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintf(stderr, "depanalyze: %v\n", err)
+		return 1
 	}
 	unit := exactdep.Lower(prog)
 	analyzer := exactdep.NewAnalyzer(opts)
@@ -77,119 +121,147 @@ func main() {
 			loadErr := analyzer.LoadMemo(f)
 			f.Close()
 			if loadErr != nil {
-				fatal(loadErr)
+				fmt.Fprintf(stderr, "depanalyze: %v\n", loadErr)
+				return 1
 			}
 		} else if !os.IsNotExist(err) {
-			fatal(err)
+			fmt.Fprintf(stderr, "depanalyze: %v\n", err)
+			return 1
 		}
 	}
-	results, err := analyzer.AnalyzeAll(exactdep.Pairs(unit), *workers)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	results, err := analyzer.AnalyzeAllContext(ctx, exactdep.Pairs(unit), *workers)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintf(stderr, "depanalyze: %v\n", err)
+		return 1
 	}
 	report := &exactdep.Report{Unit: unit, Results: results, Stats: analyzer.Stats}
 	if *memoFile != "" {
-		f, err := os.Create(*memoFile)
-		if err != nil {
-			fatal(err)
-		}
-		if err := analyzer.SaveMemo(f); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
+		if err := saveMemoFile(analyzer, *memoFile); err != nil {
+			fmt.Fprintf(stderr, "depanalyze: %v\n", err)
+			return 1
 		}
 	}
 
 	for _, w := range report.Unit.Warnings {
-		fmt.Fprintf(os.Stderr, "warning: %s\n", w)
+		fmt.Fprintf(stderr, "warning: %s\n", w)
 	}
 	for _, r := range report.Results {
-		fmt.Printf("%s vs %s: %s", r.Pair.A.Ref, r.Pair.B.Ref, r.Outcome)
+		fmt.Fprintf(stdout, "%s vs %s: %s", r.Pair.A.Ref, r.Pair.B.Ref, r.Outcome)
 		if !r.Exact {
-			fmt.Printf(" (assumed)")
+			if r.Trip != exactdep.TripNone {
+				fmt.Fprintf(stdout, " (assumed: %s budget)", r.Trip)
+			} else {
+				fmt.Fprintf(stdout, " (assumed)")
+			}
 		}
-		fmt.Printf("  [%s", r.DecidedBy)
-		if r.DecidedBy == exactdep.ByTest {
-			fmt.Printf(": %s", r.Kind)
+		fmt.Fprintf(stdout, "  [%s", r.DecidedBy)
+		if r.DecidedBy == exactdep.ByTest && r.Kind != 0 {
+			fmt.Fprintf(stdout, ": %s", r.Kind)
 		}
-		fmt.Printf("]")
+		fmt.Fprintf(stdout, "]")
 		if len(r.Vectors) > 0 {
-			fmt.Printf("  vectors:")
+			fmt.Fprintf(stdout, "  vectors:")
 			for _, v := range r.Vectors {
-				fmt.Printf(" %s", v)
+				fmt.Fprintf(stdout, " %s", v)
 			}
 		}
 		for _, d := range r.Distances {
-			fmt.Printf("  distance[level %d]=%d", d.Level, d.Value)
+			fmt.Fprintf(stdout, "  distance[level %d]=%d", d.Level, d.Value)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 
 	if *par {
-		fmt.Println()
-		fmt.Println("parallelization:")
-		fmt.Print(exactdep.ParallelizeResults(report.Unit, report.Results))
+		fmt.Fprintln(stdout)
+		fmt.Fprintln(stdout, "parallelization:")
+		fmt.Fprint(stdout, exactdep.ParallelizeResults(report.Unit, report.Results))
 	}
 	if *annotate {
-		fmt.Println()
-		fmt.Println("annotated source:")
-		fmt.Print(exactdep.AnnotateSource(prog, exactdep.ParallelizeResults(report.Unit, report.Results)))
+		fmt.Fprintln(stdout)
+		fmt.Fprintln(stdout, "annotated source:")
+		fmt.Fprint(stdout, exactdep.AnnotateSource(prog, exactdep.ParallelizeResults(report.Unit, report.Results)))
 	}
 	if *dot {
-		fmt.Println()
-		fmt.Print(exactdep.BuildDepGraph(report.Unit, report.Results).Dot())
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, exactdep.BuildDepGraph(report.Unit, report.Results).Dot())
 	}
 	if *distribute {
 		dist, err := exactdep.DistributeProgram(prog)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintf(stderr, "depanalyze: %v\n", err)
+			return 1
 		}
-		fmt.Println()
-		fmt.Println("distributed:")
-		fmt.Print(dist)
+		fmt.Fprintln(stdout)
+		fmt.Fprintln(stdout, "distributed:")
+		fmt.Fprint(stdout, dist)
 	}
 	if *showStats {
 		s := report.Stats
-		fmt.Println()
-		fmt.Printf("pairs: %d  constant: %d  gcd-independent: %d  tests: %d\n",
+		fmt.Fprintln(stdout)
+		fmt.Fprintf(stdout, "pairs: %d  constant: %d  gcd-independent: %d  tests: %d\n",
 			s.Pairs, s.Constant, s.GCDIndependent, s.TotalTests())
-		fmt.Printf("verdicts: %d independent, %d dependent, %d unknown\n",
-			s.Independent, s.Dependent, s.Unknown)
+		fmt.Fprintf(stdout, "verdicts: %d independent, %d dependent, %d unknown, %d maybe\n",
+			s.Independent, s.Dependent, s.Unknown, s.Maybe)
+		if s.TotalBudgetTrips() > 0 || s.CancelledPairs > 0 {
+			fmt.Fprintf(stdout, "degraded: %d budget trips, %d pairs cancelled\n",
+				s.TotalBudgetTrips(), s.CancelledPairs)
+		}
 		if *memo {
-			fmt.Printf("memo: %d unique cases, %d/%d hits\n",
+			fmt.Fprintf(stdout, "memo: %d unique cases, %d/%d hits\n",
 				s.UniqueFull, s.FullHits, s.FullLookups)
 		}
 	}
 	if *memoStats {
-		printMemoStats(analyzer)
+		printMemoStats(stdout, analyzer)
 	}
+	return 0
+}
+
+// saveMemoFile persists the analyzer's memo tables (degraded entries are
+// dropped by SaveMemo — they are budget-class local).
+func saveMemoFile(a *exactdep.Analyzer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := a.SaveMemo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // printMemoStats renders the memo hierarchy introspection: table occupancy,
-// shard spread of the concurrent form, and the L1/L2 split of the lookup
-// traffic.
-func printMemoStats(a *exactdep.Analyzer) {
+// shard spread of the concurrent form, the L1/L2 split of the lookup
+// traffic, and how much capacity holds budget-degraded verdicts.
+func printMemoStats(w io.Writer, a *exactdep.Analyzer) {
 	m := a.MemoStats()
-	fmt.Println()
-	fmt.Println("memo hierarchy:")
-	fmt.Printf("  full table: %d entries / %d buckets (%s occupancy)\n",
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "memo hierarchy:")
+	fmt.Fprintf(w, "  full table: %d entries / %d buckets (%s occupancy)\n",
 		m.FullEntries, m.FullBuckets, rate(m.FullEntries, m.FullBuckets))
-	fmt.Printf("  eq table:   %d entries / %d buckets (%s occupancy)\n",
+	fmt.Fprintf(w, "  eq table:   %d entries / %d buckets (%s occupancy)\n",
 		m.EqEntries, m.EqBuckets, rate(m.EqEntries, m.EqBuckets))
 	if m.Shards > 0 {
-		fmt.Printf("  shards:     %d (entries per shard %d..%d)\n", m.Shards, m.ShardMin, m.ShardMax)
+		fmt.Fprintf(w, "  shards:     %d (entries per shard %d..%d)\n", m.Shards, m.ShardMin, m.ShardMax)
 	} else {
-		fmt.Printf("  shards:     unsharded (serial table)\n")
+		fmt.Fprintf(w, "  shards:     unsharded (serial table)\n")
 	}
 	if m.L1Capacity > 0 {
-		fmt.Printf("  L1:         %d/%d slots live, %d/%d hits (%s)\n",
+		fmt.Fprintf(w, "  L1:         %d/%d slots live, %d/%d hits (%s)\n",
 			m.L1Entries, m.L1Capacity, m.L1Hits, m.L1Lookups, rate(m.L1Hits, m.L1Lookups))
 	} else {
-		fmt.Printf("  L1:         disabled\n")
+		fmt.Fprintf(w, "  L1:         disabled\n")
 	}
-	fmt.Printf("  L2:         %d/%d hits (%s)\n", m.L2Hits, m.L2Lookups, rate(m.L2Hits, m.L2Lookups))
+	fmt.Fprintf(w, "  L2:         %d/%d hits (%s)\n", m.L2Hits, m.L2Lookups, rate(m.L2Hits, m.L2Lookups))
+	fmt.Fprintf(w, "  degraded:   %d entries (maybe verdicts, valid for this budget class only)\n",
+		m.DegradedEntries)
 }
 
 func rate(part, whole int) string {
@@ -206,9 +278,4 @@ func readSource(path string) (string, error) {
 	}
 	b, err := os.ReadFile(path)
 	return string(b), err
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "depanalyze: %v\n", err)
-	os.Exit(1)
 }

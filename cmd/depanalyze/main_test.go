@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeLoop drops a source file into a temp dir and returns its path.
+func writeLoop(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.loop")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const simpleSrc = `
+for i = 1 to 100
+  a[i+1] = a[i] + 3
+end
+`
+
+// fmHardSrc lands in Fourier–Motzkin: chain-coupled bounds defeat every
+// cheap test, so tiny budgets visibly trip.
+const fmHardSrc = `
+for i1 = 1 to 20
+  for i2 = 2*i1 to 2*i1+3
+    for i3 = 2*i2 to 2*i2+3
+      for i4 = 2*i3 to 2*i3+3
+        h[i4+1] = h[i4]
+      end
+    end
+  end
+end
+`
+
+// verdictPrefixes keeps each per-pair line's "A vs B: outcome" prefix —
+// the part that must agree across worker counts and cascades (the deciding
+// test in the brackets legitimately differs under fm-only).
+func verdictPrefixes(out string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" {
+			break
+		}
+		if i := strings.Index(line, "  ["); i >= 0 {
+			line = line[:i]
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestFlagMatrix: -workers, -cascade, and -memostats must compose — every
+// combination runs cleanly and the verdict lines agree across all of them.
+func TestFlagMatrix(t *testing.T) {
+	path := writeLoop(t, simpleSrc)
+	var wantVerdicts string
+	for _, workers := range []string{"1", "4"} {
+		for _, cascade := range []string{"full", "fm-only"} {
+			for _, memostats := range []bool{false, true} {
+				args := []string{"-workers=" + workers, "-cascade=" + cascade}
+				if memostats {
+					args = append(args, "-memostats")
+				}
+				args = append(args, path)
+				var out, errb bytes.Buffer
+				if code := run(args, &out, &errb); code != 0 {
+					t.Fatalf("%v: exit %d, stderr %q", args, code, errb.String())
+				}
+				verdicts := verdictPrefixes(out.String())
+				if wantVerdicts == "" {
+					wantVerdicts = verdicts
+				} else if verdicts != wantVerdicts {
+					t.Errorf("%v: verdicts differ from first combination:\n%s\nvs\n%s",
+						args, verdicts, wantVerdicts)
+				}
+				if memostats && !strings.Contains(out.String(), "memo hierarchy:") {
+					t.Errorf("%v: -memostats printed no memo hierarchy", args)
+				}
+				if memostats && !strings.Contains(out.String(), "degraded:") {
+					t.Errorf("%v: -memostats printed no degraded-entries line", args)
+				}
+			}
+		}
+	}
+}
+
+// TestExitCodes pins the contract: 2 for usage errors (bad flag, bad value,
+// unknown cascade, negative budget, missing arg), 1 for runtime errors
+// (unreadable file, source syntax error), 0 for success.
+func TestExitCodes(t *testing.T) {
+	good := writeLoop(t, simpleSrc)
+	bad := writeLoop(t, "for i = 1 to\n")
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"ok", []string{good}, 0},
+		{"no args", []string{}, 2},
+		{"unknown flag", []string{"-definitely-not-a-flag", good}, 2},
+		{"malformed value", []string{"-workers=banana", good}, 2},
+		{"unknown cascade", []string{"-cascade=bogus", good}, 2},
+		{"negative budget", []string{"-budget-fm=-1", good}, 2},
+		{"missing file", []string{filepath.Join(t.TempDir(), "nope.loop")}, 1},
+		{"syntax error", []string{bad}, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(c.args, &out, &errb); code != c.want {
+				t.Fatalf("exit %d, want %d (stderr %q)", code, c.want, errb.String())
+			}
+		})
+	}
+}
+
+// TestBudgetFlagDegrades: a starvation elimination budget on an FM-hard nest
+// renders 'maybe (assumed: ... budget)' verdicts and the -stats degradation
+// line, still exiting 0 — degradation is graceful, not an error.
+func TestBudgetFlagDegrades(t *testing.T) {
+	path := writeLoop(t, fmHardSrc)
+	var out, errb bytes.Buffer
+	code := run([]string{"-budget-fm=2", "-stats", "-workers=1", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "maybe (assumed: fm-eliminations budget)") {
+		t.Errorf("no degraded verdict rendered:\n%s", s)
+	}
+	if !strings.Contains(s, "budget trips") {
+		t.Errorf("-stats printed no budget-trip line:\n%s", s)
+	}
+}
+
+// TestBudgetFlagGenerous: the same nest under a generous budget stays exact
+// and reports no degradation.
+func TestBudgetFlagGenerous(t *testing.T) {
+	path := writeLoop(t, fmHardSrc)
+	var out, errb bytes.Buffer
+	code := run([]string{"-budget-fm=1000000", "-stats", "-workers=1", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb.String())
+	}
+	s := out.String()
+	if strings.Contains(s, "(assumed") || strings.Contains(s, "budget trips") ||
+		!strings.Contains(s, "0 maybe") {
+		t.Errorf("generous budget degraded:\n%s", s)
+	}
+}

@@ -36,6 +36,8 @@
 package exactdep
 
 import (
+	"context"
+
 	"exactdep/internal/core"
 	"exactdep/internal/ddg"
 	"exactdep/internal/depvec"
@@ -90,8 +92,14 @@ type (
 	MemoStats = core.MemoStats
 	// Counters is the statistics block in the shape of the paper's tables.
 	Counters = stats.Counters
-	// Outcome is a test verdict (Independent / Dependent / Unknown).
+	// Outcome is a test verdict (Independent / Dependent / Unknown / Maybe).
 	Outcome = dtest.Outcome
+	// Budget bounds the work any single pair may spend in the expensive end
+	// of the cascade (Options.Budget); the zero value is unlimited.
+	Budget = dtest.Budget
+	// TripReason names the budget limit that degraded a Maybe verdict
+	// (Result.Trip).
+	TripReason = dtest.TripReason
 	// TestKind identifies the cascade test that decided.
 	TestKind = dtest.Kind
 	// DirectionVector is a dependence direction vector, outermost loop
@@ -105,11 +113,24 @@ type (
 	Candidate = refs.Candidate
 )
 
-// Verdicts.
+// Verdicts. Unknown is a structural limitation of the tests; Maybe is a
+// verdict degraded by a resource budget, deadline, or cancellation
+// (conservatively "assume dependent", with Result.Trip naming the limit).
 const (
 	Independent = dtest.Independent
 	Dependent   = dtest.Dependent
 	Unknown     = dtest.Unknown
+	Maybe       = dtest.Maybe
+)
+
+// Budget trip reasons (Result.Trip).
+const (
+	TripNone           = dtest.TripNone
+	TripFMEliminations = dtest.TripFMEliminations
+	TripBranchNodes    = dtest.TripBranchNodes
+	TripConstraints    = dtest.TripConstraints
+	TripDeadline       = dtest.TripDeadline
+	TripCancelled      = dtest.TripCancelled
 )
 
 // Reference kinds.
@@ -196,19 +217,59 @@ type Report struct {
 	Stats Counters
 }
 
+// Degraded returns the results whose verdict is not definitive: Maybe
+// verdicts cut short by a budget, deadline, or cancellation (Result.Trip
+// names the limit) and structurally inexact Unknowns. These are the pairs a
+// client must treat as dependent without proof — the ones worth re-running
+// under a larger budget.
+func (r *Report) Degraded() []Result {
+	var out []Result
+	for _, res := range r.Results {
+		if !res.Exact {
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
 // AnalyzeSource parses, lowers, and analyzes a whole program.
 func AnalyzeSource(src string, opts Options) (*Report, error) {
+	return AnalyzeSourceContext(context.Background(), src, opts)
+}
+
+// AnalyzeSourceContext is AnalyzeSource honoring a context: parse and lower,
+// then analyze as AnalyzeUnitContext does.
+func AnalyzeSourceContext(ctx context.Context, src string, opts Options) (*Report, error) {
 	prog, err := lang.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return AnalyzeUnit(opt.Lower(prog), opts)
+	return AnalyzeUnitContext(ctx, opt.Lower(prog), opts)
 }
 
 // AnalyzeUnit analyzes an already-lowered unit with a fresh analyzer.
 func AnalyzeUnit(u *Unit, opts Options) (*Report, error) {
+	return AnalyzeUnitContext(context.Background(), u, opts)
+}
+
+// AnalyzeUnitContext analyzes an already-lowered unit with a fresh analyzer,
+// honoring the context and every Options knob: Options.Workers sizes the
+// concurrent driver (0 serial, negative GOMAXPROCS), Options.Budget bounds
+// per-pair work, and the context's deadline/cancellation degrade remaining
+// pairs to sound Maybe verdicts instead of aborting (see
+// Analyzer.AnalyzeAllContext). The report always covers every candidate
+// pair; inspect Report.Degraded or Stats.CancelledPairs for the cut-short
+// ones.
+func AnalyzeUnitContext(ctx context.Context, u *Unit, opts Options) (*Report, error) {
+	workers := 1
+	if opts.Workers != 0 {
+		workers = opts.Workers
+		if workers < 0 {
+			workers = 0 // AnalyzeAllContext maps <= 0 to GOMAXPROCS
+		}
+	}
 	a := core.New(opts)
-	res, err := a.AnalyzeUnit(u)
+	res, err := a.AnalyzeAllContext(ctx, refs.Pairs(u), workers)
 	if err != nil {
 		return nil, err
 	}
@@ -220,13 +281,20 @@ func AnalyzeUnit(u *Unit, opts Options) (*Report, error) {
 // tables (workers <= 0 means GOMAXPROCS, 1 runs serially). Results come
 // back in candidate order and are identical to the serial run's; see
 // Analyzer.AnalyzeAll for the counter-determinism caveats.
+//
+// Deprecated: use AnalyzeUnitContext with Options.Workers, which also
+// carries a context for deadlines and cancellation. This shim forwards
+// there with context.Background().
 func AnalyzeUnitWorkers(u *Unit, opts Options, workers int) (*Report, error) {
-	a := core.New(opts)
-	res, err := a.AnalyzeAll(refs.Pairs(u), workers)
-	if err != nil {
-		return nil, err
+	switch {
+	case workers == 1:
+		opts.Workers = 0 // serial
+	case workers <= 0:
+		opts.Workers = -1 // GOMAXPROCS
+	default:
+		opts.Workers = workers
 	}
-	return &Report{Unit: u, Results: res, Stats: a.Stats}, nil
+	return AnalyzeUnitContext(context.Background(), u, opts)
 }
 
 // Loop-parallelism reporting (the application the paper's introduction

@@ -16,6 +16,8 @@
 package core
 
 import (
+	"errors"
+
 	"exactdep/internal/depvec"
 	"exactdep/internal/dtest"
 	"exactdep/internal/ir"
@@ -62,7 +64,37 @@ type Options struct {
 	// used only when Memoize is on: 0 means the default (memo.DefaultL1Size),
 	// negative disables the L1 so every lookup goes to the shared table.
 	L1Size int
+	// Workers is the concurrent driver's pool size for the unit-level entry
+	// points (exactdep.AnalyzeUnitContext / AnalyzeSourceContext): 0 means
+	// serial, negative means GOMAXPROCS. Analyzer.AnalyzeAll takes the pool
+	// size as an explicit argument and ignores this field.
+	Workers int
+	// Budget bounds the work any single pair may spend in the expensive end
+	// of the cascade; the zero value is unlimited. When a limit fires the
+	// pair gets a sound, conservative Maybe verdict with Result.Trip naming
+	// the limit. Count limits are deterministic and their degraded verdicts
+	// are memoized per budget class; clock limits (and context deadlines/
+	// cancellation, see AnalyzeAllContext) are scheduling-dependent and
+	// their verdicts are never cached.
+	Budget dtest.Budget
 }
+
+// Validate reports the first configuration error: an unknown Cascade name or
+// a negative budget limit. The analyzer constructors tolerate an invalid
+// Options value and surface the same error from the first Analyze call;
+// Validate lets front ends (depanalyze) fail fast instead.
+func (o Options) Validate() error {
+	if _, err := dtest.ConfigByName(o.Cascade); err != nil {
+		return err
+	}
+	b := o.Budget
+	if b.MaxFMEliminations < 0 || b.MaxBranchNodes < 0 || b.MaxConstraints < 0 || b.MaxDuration < 0 {
+		return errNegativeBudget
+	}
+	return nil
+}
+
+var errNegativeBudget = errors.New("core: budget limits must be non-negative (0 means unlimited)")
 
 // DecidedBy identifies how a pair's verdict was obtained.
 type DecidedBy int
@@ -107,6 +139,9 @@ type Result struct {
 	// Kind is the deciding cascade test when DecidedBy == ByTest (or the
 	// base test kind of a direction-vector run).
 	Kind dtest.Kind
+	// Trip names the budget limit that degraded the verdict when Outcome is
+	// Maybe (dtest.TripNone otherwise).
+	Trip dtest.TripReason
 	// Vectors/Distances are filled when direction vectors are enabled and
 	// the pair is dependent.
 	Vectors   []depvec.Vector
@@ -125,6 +160,17 @@ type cached struct {
 	// projDistances pairs the ordinal of a used level with its constant
 	// distance.
 	projDistances []depvec.Distance
+	// budgetClass scopes a degraded (Maybe) entry to the count limits that
+	// produced it: a Maybe verdict is a property of the problem *and* the
+	// budget, so a lookup under different count limits must miss and re-run.
+	// Exact entries are valid under every class and ignore the field.
+	budgetClass dtest.BudgetClass
+}
+
+// usable reports whether a cache hit may answer a lookup under the given
+// budget class.
+func (c cached) usable(class dtest.BudgetClass) bool {
+	return c.res.Outcome != dtest.Maybe || c.budgetClass == class
 }
 
 // usedLevels lists the common loop levels that constrain the problem.
@@ -227,14 +273,20 @@ type Analyzer struct {
 	pipe      *dtest.Pipeline
 	prevStage []dtest.StageMetrics
 	cfgErr    error
+
+	// budClass is the deterministic fingerprint of opts.Budget's count
+	// limits, fixed at construction: degraded memo entries are served and
+	// stored only under this class.
+	budClass dtest.BudgetClass
 }
 
 // New returns an analyzer with the given options.
 func New(opts Options) *Analyzer {
 	a := &Analyzer{
-		opts: opts,
-		full: memo.NewTable[cached](),
-		eq:   memo.NewTable[system.GCDResult](),
+		opts:     opts,
+		full:     memo.NewTable[cached](),
+		eq:       memo.NewTable[system.GCDResult](),
+		budClass: opts.Budget.Class(),
 	}
 	if opts.Memoize && opts.L1Size >= 0 {
 		a.l1 = memo.NewL1[cached](opts.L1Size)
@@ -251,10 +303,11 @@ func New(opts Options) *Analyzer {
 }
 
 // newPipeline builds a pipeline over the analyzer's stage configuration,
-// honoring the timing option.
+// honoring the timing option and the per-problem budget.
 func (a *Analyzer) newPipeline() *dtest.Pipeline {
 	p := a.cfg.NewPipeline()
 	p.SetTimed(a.opts.TimeCascade)
+	p.SetBudget(a.opts.Budget)
 	return p
 }
 
@@ -263,7 +316,7 @@ func (a *Analyzer) newPipeline() *dtest.Pipeline {
 // read-only; the pipeline (with its scratch), the key encoder, the L1 memo
 // cache, and the counters are per-worker.
 func (a *Analyzer) workerView() *Analyzer {
-	wa := &Analyzer{opts: a.opts, full: a.full, eq: a.eq, cfg: a.cfg, cfgErr: a.cfgErr}
+	wa := &Analyzer{opts: a.opts, full: a.full, eq: a.eq, cfg: a.cfg, cfgErr: a.cfgErr, budClass: a.budClass}
 	if wa.cfg != nil {
 		wa.pipe = wa.newPipeline()
 		wa.prevStage = make([]dtest.StageMetrics, wa.cfg.NumStages())
@@ -327,6 +380,11 @@ type provenance struct {
 	// fresh is the DecidedBy a fresh (uncached) analysis of this canonical
 	// problem reports; for a cache hit it is read from the cached entry.
 	fresh DecidedBy
+	// cacheable marks results that entered (or were served from) the memo
+	// table. Clock-tripped and cancelled verdicts are not cached, so the
+	// post-pass must not treat their keys as seen — a later occurrence of
+	// the same problem re-analyzes fresh in a serial pass too.
+	cacheable bool
 }
 
 // analyzeCandidate analyzes one pre-classified candidate, optionally
@@ -383,11 +441,12 @@ func (a *Analyzer) analyzeCandidate(c refs.Candidate, prov *provenance) (Result,
 		}
 		if a.l1 != nil {
 			a.Stats.L1Lookups++
-			if hit, ok := a.l1.Lookup(fullKey); ok {
+			if hit, ok := a.l1.Lookup(fullKey); ok && hit.usable(a.budClass) {
 				a.Stats.L1Hits++
 				a.Stats.FullHits++
 				if prov != nil {
 					prov.fresh = hit.res.DecidedBy
+					prov.cacheable = true
 				}
 				res := hit.expand(prob)
 				res.Pair = p
@@ -397,7 +456,7 @@ func (a *Analyzer) analyzeCandidate(c refs.Candidate, prov *provenance) (Result,
 			}
 		}
 		a.Stats.L2Lookups++
-		if stored, hit, ok := a.full.LookupStored(fullKey); ok {
+		if stored, hit, ok := a.full.LookupStored(fullKey); ok && hit.usable(a.budClass) {
 			a.Stats.L2Hits++
 			a.Stats.FullHits++
 			if a.l1 != nil {
@@ -405,6 +464,7 @@ func (a *Analyzer) analyzeCandidate(c refs.Candidate, prov *provenance) (Result,
 			}
 			if prov != nil {
 				prov.fresh = hit.res.DecidedBy
+				prov.cacheable = true
 			}
 			res := hit.expand(prob)
 			res.Pair = p
@@ -419,6 +479,7 @@ func (a *Analyzer) analyzeCandidate(c refs.Candidate, prov *provenance) (Result,
 				a.Stats.FullHits++
 				if prov != nil {
 					prov.fresh = under
+					prov.cacheable = true
 				}
 				a.tallyVerdict(res)
 				return res, nil
@@ -432,20 +493,33 @@ func (a *Analyzer) analyzeCandidate(c refs.Candidate, prov *provenance) (Result,
 	}
 	// GCD-independent verdicts live only in the without-bounds table (the
 	// paper's split: the bounds table holds the cases that actually reached
-	// the exact tests).
-	if a.opts.Memoize && res.DecidedBy != ByGCD {
+	// the exact tests). Clock-tripped and cancelled verdicts are never
+	// cached: whether they trip depends on scheduling, not on the problem,
+	// so caching them would leak one run's timing into another's answers.
+	if a.opts.Memoize && res.DecidedBy != ByGCD && cacheableTrip(res.Trip) {
 		// fullKey aliases the encoder's scratch; the tables retain their
 		// keys, so insert an owned copy (and reuse it for the L1 fill).
 		ck := fullKey.Clone()
 		cv := project(res, prob)
+		cv.budgetClass = a.budClass
 		a.full.Insert(ck, cv)
 		if a.l1 != nil {
 			a.l1.Store(ck, cv)
 		}
 		a.Stats.UniqueFull = a.full.Len()
+		if prov != nil {
+			prov.cacheable = true
+		}
 	}
 	a.tallyVerdict(res)
 	return res, nil
+}
+
+// cacheableTrip reports whether a verdict with this trip reason may enter
+// the memo table: untripped and count-tripped verdicts are deterministic;
+// deadline and cancellation trips are not.
+func cacheableTrip(t dtest.TripReason) bool {
+	return t != dtest.TripDeadline && t != dtest.TripCancelled
 }
 
 // mirrorKey returns the full-problem key of the swapped pair (B, A).
@@ -468,7 +542,7 @@ func (a *Analyzer) lookupMirrored(p ir.Pair, prob *system.Problem) (_ Result, un
 		return Result{}, 0, false, err
 	}
 	hit, ok := a.full.Lookup(memo.EncodeFull(sprob, a.opts.ImprovedMemo))
-	if !ok {
+	if !ok || !hit.usable(a.budClass) {
 		return Result{}, 0, false, nil
 	}
 	res := hit.expand(prob)
@@ -535,8 +609,11 @@ func (a *Analyzer) analyzeFresh(prob *system.Problem, p ir.Pair) Result {
 	if !a.opts.DirectionVectors {
 		r := a.pipe.Run(ts)
 		a.Stats.Tests[int(r.Kind)]++
+		if r.Trip != dtest.TripNone {
+			a.Stats.BudgetTrips[int(r.Trip)]++
+		}
 		a.syncStageStats()
-		return Result{Pair: p, Outcome: r.Outcome, Exact: r.Exact, DecidedBy: ByTest, Kind: r.Kind}
+		return Result{Pair: p, Outcome: r.Outcome, Exact: r.Exact, DecidedBy: ByTest, Kind: r.Kind, Trip: r.Trip}
 	}
 
 	// Direction-vector analysis: the first observed test is the base
@@ -558,6 +635,9 @@ func (a *Analyzer) analyzeFresh(prob *system.Problem, p ir.Pair) Result {
 		if r.Outcome == dtest.Independent {
 			a.Stats.TestIndependent[int(r.Kind)]++
 		}
+		if r.Trip != dtest.TripNone {
+			a.Stats.BudgetTrips[int(r.Trip)]++
+		}
 	})
 	out := Result{
 		Pair:      p,
@@ -570,7 +650,13 @@ func (a *Analyzer) analyzeFresh(prob *system.Problem, p ir.Pair) Result {
 	if sum.Dependent {
 		out.Outcome = dtest.Dependent
 		if !sum.Exact {
+			// An inexact "dependent" is Unknown when a test's structural
+			// limits gave up, Maybe when a budget cut the refinement short.
 			out.Outcome = dtest.Unknown
+			if sum.Trip != dtest.TripNone {
+				out.Outcome = dtest.Maybe
+				out.Trip = sum.Trip
+			}
 		}
 	} else {
 		out.Outcome = dtest.Independent
@@ -591,6 +677,8 @@ func (a *Analyzer) tallyVerdict(r Result) {
 		a.Stats.Independent++
 	case dtest.Dependent:
 		a.Stats.Dependent++
+	case dtest.Maybe:
+		a.Stats.Maybe++
 	default:
 		a.Stats.Unknown++
 	}

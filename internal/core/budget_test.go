@@ -1,0 +1,245 @@
+package core_test
+
+// Driver-level budget and cancellation tests: the context plumbing of
+// AnalyzeAllContext, budget-class gating of memo hits, and the persistence
+// rules for degraded entries. The solver-level budget mechanics live in
+// internal/dtest's budget tests.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"exactdep/internal/core"
+	"exactdep/internal/dtest"
+	"exactdep/internal/workload"
+)
+
+// TestAnalyzeAllContextPreCancelled: a context that is already done before
+// the driver starts must yield one sound Maybe/TripCancelled result per
+// candidate — never a short slice, never an error — in both drivers.
+func TestAnalyzeAllContextPreCancelled(t *testing.T) {
+	cands := suiteCandidates(t, false)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		a := core.New(core.Options{Memoize: true, ImprovedMemo: true})
+		rs, err := a.AnalyzeAllContext(ctx, cands, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(rs) != len(cands) {
+			t.Fatalf("workers=%d: %d results for %d candidates", workers, len(rs), len(cands))
+		}
+		for i, r := range rs {
+			if r.Outcome != dtest.Maybe || r.Trip != dtest.TripCancelled || r.Exact {
+				t.Fatalf("workers=%d result %d: %+v, want Maybe/TripCancelled", workers, i, r)
+			}
+			if r.Pair.Label != cands[i].Pair.Label {
+				t.Fatalf("workers=%d result %d: pair mismatch", workers, i)
+			}
+		}
+		if a.Stats.CancelledPairs != len(cands) {
+			t.Errorf("workers=%d: CancelledPairs = %d, want %d",
+				workers, a.Stats.CancelledPairs, len(cands))
+		}
+		if a.Stats.Pairs != 0 {
+			t.Errorf("workers=%d: cancelled pairs leaked into verdict tallies (Pairs=%d)",
+				workers, a.Stats.Pairs)
+		}
+	}
+}
+
+// TestAnalyzeAllContextPlain: a Background context must leave results and
+// tallies exactly as the context-free entry point produces them.
+func TestAnalyzeAllContextPlain(t *testing.T) {
+	cands := suiteCandidates(t, false)
+	opts := core.Options{Memoize: true, ImprovedMemo: true}
+
+	plain := core.New(opts)
+	want, err := plain.AnalyzeAll(cands, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCtx := core.New(opts)
+	got, err := viaCtx.AnalyzeAllContext(context.Background(), cands, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", want) {
+		t.Fatal("AnalyzeAllContext(Background) differs from AnalyzeAll")
+	}
+	if viaCtx.Stats.CancelledPairs != 0 || viaCtx.Stats.TotalBudgetTrips() != 0 {
+		t.Fatalf("plain context recorded degradation: %d cancelled, %d trips",
+			viaCtx.Stats.CancelledPairs, viaCtx.Stats.TotalBudgetTrips())
+	}
+}
+
+// TestAnalyzeAllCountBudgetDeterministic: under a pure count budget the
+// byte-identical serial-vs-concurrent contract must survive, including the
+// degraded verdicts and their trip provenance.
+func TestAnalyzeAllCountBudgetDeterministic(t *testing.T) {
+	cands, err := workload.FMHardSuiteCandidates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands = append(cands, suiteCandidates(t, false)...)
+	opts := core.Options{
+		Memoize: true, ImprovedMemo: true,
+		Budget: dtest.Budget{MaxFMEliminations: 3, MaxConstraints: 64},
+	}
+	serial := core.New(opts)
+	want, err := serial.AnalyzeAll(cands, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Stats.TotalBudgetTrips() == 0 {
+		t.Fatal("count budget tripped nothing; the determinism check would be vacuous")
+	}
+	wantBytes := fmt.Sprintf("%+v", want)
+	wantMaybe := serial.Stats.Maybe
+	for _, workers := range []int{2, 4, 8} {
+		par := core.New(opts)
+		got, err := par.AnalyzeAll(cands, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprintf("%+v", got) != wantBytes {
+			t.Errorf("workers=%d: budgeted results differ from serial", workers)
+		}
+		if par.Stats.Maybe != wantMaybe {
+			t.Errorf("workers=%d: Maybe tally %d, want %d", workers, par.Stats.Maybe, wantMaybe)
+		}
+	}
+}
+
+// TestBudgetClassGatesMemoHits: a Maybe verdict cached under one budget
+// class must not be served to an analyzer running a different class — the
+// looser run has to recompute (and may then answer exactly).
+func TestBudgetClassGatesMemoHits(t *testing.T) {
+	cands, err := workload.FMHardCandidates(workload.FMHardSpec{Name: "FMHC", Depth: 4, Cases: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tight := core.New(core.Options{Memoize: true, ImprovedMemo: true,
+		Budget: dtest.Budget{MaxFMEliminations: 2}})
+	tightRes, err := tight.AnalyzeAll(cands, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded := 0
+	for _, r := range tightRes {
+		if r.Outcome == dtest.Maybe {
+			degraded++
+		}
+	}
+	if degraded == 0 {
+		t.Fatal("tight budget degraded nothing; gating check would be vacuous")
+	}
+	if got := tight.MemoStats().DegradedEntries; got == 0 {
+		t.Fatal("no degraded entries cached under the tight class")
+	}
+
+	// Same analyzer, same class: the degraded entries are legitimate hits.
+	hitsBefore := tight.Stats.FullHits
+	again, err := tight.AnalyzeAll(cands, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range again {
+		// DecidedBy legitimately flips to ByCache on the re-run; the verdict
+		// and its provenance must not move.
+		if again[i].Outcome != tightRes[i].Outcome || again[i].Exact != tightRes[i].Exact ||
+			again[i].Trip != tightRes[i].Trip {
+			t.Fatalf("re-run under the same budget class changed result %d: %+v vs %+v",
+				i, again[i], tightRes[i])
+		}
+	}
+	if tight.Stats.FullHits == hitsBefore {
+		t.Error("same-class re-run did not hit the degraded cache entries")
+	}
+
+	// Transplant the tight analyzer's table into an unbudgeted analyzer via
+	// the persistence layer: SaveMemo must drop the Maybe entries, so the
+	// loose run recomputes and lands exact.
+	var buf bytes.Buffer
+	if err := tight.SaveMemo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loose := core.New(core.Options{Memoize: true, ImprovedMemo: true})
+	if err := loose.LoadMemo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := loose.MemoStats().DegradedEntries; got != 0 {
+		t.Fatalf("SaveMemo leaked %d degraded entries", got)
+	}
+	looseRes, err := loose.AnalyzeAll(cands, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range looseRes {
+		if r.Outcome == dtest.Maybe {
+			t.Errorf("pair %d: unbudgeted analyzer reported Maybe (stale degraded hit?)", i)
+		}
+		if !r.Exact {
+			t.Errorf("pair %d: unbudgeted analyzer inexact: %+v", i, r)
+		}
+	}
+}
+
+// TestAnalyzeAllContextDeadlineDegrades: an aggressive context deadline must
+// degrade gracefully — full-length result slice, every entry exact or Maybe
+// with provenance, nil error — not abort.
+func TestAnalyzeAllContextDeadlineDegrades(t *testing.T) {
+	cands, err := workload.FMHardSuiteCandidates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Microsecond)
+		a := core.New(core.Options{Memoize: true, ImprovedMemo: true})
+		rs, err := a.AnalyzeAllContext(ctx, cands, workers)
+		cancel()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(rs) != len(cands) {
+			t.Fatalf("workers=%d: %d results for %d candidates", workers, len(rs), len(cands))
+		}
+		for i, r := range rs {
+			switch r.Outcome {
+			case dtest.Independent, dtest.Dependent:
+				if !r.Exact {
+					t.Errorf("workers=%d result %d: inexact definite verdict", workers, i)
+				}
+			case dtest.Maybe:
+				if r.Trip == dtest.TripNone {
+					t.Errorf("workers=%d result %d: Maybe without trip provenance", workers, i)
+				}
+			default:
+				t.Errorf("workers=%d result %d: outcome %v", workers, i, r.Outcome)
+			}
+		}
+	}
+}
+
+// TestOptionsValidate covers the new validation surface: cascade names and
+// negative budget limits.
+func TestOptionsValidate(t *testing.T) {
+	if err := (core.Options{}).Validate(); err != nil {
+		t.Errorf("zero options invalid: %v", err)
+	}
+	if err := (core.Options{Cascade: "fm-only",
+		Budget: dtest.Budget{MaxFMEliminations: 10}}).Validate(); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+	if err := (core.Options{Cascade: "bogus"}).Validate(); err == nil {
+		t.Error("unknown cascade accepted")
+	}
+	if err := (core.Options{Budget: dtest.Budget{MaxBranchNodes: -1}}).Validate(); err == nil {
+		t.Error("negative budget limit accepted")
+	}
+}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"exactdep/internal/dtest"
 	"exactdep/internal/memo"
 	"exactdep/internal/refs"
 	"exactdep/internal/stats"
@@ -46,15 +48,65 @@ import (
 // GCDIndependent, Independent, Dependent, Unknown) and the unique-problem
 // counts do not.
 func (a *Analyzer) AnalyzeAll(cands []refs.Candidate, workers int) ([]Result, error) {
+	return a.AnalyzeAllContext(context.Background(), cands, workers)
+}
+
+// degradedResult is the conservative verdict for a candidate the driver
+// never analyzed because the context was already done: assume dependent,
+// inexactly, attributed to cancellation. Kind stays KindNone — no test ran.
+func degradedResult(c refs.Candidate) Result {
+	return Result{Pair: c.Pair, Outcome: dtest.Maybe, DecidedBy: ByTest, Trip: dtest.TripCancelled}
+}
+
+// effectiveBudget merges the context's deadline (if any) into the options
+// budget; the count limits — and therefore the budget class — are unchanged.
+func (a *Analyzer) effectiveBudget(ctx context.Context) dtest.Budget {
+	b := a.opts.Budget
+	if d, ok := ctx.Deadline(); ok {
+		if b.Deadline.IsZero() || d.Before(b.Deadline) {
+			b.Deadline = d
+		}
+	}
+	return b
+}
+
+// AnalyzeAllContext is AnalyzeAll honoring a context: the context's deadline
+// is merged into the per-problem budget, its Done channel is polled at the
+// cascade's budget hot points (cutting even a single monster problem short
+// mid-elimination), and workers stop picking up new candidates once the
+// context is done. Degradation is graceful rather than fatal — the returned
+// slice always has one sound Result per candidate, with unanalyzed pairs
+// reported as Maybe/TripCancelled (counted in stats.CancelledPairs) — and
+// the error is nil unless a candidate genuinely failed to analyze. Verdicts
+// produced under a deadline or cancellation are sound but scheduling-
+// dependent, so the byte-identical determinism guarantee above holds only
+// for count-limited (or unlimited) budgets on an undisturbed context.
+func (a *Analyzer) AnalyzeAllContext(ctx context.Context, cands []refs.Candidate, workers int) ([]Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(cands) {
 		workers = len(cands)
 	}
+	plainCtx := ctx.Done() == nil
 	if workers <= 1 {
+		if !plainCtx && a.pipe != nil {
+			a.pipe.SetBudget(a.effectiveBudget(ctx))
+			a.pipe.SetCancel(ctx.Done())
+			defer func() {
+				a.pipe.SetBudget(a.opts.Budget)
+				a.pipe.SetCancel(nil)
+			}()
+		}
 		out := make([]Result, 0, len(cands))
-		for _, c := range cands {
+		for i, c := range cands {
+			if !plainCtx && ctx.Err() != nil {
+				for _, rest := range cands[i:] {
+					out = append(out, degradedResult(rest))
+					a.Stats.CancelledPairs++
+				}
+				return out, nil
+			}
 			r, err := a.AnalyzeCandidate(c)
 			if err != nil {
 				return nil, err
@@ -82,7 +134,9 @@ func (a *Analyzer) AnalyzeAll(cands []refs.Candidate, workers int) ([]Result, er
 	}
 
 	out := make([]Result, len(cands))
+	processed := make([]bool, len(cands)) // distinct indexes per worker; read after join
 	counters := make([]stats.Counters, workers)
+	eff := a.effectiveBudget(ctx)
 	var (
 		next   atomic.Int64
 		failed atomic.Bool
@@ -99,10 +153,18 @@ func (a *Analyzer) AnalyzeAll(cands []refs.Candidate, workers int) ([]Result, er
 			// tables: options and the cascade stage configuration are
 			// read-only; the cascade pipeline (with its scratch) and the
 			// counters — including the per-stage Table 6 cost counters —
-			// are per-worker and merged at the end.
+			// are per-worker and merged at the end. The pipeline carries
+			// the deadline-merged budget and the context's Done channel.
 			wa := a.workerView()
+			if wa.pipe != nil && !plainCtx {
+				wa.pipe.SetBudget(eff)
+				wa.pipe.SetCancel(ctx.Done())
+			}
 			defer func() { counters[w] = wa.Stats }()
 			for !failed.Load() {
+				if !plainCtx && ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(cands) {
 					return
@@ -124,12 +186,24 @@ func (a *Analyzer) AnalyzeAll(cands []refs.Candidate, workers int) ([]Result, er
 					return
 				}
 				out[i] = r
+				processed[i] = true
 			}
 		}(w)
 	}
 	wg.Wait()
 	for w := range counters {
 		a.Stats.Add(&counters[w])
+	}
+	if errVal == nil {
+		// Candidates no worker reached before the context was done get the
+		// conservative degraded verdict; their provenance stays empty so
+		// the post-pass leaves them untouched.
+		for i := range cands {
+			if !processed[i] {
+				out[i] = degradedResult(cands[i])
+				a.Stats.CancelledPairs++
+			}
+		}
 	}
 	// Add sums the per-worker uniqueness snapshots, which is meaningless for
 	// a shared table — replace with the table's final size.
@@ -159,7 +233,12 @@ func (a *Analyzer) AnalyzeAll(cands []refs.Candidate, workers int) ([]Result, er
 		} else {
 			out[i].DecidedBy = pv.fresh
 		}
-		seen[pv.key] = true
+		// Only results that actually entered (or came from) the memo table
+		// make later occurrences hits in a serial replay; clock-tripped
+		// verdicts are never cached, so their keys stay unseen.
+		if pv.cacheable {
+			seen[pv.key] = true
+		}
 	}
 	return out, nil
 }

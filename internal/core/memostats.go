@@ -1,6 +1,7 @@
 package core
 
 import (
+	"exactdep/internal/dtest"
 	"exactdep/internal/memo"
 	"exactdep/internal/system"
 )
@@ -28,6 +29,10 @@ type MemoStats struct {
 	// Lookup traffic per layer, from the merged counters.
 	L1Lookups, L1Hits int
 	L2Lookups, L2Hits int
+	// DegradedEntries counts full-table entries holding a budget-degraded
+	// (Maybe) verdict — cache capacity spent on answers valid only under the
+	// current budget class (SaveMemo drops them).
+	DegradedEntries int
 }
 
 // MemoStats reports the current state of the analyzer's memo hierarchy.
@@ -59,6 +64,12 @@ func (a *Analyzer) MemoStats() MemoStats {
 		m.L1Capacity = a.l1.Cap()
 		m.L1Entries = a.l1.Len()
 	}
+	a.full.Range(func(_ memo.Key, v cached) bool {
+		if v.res.Outcome == dtest.Maybe {
+			m.DegradedEntries++
+		}
+		return true
+	})
 	return m
 }
 

@@ -46,10 +46,15 @@ type savedTables struct {
 }
 
 // SaveMemo writes the analyzer's memo tables so a later session (or another
-// program's compilation) can start warm.
+// program's compilation) can start warm. Degraded (Maybe) entries are
+// skipped: they are valid only under the budget class that produced them,
+// and a persisted table must serve every future configuration.
 func (a *Analyzer) SaveMemo(w io.Writer) error {
 	doc := savedTables{Version: memoFileVersion, Improved: a.opts.ImprovedMemo}
 	a.full.Range(func(k memo.Key, v cached) bool {
+		if v.res.Outcome == dtest.Maybe {
+			return true
+		}
 		e := savedEntry{
 			Key:     append([]int64(nil), k...),
 			Outcome: int(v.res.Outcome),

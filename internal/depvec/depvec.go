@@ -159,8 +159,15 @@ type Summary struct {
 	Distances []Distance
 	// TestsRun counts cascade invocations, the quantity of Tables 4 and 5.
 	TestsRun int
-	// Exact is false if any cascade invocation returned Unknown.
+	// Exact is false if any cascade invocation returned an inexact verdict
+	// (Unknown, or Maybe under a resource budget).
 	Exact bool
+	// Trip is the first budget limit that degraded a cascade invocation
+	// (dtest.TripNone when none did). It is cleared when the implicit
+	// branch-and-bound later proves exact independence: a budget trip only
+	// forces descent, and a subtree with no surviving vector was refuted by
+	// exact tests alone.
+	Trip dtest.TripReason
 	// ImplicitBB marks pairs proven independent only by refuting every
 	// direction vector.
 	ImplicitBB bool
@@ -211,8 +218,11 @@ func ComputeObserved(ts *system.TSystem, opts Options, onTest func(dtest.Result)
 			r, _ = dtest.Solve(s)
 		}
 		sum.TestsRun++
-		if r.Outcome == dtest.Unknown {
+		if !r.Exact {
 			sum.Exact = false
+			if r.Trip != dtest.TripNone && sum.Trip == dtest.TripNone {
+				sum.Trip = r.Trip
+			}
 		}
 		if onTest != nil {
 			onTest(r)
@@ -271,6 +281,7 @@ func ComputeObserved(ts *system.TSystem, opts Options, onTest func(dtest.Result)
 		sum.ImplicitBB = true
 		sum.Dependent = false
 		sum.Exact = true
+		sum.Trip = dtest.TripNone
 		return sum
 	}
 	sum.Dependent = true

@@ -79,6 +79,7 @@ func computeSeparable(ts *system.TSystem, fixed []Direction, sum *Summary,
 			sum.ImplicitBB = true
 			sum.Dependent = false
 			sum.Exact = true
+			sum.Trip = dtest.TripNone
 			sum.Vectors = nil
 			return
 		}

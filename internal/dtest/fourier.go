@@ -39,7 +39,10 @@ func FourierMotzkin(s *state) Result {
 // fourierApply is FourierMotzkin drawing the flat constraint list and its
 // bound rows from sc. The elimination itself still allocates — it is the
 // rare, expensive end of the cascade, and its workspace shape depends on
-// how constraints multiply during elimination.
+// how constraints multiply during elimination. The scratch's budget meters
+// the work; charges accumulate across the int64 pass, the big-integer
+// retry, and every branch-and-bound subproblem, so the budget bounds the
+// problem's *total* spend.
 func fourierApply(s *state, sc *Scratch) Result {
 	if s.infeasible || s.firstConflict() >= 0 {
 		// A constant constraint already refuted the system during
@@ -48,13 +51,13 @@ func fourierApply(s *state, sc *Scratch) Result {
 		return independent(KindFourierMotzkin)
 	}
 	cons := s.allConstraintsInto(sc)
-	r := fmSolve(cons, s.n, 0)
+	r := fmSolve(cons, s.n, 0, &sc.bud)
 	if r.Outcome == Unknown {
 		// The fast path gave up — possibly from int64 overflow in the
 		// coefficient growth FM is notorious for. Retry with arbitrary
 		// precision; structural limits (constraint cap, branch depth) still
 		// bound the work.
-		r = fmSolveBig(toBig(cons), s.n, 0)
+		r = fmSolveBig(toBig(cons), s.n, 0, &sc.bud)
 	}
 	return r
 }
@@ -67,7 +70,10 @@ type fmEliminated struct {
 	uppers []system.Constraint // coefficient of v is positive
 }
 
-func fmSolve(cons []system.Constraint, n, depth int) Result {
+func fmSolve(cons []system.Constraint, n, depth int, bs *budgetState) Result {
+	if bs.tripped() {
+		return bs.maybe()
+	}
 	work := cons
 	remaining := make([]bool, n)
 	numRemaining := 0
@@ -81,6 +87,9 @@ func fmSolve(cons []system.Constraint, n, depth int) Result {
 		v := pickFMVar(work, remaining, n)
 		if v < 0 {
 			break // no remaining variable occurs in any constraint
+		}
+		if !bs.chargeElim() {
+			return bs.maybe()
 		}
 		var lowers, uppers, rest []system.Constraint
 		for _, c := range work {
@@ -105,6 +114,9 @@ func fmSolve(cons []system.Constraint, n, depth int) Result {
 					return independent(KindFourierMotzkin)
 				}
 				if nc != nil {
+					if !bs.chargeCons() {
+						return bs.maybe()
+					}
 					rest = append(rest, *nc)
 					if len(rest) > maxFMConstraints {
 						return unknown(KindFourierMotzkin)
@@ -142,7 +154,7 @@ func fmSolve(cons []system.Constraint, n, depth int) Result {
 				// yet, so the empty integer range is unconditional.
 				return independent(KindFourierMotzkin)
 			}
-			return fmBranch(cons, n, depth, e.v, bracketLo, bracketHi)
+			return fmBranch(cons, n, depth, e.v, bracketLo, bracketHi, bs)
 		}
 		val[e.v] = pick
 		chosen[e.v] = true
@@ -303,9 +315,15 @@ func fmEval(c system.Constraint, v int, val []int64, chosen []bool) (linalg.Rat,
 // fmBranch implements the paper's branch-and-bound: when the sample range
 // for v contains no integer, split the original system on v ≤ ⌊·⌋ and
 // v ≥ ⌈·⌉. Both independent → independent; any exact dependent → dependent.
-func fmBranch(cons []system.Constraint, n, depth, v int, floor, ceil int64) Result {
+// A budget trip anywhere in the subtree surfaces as Maybe: one unresolved
+// branch leaves the split inconclusive, so the conservative verdict is the
+// only sound summary.
+func fmBranch(cons []system.Constraint, n, depth, v int, floor, ceil int64, bs *budgetState) Result {
 	if !EnableExplicitBranchAndBound || depth >= maxBranchDepth {
 		return unknown(KindFourierMotzkin)
+	}
+	if !bs.chargeNode() {
+		return bs.maybe()
 	}
 	mk := func(coefV, c int64) []system.Constraint {
 		coef := make([]int64, n)
@@ -314,13 +332,16 @@ func fmBranch(cons []system.Constraint, n, depth, v int, floor, ceil int64) Resu
 		copy(out, cons)
 		return append(out, system.Constraint{Coef: coef, C: c})
 	}
-	left := fmSolve(mk(1, floor), n, depth+1) // v ≤ floor
+	left := fmSolve(mk(1, floor), n, depth+1, bs) // v ≤ floor
 	if left.Outcome == Dependent && left.Exact {
 		return left
 	}
-	right := fmSolve(mk(-1, -ceil), n, depth+1) // v ≥ ceil
+	right := fmSolve(mk(-1, -ceil), n, depth+1, bs) // v ≥ ceil
 	if right.Outcome == Dependent && right.Exact {
 		return right
+	}
+	if left.Outcome == Maybe || right.Outcome == Maybe {
+		return bs.maybe()
 	}
 	if left.Outcome == Independent && right.Outcome == Independent {
 		return independent(KindFourierMotzkin)

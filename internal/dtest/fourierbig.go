@@ -53,8 +53,12 @@ func normalizeBig(c bigCons) (out bigCons, feasible, vacuous bool) {
 	return c, true, false
 }
 
-// fmSolveBig mirrors fmSolve over big integers.
-func fmSolveBig(cons []bigCons, n, depth int) Result {
+// fmSolveBig mirrors fmSolve over big integers, drawing from the same
+// budget state (the retry is part of the same problem's spend).
+func fmSolveBig(cons []bigCons, n, depth int, bs *budgetState) Result {
+	if bs.tripped() {
+		return bs.maybe()
+	}
 	work := cons
 	remaining := make([]bool, n)
 	for i := range remaining {
@@ -71,6 +75,9 @@ func fmSolveBig(cons []bigCons, n, depth int) Result {
 		v := pickBigVar(work, remaining, n)
 		if v < 0 {
 			break
+		}
+		if !bs.chargeElim() {
+			return bs.maybe()
 		}
 		var lowers, uppers, rest []bigCons
 		for _, c := range work {
@@ -104,6 +111,9 @@ func fmSolveBig(cons []bigCons, n, depth int) Result {
 				}
 				if vacuous {
 					continue
+				}
+				if !bs.chargeCons() {
+					return bs.maybe()
 				}
 				rest = append(rest, norm)
 				if len(rest) > maxFMConstraints {
@@ -146,7 +156,7 @@ func fmSolveBig(cons []bigCons, n, depth int) Result {
 				if k == len(order)-1 {
 					return independent(KindFourierMotzkin)
 				}
-				return fmBranchBig(cons, n, depth, e.v, ratFloor(lo), ratCeil(up))
+				return fmBranchBig(cons, n, depth, e.v, ratFloor(lo), ratCeil(up), bs)
 			}
 		}
 		val[e.v].Set(pick)
@@ -242,9 +252,12 @@ func ratCeil(r *big.Rat) *big.Int {
 	return out
 }
 
-func fmBranchBig(cons []bigCons, n, depth, v int, floor, ceil *big.Int) Result {
+func fmBranchBig(cons []bigCons, n, depth, v int, floor, ceil *big.Int, bs *budgetState) Result {
 	if !EnableExplicitBranchAndBound || depth >= maxBranchDepth {
 		return unknown(KindFourierMotzkin)
+	}
+	if !bs.chargeNode() {
+		return bs.maybe()
 	}
 	mk := func(sign int64, bound *big.Int) []bigCons {
 		coef := make([]*big.Int, n)
@@ -260,13 +273,16 @@ func fmBranchBig(cons []bigCons, n, depth, v int, floor, ceil *big.Int) Result {
 		copy(out, cons)
 		return append(out, bigCons{coef: coef, c: c})
 	}
-	left := fmSolveBig(mk(1, floor), n, depth+1)
+	left := fmSolveBig(mk(1, floor), n, depth+1, bs)
 	if left.Outcome == Dependent && left.Exact {
 		return left
 	}
-	right := fmSolveBig(mk(-1, ceil), n, depth+1)
+	right := fmSolveBig(mk(-1, ceil), n, depth+1, bs)
 	if right.Outcome == Dependent && right.Exact {
 		return right
+	}
+	if left.Outcome == Maybe || right.Outcome == Maybe {
+		return bs.maybe()
 	}
 	if left.Outcome == Independent && right.Outcome == Independent {
 		return independent(KindFourierMotzkin)

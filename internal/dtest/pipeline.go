@@ -124,6 +124,20 @@ func (p *Pipeline) Config() *Config { return p.cfg }
 // SVPC probe, so timing is opt-in for cost reports.
 func (p *Pipeline) SetTimed(on bool) { p.timed = on }
 
+// SetBudget installs a per-problem resource budget, carried in the
+// pipeline's Scratch and consulted at the Fourier–Motzkin / branch-and-bound
+// hot points. The zero Budget (the default) is unlimited. When a limit fires
+// the cascade returns a sound Maybe verdict with Result.Trip set.
+func (p *Pipeline) SetBudget(b Budget) { p.sc.bud.limits = b }
+
+// Budget returns the installed budget.
+func (p *Pipeline) Budget() Budget { return p.sc.bud.limits }
+
+// SetCancel installs a cancellation signal (typically ctx.Done()) polled at
+// the same hot points as the budget; a closed channel trips the current
+// problem with TripCancelled. nil (the default) disables the poll.
+func (p *Pipeline) SetCancel(c <-chan struct{}) { p.sc.bud.cancel = c }
+
 // StageMetrics returns the accumulated metrics of the i-th stage (in the
 // config's cost order).
 func (p *Pipeline) StageMetrics(i int) StageMetrics { return p.metrics[i] }

@@ -19,6 +19,13 @@ const (
 	// Unknown: the test could not decide exactly; callers must assume
 	// dependence for safety. The paper's suite never hits this in practice.
 	Unknown
+	// Maybe: the analysis was cut short by a resource budget, deadline, or
+	// cancellation before the test could decide; callers must conservatively
+	// assume dependence. Distinct from Unknown (a structural limitation of
+	// the test) so degraded verdicts stay visible downstream and the memo
+	// layer can scope them to the budget class that produced them;
+	// Result.Trip names the limit that fired.
+	Maybe
 )
 
 func (o Outcome) String() string {
@@ -27,6 +34,8 @@ func (o Outcome) String() string {
 		return "independent"
 	case Dependent:
 		return "dependent"
+	case Maybe:
+		return "maybe"
 	default:
 		return "unknown"
 	}
@@ -87,11 +96,15 @@ func (k Kind) CostRank() int {
 // Result is the outcome of a test or of the whole cascade.
 type Result struct {
 	Outcome Outcome
-	// Exact is true when the verdict is definitive. Only Unknown results
-	// are inexact.
+	// Exact is true when the verdict is definitive. Only Unknown and Maybe
+	// results are inexact.
 	Exact bool
 	// Kind is the test that decided.
 	Kind Kind
+	// Trip records which budget limit degraded the verdict when Outcome is
+	// Maybe (TripNone otherwise) — the provenance the stats counters and the
+	// memo budget-class scoping key off.
+	Trip TripReason
 	// Witness is a satisfying assignment of the free t variables when the
 	// deciding test produced one (nil otherwise).
 	Witness []int64
@@ -99,7 +112,9 @@ type Result struct {
 
 func (r Result) String() string {
 	s := fmt.Sprintf("%s (%s", r.Outcome, r.Kind)
-	if !r.Exact {
+	if r.Trip != TripNone {
+		s += ", budget: " + r.Trip.String()
+	} else if !r.Exact {
 		s += ", inexact"
 	}
 	return s + ")"

@@ -28,6 +28,11 @@ type Scratch struct {
 	cons      []system.Constraint // Fourier–Motzkin flat constraint list
 	graph     ResidueGraph        // Loop Residue graph with a reusable edge buffer
 	dist      []int64             // Bellman–Ford distance buffer
+
+	// bud meters the expensive end of the cascade (Fourier–Motzkin and its
+	// branch-and-bound) for this problem; reset per prepare. The cheap tests
+	// never consult it.
+	bud budgetState
 }
 
 // newScratch returns an empty Scratch; buffers grow on demand and reach a
@@ -39,6 +44,7 @@ func newScratch() *Scratch { return &Scratch{} }
 // trace, arena rows) are invalidated.
 func (sc *Scratch) prepare(ts *system.TSystem) *state {
 	sc.sys.Reset()
+	sc.bud.reset()
 	newStateInto(&sc.st, ts)
 	return &sc.st
 }

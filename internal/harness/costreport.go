@@ -70,10 +70,15 @@ func (h *Harness) CostReport() error {
 	// candidates are answered by a cache layer before any stage is consulted.
 	// L1 is the per-worker direct-mapped cache, L2 the shared table; their
 	// hits sum to the with-bounds hit total.
-	fmt.Fprintf(h.w, "memo hierarchy: %d lookups, %d hits (%s) — L1 %d/%d (%s), L2 %d/%d (%s)\n\n",
+	fmt.Fprintf(h.w, "memo hierarchy: %d lookups, %d hits (%s) — L1 %d/%d (%s), L2 %d/%d (%s)\n",
 		tot.FullLookups, tot.FullHits, pct(tot.FullHits, tot.FullLookups),
 		tot.L1Hits, tot.L1Lookups, pct(tot.L1Hits, tot.L1Lookups),
 		tot.L2Hits, tot.L2Lookups, pct(tot.L2Hits, tot.L2Lookups))
+	// Degradation accounting (zero for this unbudgeted run, but pinned by the
+	// golden file so the counters stay wired): budget trips force sound Maybe
+	// verdicts, cancelled pairs never reached the cascade at all.
+	fmt.Fprintf(h.w, "degradation: %d maybe verdicts, %d budget trips, %d pairs cancelled\n\n",
+		tot.Maybe, tot.TotalBudgetTrips(), tot.CancelledPairs)
 	return nil
 }
 

@@ -18,6 +18,9 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite the golden experim
 //
 //	go test ./internal/harness -run Golden -update-golden
 func TestGoldenExperiments(t *testing.T) {
+	if raceEnabled {
+		t.Skip("harness is serial; the instrumented sweep exceeds the race run's timeout without adding coverage")
+	}
 	var buf bytes.Buffer
 	h := New(&buf, false)
 	h.Timing = false // keep the cost report deterministic (probe counts only)

@@ -1,0 +1,10 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports whether the race detector is compiled in. The golden
+// experiment sweep skips under it: the harness is strictly serial (no
+// goroutines to race), and the ~10x instrumentation slowdown pushes the
+// sweep past the race run's timeout for no added coverage. The plain test
+// run still pins it.
+const raceEnabled = true

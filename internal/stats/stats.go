@@ -58,9 +58,22 @@ type Counters struct {
 	Independent int
 	Dependent   int
 	Unknown     int
-	ImplicitBB  int
+	// Maybe counts pairs whose verdict was degraded by a resource budget,
+	// deadline, or cancellation (core.Options.Budget / AnalyzeAllContext):
+	// sound "assume dependent" answers the analysis could not finish.
+	Maybe      int
+	ImplicitBB int
 	// Vectors is the total number of dependence direction vectors found.
 	Vectors int
+
+	// Graceful-degradation accounting. BudgetTrips counts cascade
+	// invocations cut short, indexed by dtest.TripReason (TripNone stays 0);
+	// one pair's direction-vector refinement can trip several times.
+	// CancelledPairs counts candidates never analyzed because the context
+	// was already done when a worker reached them — reported as Maybe
+	// results but excluded from Pairs and the verdict tallies.
+	BudgetTrips    [dtest.NumTripReasons]int
+	CancelledPairs int
 }
 
 // Add merges other into c.
@@ -89,8 +102,26 @@ func (c *Counters) Add(o *Counters) {
 	c.Independent += o.Independent
 	c.Dependent += o.Dependent
 	c.Unknown += o.Unknown
+	c.Maybe += o.Maybe
 	c.ImplicitBB += o.ImplicitBB
 	c.Vectors += o.Vectors
+	for i := range c.BudgetTrips {
+		c.BudgetTrips[i] += o.BudgetTrips[i]
+	}
+	c.CancelledPairs += o.CancelledPairs
+}
+
+// TripCount returns how many cascade invocations the given budget limit cut
+// short.
+func (c *Counters) TripCount(r dtest.TripReason) int { return c.BudgetTrips[int(r)] }
+
+// TotalBudgetTrips sums the per-reason trip counters.
+func (c *Counters) TotalBudgetTrips() int {
+	n := 0
+	for _, v := range c.BudgetTrips {
+		n += v
+	}
+	return n
 }
 
 // TotalTests is the number of base cascade applications (Table 1 columns

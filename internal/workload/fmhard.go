@@ -1,0 +1,111 @@
+package workload
+
+// FM-hard adversarial generator: programs whose every candidate pair defeats
+// the cheap tests and lands in Fourier–Motzkin with many coupled free
+// variables — the worst-case (exponential) end of the cascade that
+// core.Options.Budget exists to bound. Each nest is a chain of loops whose
+// bounds scale the previous index by 2 (for ik = 2*i(k-1) to 2*i(k-1)+B):
+// the coefficient 2 keeps Loop Residue inapplicable, the two-sided bound
+// constraints defeat the Acyclic test, and the multi-variable constraints
+// rule out SVPC, so the backup test must eliminate the whole coupled chain.
+
+import (
+	"fmt"
+	"strings"
+
+	"exactdep/internal/lang"
+	"exactdep/internal/opt"
+	"exactdep/internal/refs"
+)
+
+// FMHardSpec sizes one adversarial program.
+type FMHardSpec struct {
+	Name string
+	// Depth is the chain length: Depth nested loops, each bound-coupled to
+	// the previous index. The dependence system couples 2·Depth iteration
+	// variables, so Fourier–Motzkin's work grows quickly with Depth.
+	Depth int
+	// Cases is the number of assignment patterns (candidate pairs).
+	Cases int
+}
+
+// FMHardPrograms returns the adversarial suite: deep enough to make the
+// backup test sweat, small enough that an unbudgeted run still terminates
+// (the budget hammer tests depend on both ends).
+func FMHardPrograms() []FMHardSpec {
+	return []FMHardSpec{
+		{Name: "FMH3", Depth: 3, Cases: 6},
+		{Name: "FMH4", Depth: 4, Cases: 6},
+		{Name: "FMH5", Depth: 5, Cases: 4},
+	}
+}
+
+// FMHardSource generates the program's loop-language source.
+func FMHardSource(s FMHardSpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n", s.Name)
+	for v := 0; v < s.Cases; v++ {
+		emitFMHardCase(&b, s.Name, s.Depth, v)
+	}
+	return b.String()
+}
+
+// emitFMHardCase writes one chain nest with the v-th body pattern. The
+// patterns cycle through a dependent small shift, an out-of-range
+// (independent) shift, and a cross-coupled two-dimensional subscript.
+func emitFMHardCase(b *strings.Builder, name string, depth, v int) {
+	n := 20 + v
+	band := 3 + v%4
+	indent := ""
+	for d := 1; d <= depth; d++ {
+		if d == 1 {
+			fmt.Fprintf(b, "for i1 = 1 to %d\n", n)
+		} else {
+			fmt.Fprintf(b, "%sfor i%d = 2*i%d to 2*i%d+%d\n", indent, d, d-1, d-1, band)
+		}
+		indent += "  "
+	}
+	last := fmt.Sprintf("i%d", depth)
+	prev := fmt.Sprintf("i%d", depth-1)
+	a := fmt.Sprintf("%s_%d", strings.ToLower(name), v)
+	switch v % 3 {
+	case 0:
+		// Small shift within the index range: dependent.
+		fmt.Fprintf(b, "%s%s[%s+%d] = %s[%s]\n", indent, a, last, 1+v, a, last)
+	case 1:
+		// Shift beyond the deepest index's entire range: independent, and
+		// only Fourier–Motzkin can certify it.
+		far := (1 << uint(depth)) * (n + band + 4)
+		fmt.Fprintf(b, "%s%s[%s+%d] = %s[%s]\n", indent, a, last, far, a, last)
+	default:
+		// Cross-coupled subscripts over the two deepest indices with swapped
+		// unequal coefficients: a dense multi-variable equality.
+		fmt.Fprintf(b, "%s%s[2*%s+3*%s+%d] = %s[3*%s+2*%s]\n", indent, a, prev, last, 1+v, a, prev, last)
+	}
+	for d := depth - 1; d >= 0; d-- {
+		b.WriteString(strings.Repeat("  ", d) + "end\n")
+	}
+}
+
+// FMHardCandidates parses and lowers one adversarial program and enumerates
+// its candidate pairs (without self-pairs).
+func FMHardCandidates(s FMHardSpec) ([]refs.Candidate, error) {
+	prog, err := lang.Parse(FMHardSource(s))
+	if err != nil {
+		return nil, fmt.Errorf("workload fm-hard %s: %w", s.Name, err)
+	}
+	return refs.PairsOpts(opt.Lower(prog), refs.Options{NoSelfPairs: true}), nil
+}
+
+// FMHardSuiteCandidates concatenates every adversarial program's candidates.
+func FMHardSuiteCandidates() ([]refs.Candidate, error) {
+	var all []refs.Candidate
+	for _, s := range FMHardPrograms() {
+		cs, err := FMHardCandidates(s)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, cs...)
+	}
+	return all, nil
+}

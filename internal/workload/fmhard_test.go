@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"exactdep/internal/core"
+	"exactdep/internal/dtest"
+	"exactdep/internal/refs"
+)
+
+func fmHardSuite(t *testing.T) []refs.Candidate {
+	t.Helper()
+	cands, err := FMHardSuiteCandidates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("FM-hard suite produced no candidates")
+	}
+	return cands
+}
+
+// TestFMHardLandsInFM proves the generator earns its name: under the full
+// cost-ordered cascade every pair falls through the cheap tests and is
+// decided by Fourier–Motzkin, exactly.
+func TestFMHardLandsInFM(t *testing.T) {
+	a := core.New(core.Options{})
+	for _, c := range fmHardSuite(t) {
+		r, err := a.AnalyzeCandidate(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Kind != dtest.KindFourierMotzkin {
+			t.Errorf("pair %v decided by %v, want Fourier–Motzkin", r.Pair, r.Kind)
+		}
+		if !r.Exact || (r.Outcome != dtest.Independent && r.Outcome != dtest.Dependent) {
+			t.Errorf("pair %v: outcome %v exact=%v, want exact Independent/Dependent",
+				r.Pair, r.Outcome, r.Exact)
+		}
+	}
+	if got := a.Stats.TotalBudgetTrips(); got != 0 {
+		t.Errorf("unbudgeted run recorded %d budget trips", got)
+	}
+}
+
+// TestFMHardTinyBudgetTrips hammers the suite with a starvation budget: the
+// run must complete, degrade some pairs to Maybe with trip provenance, and —
+// because count budgets are deterministic — stay byte-identical between the
+// serial driver and every concurrent worker count.
+func TestFMHardTinyBudgetTrips(t *testing.T) {
+	cands := fmHardSuite(t)
+	opts := core.Options{
+		Memoize:      true,
+		ImprovedMemo: true,
+		Budget:       dtest.Budget{MaxFMEliminations: 2},
+	}
+	serial := core.New(opts)
+	base, err := serial.AnalyzeAll(cands, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maybes := 0
+	for _, r := range base {
+		switch r.Outcome {
+		case dtest.Maybe:
+			maybes++
+			if r.Trip == dtest.TripNone {
+				t.Errorf("pair %v: Maybe without a trip reason", r.Pair)
+			}
+			if r.Exact {
+				t.Errorf("pair %v: Maybe marked exact", r.Pair)
+			}
+		case dtest.Independent, dtest.Dependent:
+			// Pairs cheap enough to finish inside the budget stay exact.
+		default:
+			t.Errorf("pair %v: unexpected outcome %v under count budget", r.Pair, r.Outcome)
+		}
+	}
+	if maybes == 0 {
+		t.Fatal("starvation budget (MaxFMEliminations=2) tripped no pair")
+	}
+	if got := serial.Stats.TotalBudgetTrips(); got == 0 {
+		t.Error("stats recorded no budget trips")
+	}
+	want := fmt.Sprintf("%+v", base)
+	for _, workers := range []int{2, 4, 8} {
+		a := core.New(opts)
+		rs, err := a.AnalyzeAll(cands, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fmt.Sprintf("%+v", rs); got != want {
+			t.Errorf("workers=%d: results differ from serial under count budget", workers)
+		}
+	}
+}
+
+// TestFMHardGenerousBudgetExact cross-validates: under a generous count
+// budget the full cascade must reproduce, pair for pair, the exact verdicts
+// of an unbudgeted fm-only analyzer.
+func TestFMHardGenerousBudgetExact(t *testing.T) {
+	cands := fmHardSuite(t)
+	budgeted := core.New(core.Options{Budget: dtest.Budget{
+		MaxFMEliminations: 1 << 30,
+		MaxBranchNodes:    1 << 30,
+		MaxConstraints:    1 << 30,
+	}})
+	fmOnly := core.New(core.Options{Cascade: "fm-only"})
+	for i, c := range cands {
+		rb, err := budgeted.AnalyzeCandidate(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf, err := fmOnly.AnalyzeCandidate(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rb.Outcome != rf.Outcome || rb.Exact != rf.Exact {
+			t.Errorf("candidate %d: budgeted full cascade %v/%v, fm-only %v/%v",
+				i, rb.Outcome, rb.Exact, rf.Outcome, rf.Exact)
+		}
+		if rb.Trip != dtest.TripNone {
+			t.Errorf("candidate %d: generous budget tripped (%v)", i, rb.Trip)
+		}
+	}
+	if got := budgeted.Stats.TotalBudgetTrips(); got != 0 {
+		t.Errorf("generous budget recorded %d trips", got)
+	}
+}
+
+// TestFMHardDeadlineCompletesSoundly runs the suite under a 10ms-per-problem
+// wall-clock budget: the driver must finish, and every pair must come back
+// either exact or gracefully degraded to Maybe — never stuck, never unsound.
+func TestFMHardDeadlineCompletesSoundly(t *testing.T) {
+	cands := fmHardSuite(t)
+	a := core.New(core.Options{Budget: dtest.Budget{MaxDuration: 10 * time.Millisecond}})
+	rs, err := a.AnalyzeAll(cands, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != len(cands) {
+		t.Fatalf("got %d results for %d candidates", len(rs), len(cands))
+	}
+	for _, r := range rs {
+		switch r.Outcome {
+		case dtest.Independent, dtest.Dependent:
+			if !r.Exact {
+				t.Errorf("pair %v: inexact %v without degradation to Maybe", r.Pair, r.Outcome)
+			}
+		case dtest.Maybe:
+			if r.Trip == dtest.TripNone {
+				t.Errorf("pair %v: Maybe without trip provenance", r.Pair)
+			}
+		default:
+			t.Errorf("pair %v: outcome %v, want exact verdict or Maybe", r.Pair, r.Outcome)
+		}
+	}
+}
