@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check allocgate bench bench-json
+.PHONY: build test vet race check allocgate bench bench-json benchcmp
 
 build:
 	$(GO) build ./...
@@ -17,24 +17,32 @@ race:
 # allocgate re-runs the steady-state allocation assertions without the race
 # detector (they skip themselves under it, since the instrumentation
 # allocates), so the zero-allocation cascade path, the zero-allocation
-# memo path (encode + lookup + hit), and the budget-armed cascade path
-# stay gated even though the main test run is race-enabled.
+# memo path (encode + lookup + hit), the zero-allocation Fourier–Motzkin
+# solve, and the clone-free refinement walk stay gated even though the main
+# test run is race-enabled.
 allocgate:
-	$(GO) test ./internal/dtest -run 'TestCascadeZeroAllocs|TestRunTracedReusesScratch|TestBudgetZeroAllocs'
+	$(GO) test ./internal/dtest -run 'TestCascadeZeroAllocs|TestRunTracedReusesScratch|TestBudgetZeroAllocs|TestFMSolveZeroAllocs'
 	$(GO) test ./internal/memo -run 'TestEncoderZeroAllocs|TestMemoHitZeroAllocs'
+	$(GO) test ./internal/depvec -run 'TestRefineZeroAllocs'
 
 # check is the CI gate: vet plus race-enabled tests, so the concurrent
 # driver (core.AnalyzeAll, memo.ShardedTable) is race-checked on every run,
 # plus the allocation-regression gate.
 check: vet race allocgate
 
-# bench runs the paper-evaluation benchmarks (root package) and the cascade
-# and memo stage/allocation microbenchmarks with allocation counts.
+# bench runs the paper-evaluation benchmarks (root package) and the cascade,
+# memo, and refinement stage/allocation microbenchmarks with allocation
+# counts.
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem . ./internal/dtest ./internal/memo
+	$(GO) test -run '^$$' -bench . -benchmem . ./internal/dtest ./internal/memo ./internal/depvec
 
 # bench-json writes the machine-readable perf baseline (ns/op, allocs/op,
 # memo hit rates over the suite, budget-trip profile of the FM-hard
-# adversarial suite) so future PRs can diff against it.
+# adversarial suite, refinement counter profile) so future PRs can diff
+# against it.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR4.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR5.json
+
+# benchcmp diffs the previous PR's committed baseline against this PR's.
+benchcmp:
+	$(GO) run ./cmd/benchcmp BENCH_PR4.json BENCH_PR5.json

@@ -1,0 +1,126 @@
+// Command benchcmp diffs two bench-json baselines (make benchcmp →
+// BENCH_PR4.json vs BENCH_PR5.json): benchmarks are matched by name and the
+// ns/op, bytes/op and allocs/op deltas printed side by side, with benchmarks
+// present in only one file called out separately. It reads only the
+// "benchmarks" array, so any exactdep-bench/v1 file works regardless of
+// which profile sections it carries.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+)
+
+type benchRecord struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type doc struct {
+	Schema     string        `json:"schema"`
+	Benchmarks []benchRecord `json:"benchmarks"`
+}
+
+func load(path string) (*doc, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d doc
+	if err := json.Unmarshal(buf, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &d, nil
+}
+
+// delta renders a signed percentage change; division-by-zero degenerates to
+// a plain marker rather than Inf.
+func delta(old, new float64) string {
+	if old == 0 {
+		if new == 0 {
+			return "0.0%"
+		}
+		return "new>0"
+	}
+	return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
+}
+
+func run(oldPath, newPath string) error {
+	oldDoc, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newDoc, err := load(newPath)
+	if err != nil {
+		return err
+	}
+
+	oldByName := make(map[string]benchRecord, len(oldDoc.Benchmarks))
+	for _, b := range oldDoc.Benchmarks {
+		oldByName[b.Name] = b
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "benchmark\tns/op (%s)\tns/op (%s)\tΔns/op\tallocs/op\tΔallocs\n", oldPath, newPath)
+	matched := make(map[string]bool)
+	for _, nb := range newDoc.Benchmarks {
+		ob, ok := oldByName[nb.Name]
+		if !ok {
+			continue
+		}
+		matched[nb.Name] = true
+		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%s\t%d -> %d\t%s\n",
+			nb.Name, ob.NsPerOp, nb.NsPerOp, delta(ob.NsPerOp, nb.NsPerOp),
+			ob.AllocsPerOp, nb.AllocsPerOp,
+			delta(float64(ob.AllocsPerOp), float64(nb.AllocsPerOp)))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	var onlyNew, onlyOld []string
+	for _, nb := range newDoc.Benchmarks {
+		if _, ok := oldByName[nb.Name]; !ok {
+			onlyNew = append(onlyNew, nb.Name)
+		}
+	}
+	for _, ob := range oldDoc.Benchmarks {
+		if !matched[ob.Name] {
+			onlyOld = append(onlyOld, ob.Name)
+		}
+	}
+	if len(onlyNew) > 0 {
+		fmt.Printf("\nonly in %s:\n", newPath)
+		for _, n := range onlyNew {
+			fmt.Printf("  %s\n", n)
+		}
+	}
+	if len(onlyOld) > 0 {
+		fmt.Printf("\nonly in %s:\n", oldPath)
+		for _, n := range onlyOld {
+			fmt.Printf("  %s\n", n)
+		}
+	}
+	return nil
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchcmp OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), flag.Arg(1)); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+}

@@ -1,10 +1,12 @@
 // Command benchjson emits a machine-readable benchmark baseline (make
-// bench-json → BENCH_PR4.json): ns/op, bytes/op and allocs/op for the key
-// encoder, the lock-free sharded lookup, the memo-hot AnalyzeAll pass, and
-// the budgeted FM-hard degradation pass, plus per-program memo hit rates
-// over the PERFECT-style suite and the deterministic budget-trip profile.
-// Future PRs diff their own run against the committed baseline to keep a
-// perf trajectory.
+// bench-json → BENCH_PR5.json): ns/op, bytes/op and allocs/op for the key
+// encoder, the lock-free sharded lookup, the memo-hot AnalyzeAll pass, the
+// budgeted FM-hard degradation pass, and the direction-vector refinement
+// strategies (clone-per-node reference vs the clone-free trail walk, cold
+// and memoized), plus per-program memo hit rates over the PERFECT-style
+// suite, the deterministic budget-trip profile, and the refinement/FM
+// counter profile. Future PRs diff their own run against the committed
+// baseline (cmd/benchcmp, make benchcmp) to keep a perf trajectory.
 package main
 
 import (
@@ -16,7 +18,9 @@ import (
 	"testing"
 
 	"exactdep/internal/core"
+	"exactdep/internal/depvec"
 	"exactdep/internal/dtest"
+	"exactdep/internal/ir"
 	"exactdep/internal/memo"
 	"exactdep/internal/refs"
 	"exactdep/internal/system"
@@ -41,6 +45,22 @@ type doc struct {
 	// under a starvation count budget — the budget layer's effectiveness
 	// baseline (trip counts are deterministic, so diffs are meaningful).
 	Budget budgetProfile `json:"budget"`
+	// Refinement is the direction-vector refinement counter profile of one
+	// production-configuration pass over the suite: memo traffic, trail
+	// accounting, and FM redundancy elimination (all deterministic).
+	Refinement refinementProfile `json:"refinement"`
+}
+
+// refinementProfile snapshots the PR 5 counters over the suite.
+type refinementProfile struct {
+	DirLookups    int `json:"dir_lookups"`
+	DirHits       int `json:"dir_hits"`
+	UniqueDir     int `json:"unique_dir"`
+	TrailPushes   int `json:"trail_pushes"`
+	TrailPops     int `json:"trail_pops"`
+	TrailMaxDepth int `json:"trail_max_depth"`
+	FMDeduped     int `json:"fm_deduped"`
+	FMTightened   int `json:"fm_tightened"`
 }
 
 // budgetProfile summarizes one budgeted pass over the FM-hard suite.
@@ -61,6 +81,56 @@ func record(name string, fn func(b *testing.B)) benchRecord {
 		BytesPerOp:  r.AllocedBytesPerOp(),
 		AllocsPerOp: r.AllocsPerOp(),
 	}
+}
+
+// mapMemo is a direction-keyed memo for the refinement benchmarks — valid
+// because a single canonical system flows through each benchmark loop.
+type mapMemo map[string]dtest.Result
+
+func (m mapMemo) Lookup(dirs []byte) (dtest.Result, bool) {
+	r, ok := m[string(dirs)]
+	return r, ok
+}
+
+func (m mapMemo) Store(dirs []byte, r dtest.Result) {
+	r.Witness = nil
+	m[string(dirs)] = r
+}
+
+// deepNest builds the coupled FM-hard nest the refinement benchmarks walk:
+// the write couples adjacent levels (a[2i+j+1] vs a[i+2j] per dimension), so
+// the cheap cascade stages fail at many refinement nodes and the tree stays
+// deep under every strategy.
+func deepNest(depth int) (*system.TSystem, error) {
+	loops := make([]ir.Loop, depth)
+	idx := make([]string, depth)
+	for i := range loops {
+		idx[i] = fmt.Sprintf("i%d", i+1)
+		loops[i] = ir.Loop{Index: idx[i], Lower: ir.NewConst(0), Upper: ir.NewConst(9)}
+	}
+	var subA, subB []ir.Expr
+	for d := 0; d+1 < depth; d++ {
+		subA = append(subA, ir.NewTerm(idx[d], 2).Add(ir.NewVar(idx[d+1])).AddConst(1))
+		subB = append(subB, ir.NewVar(idx[d]).Add(ir.NewTerm(idx[d+1], 2)))
+	}
+	subA = append(subA, ir.NewVar(idx[depth-1]))
+	subB = append(subB, ir.NewVar(idx[depth-1]))
+	nest := &ir.Nest{Label: "fmhard", Loops: loops}
+	a := ir.Ref{Array: "a", Subscripts: subA, Kind: ir.Write, Depth: depth}
+	b := ir.Ref{Array: "a", Subscripts: subB, Kind: ir.Read, Depth: depth}
+	nest.Refs = []ir.Ref{a, b}
+	p, err := system.Build(nest.Pair(a, b))
+	if err != nil {
+		return nil, err
+	}
+	res, ts, err := system.Preprocess(p)
+	if err != nil {
+		return nil, err
+	}
+	if res == system.GCDIndependent {
+		return nil, fmt.Errorf("deepNest(%d): unexpectedly GCD-independent", depth)
+	}
+	return ts, nil
 }
 
 // suiteProblems builds the unique canonical problems of the whole suite —
@@ -212,6 +282,63 @@ func run(out string) error {
 		d.Budget = p
 	}
 
+	// Refinement strategy comparison over a coupled deep nest that reaches
+	// Fourier–Motzkin at many tree nodes: the clone-per-node reference walk
+	// against the clone-free trail walk, cold and over a warm direction memo.
+	for _, depth := range []int{3, 4} {
+		ts, err := deepNest(depth)
+		if err != nil {
+			return err
+		}
+		opts := depvec.Options{PruneUnused: true}
+		d.Benchmarks = append(d.Benchmarks, record(fmt.Sprintf("refinement_deep_reference_depth_%d", depth), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				depvec.ComputeReference(ts.Clone(), opts, nil)
+			}
+		}))
+		d.Benchmarks = append(d.Benchmarks, record(fmt.Sprintf("refinement_deep_trail_depth_%d", depth), func(b *testing.B) {
+			o := opts
+			o.Refiner = depvec.NewRefiner()
+			o.Pipeline = dtest.DefaultConfig().NewPipeline()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				depvec.ComputeObserved(ts, o, nil)
+			}
+		}))
+		d.Benchmarks = append(d.Benchmarks, record(fmt.Sprintf("refinement_deep_trail_memo_depth_%d", depth), func(b *testing.B) {
+			o := opts
+			o.Refiner = depvec.NewRefiner()
+			o.Pipeline = dtest.DefaultConfig().NewPipeline()
+			o.Memo = mapMemo{}
+			depvec.ComputeObserved(ts, o, nil) // warm the memo
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				depvec.ComputeObserved(ts, o, nil)
+			}
+		}))
+	}
+
+	// Refinement counter profile: one serial production-configuration pass.
+	{
+		a := core.New(core.Options{Memoize: true, ImprovedMemo: true, DirectionVectors: true,
+			PruneUnused: true, PruneDistance: true})
+		if _, err := a.AnalyzeAll(cands, 1); err != nil {
+			return err
+		}
+		d.Refinement = refinementProfile{
+			DirLookups:    a.Stats.DirLookups,
+			DirHits:       a.Stats.DirHits,
+			UniqueDir:     a.Stats.UniqueDir,
+			TrailPushes:   a.Stats.TrailPushes,
+			TrailPops:     a.Stats.TrailPops,
+			TrailMaxDepth: a.Stats.TrailMaxDepth,
+			FMDeduped:     a.Stats.FMDeduped,
+			FMTightened:   a.Stats.FMTightened,
+		}
+	}
+
 	d.MemoSuite, err = workload.SuiteMemoSummaries(workload.RunnerOptions{
 		Core: core.Options{Memoize: true, ImprovedMemo: true, DirectionVectors: true,
 			PruneUnused: true, PruneDistance: true},
@@ -233,7 +360,7 @@ func run(out string) error {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR4.json", "output path ('-' for stdout)")
+	out := flag.String("out", "BENCH_PR5.json", "output path ('-' for stdout)")
 	flag.Parse()
 	if err := run(*out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

@@ -154,10 +154,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for _, r := range report.Results {
 		fmt.Fprintf(stdout, "%s vs %s: %s", r.Pair.A.Ref, r.Pair.B.Ref, r.Outcome)
 		if !r.Exact {
-			if r.Trip != exactdep.TripNone {
-				fmt.Fprintf(stdout, " (assumed: %s budget)", r.Trip)
-			} else {
+			switch {
+			case r.Trip == exactdep.TripNone:
 				fmt.Fprintf(stdout, " (assumed)")
+			case r.Trip.Budgetary():
+				fmt.Fprintf(stdout, " (assumed: %s budget)", r.Trip)
+			default:
+				fmt.Fprintf(stdout, " (assumed: %s structural cap)", r.Trip)
 			}
 		}
 		fmt.Fprintf(stdout, "  [%s", r.DecidedBy)
@@ -248,6 +251,8 @@ func printMemoStats(w io.Writer, a *exactdep.Analyzer) {
 		m.FullEntries, m.FullBuckets, rate(m.FullEntries, m.FullBuckets))
 	fmt.Fprintf(w, "  eq table:   %d entries / %d buckets (%s occupancy)\n",
 		m.EqEntries, m.EqBuckets, rate(m.EqEntries, m.EqBuckets))
+	fmt.Fprintf(w, "  dir table:  %d entries, %d/%d hits (%s, refinement memo)\n",
+		m.DirEntries, m.DirHits, m.DirLookups, rate(m.DirHits, m.DirLookups))
 	if m.Shards > 0 {
 		fmt.Fprintf(w, "  shards:     %d (entries per shard %d..%d)\n", m.Shards, m.ShardMin, m.ShardMax)
 	} else {

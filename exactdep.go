@@ -123,14 +123,20 @@ const (
 	Maybe       = dtest.Maybe
 )
 
-// Budget trip reasons (Result.Trip).
+// Budget trip reasons (Result.Trip). The first five are budgetary — a
+// caller-chosen Budget limit, the clock, or cancellation, where a re-run
+// with a larger budget may finish (TripReason.Budgetary reports this).
+// TripFMConstraintCap is structural: the Fourier–Motzkin engine's own cap
+// on the constraint blow-up of a single elimination round, tripped only by
+// adversarial inputs regardless of budget.
 const (
-	TripNone           = dtest.TripNone
-	TripFMEliminations = dtest.TripFMEliminations
-	TripBranchNodes    = dtest.TripBranchNodes
-	TripConstraints    = dtest.TripConstraints
-	TripDeadline       = dtest.TripDeadline
-	TripCancelled      = dtest.TripCancelled
+	TripNone            = dtest.TripNone
+	TripFMEliminations  = dtest.TripFMEliminations
+	TripBranchNodes     = dtest.TripBranchNodes
+	TripConstraints     = dtest.TripConstraints
+	TripDeadline        = dtest.TripDeadline
+	TripCancelled       = dtest.TripCancelled
+	TripFMConstraintCap = dtest.TripFMConstraintCap
 )
 
 // Reference kinds.

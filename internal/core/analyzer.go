@@ -252,15 +252,22 @@ type Analyzer struct {
 	opts  Options
 	full  memo.Map[cached]
 	eq    memo.Map[system.GCDResult]
+	dir   memo.Map[dtest.Result]
 	Stats stats.Counters
 
 	// enc is this analyzer's (or worker view's) scratch-backed key encoder:
 	// steady-state encode+lookup+hit allocates nothing. l1 is the private
 	// direct-mapped cache in front of the shared full table; it holds only
 	// keys interned by that table, so every L1 entry is also an L2 entry
-	// (which keeps AnalyzeAll's provenance post-pass valid).
-	enc memo.Encoder
-	l1  *memo.L1[cached]
+	// (which keeps AnalyzeAll's provenance post-pass valid). l1dir plays the
+	// same role in front of the shared direction-keyed refinement table.
+	enc   memo.Encoder
+	l1    *memo.L1[cached]
+	l1dir *memo.L1[dtest.Result]
+
+	// refiner is the per-worker workspace of the clone-free direction-vector
+	// refinement walk (arena for pushed direction rows, per-level buffers).
+	refiner *depvec.Refiner
 
 	// The cascade engine: cfg is the shared, immutable stage configuration
 	// (selected by Options.Cascade); pipe is this analyzer's private
@@ -272,6 +279,7 @@ type Analyzer struct {
 	cfg       *dtest.Config
 	pipe      *dtest.Pipeline
 	prevStage []dtest.StageMetrics
+	prevFM    dtest.FMMetrics
 	cfgErr    error
 
 	// budClass is the deterministic fingerprint of opts.Budget's count
@@ -286,10 +294,13 @@ func New(opts Options) *Analyzer {
 		opts:     opts,
 		full:     memo.NewTable[cached](),
 		eq:       memo.NewTable[system.GCDResult](),
+		dir:      memo.NewTable[dtest.Result](),
+		refiner:  depvec.NewRefiner(),
 		budClass: opts.Budget.Class(),
 	}
 	if opts.Memoize && opts.L1Size >= 0 {
 		a.l1 = memo.NewL1[cached](opts.L1Size)
+		a.l1dir = memo.NewL1[dtest.Result](opts.L1Size)
 	}
 	cfg, err := dtest.ConfigByName(opts.Cascade)
 	if err != nil {
@@ -316,19 +327,22 @@ func (a *Analyzer) newPipeline() *dtest.Pipeline {
 // read-only; the pipeline (with its scratch), the key encoder, the L1 memo
 // cache, and the counters are per-worker.
 func (a *Analyzer) workerView() *Analyzer {
-	wa := &Analyzer{opts: a.opts, full: a.full, eq: a.eq, cfg: a.cfg, cfgErr: a.cfgErr, budClass: a.budClass}
+	wa := &Analyzer{opts: a.opts, full: a.full, eq: a.eq, dir: a.dir,
+		refiner: depvec.NewRefiner(), cfg: a.cfg, cfgErr: a.cfgErr, budClass: a.budClass}
 	if wa.cfg != nil {
 		wa.pipe = wa.newPipeline()
 		wa.prevStage = make([]dtest.StageMetrics, wa.cfg.NumStages())
 	}
 	if wa.opts.Memoize && wa.opts.L1Size >= 0 {
 		wa.l1 = memo.NewL1[cached](wa.opts.L1Size)
+		wa.l1dir = memo.NewL1[dtest.Result](wa.opts.L1Size)
 	}
 	return wa
 }
 
-// syncStageStats folds the pipeline's cumulative per-stage metrics into the
-// Table 6 counters as deltas since the last sync.
+// syncStageStats folds the pipeline's cumulative per-stage metrics — and its
+// Fourier–Motzkin redundancy counters — into the counters as deltas since
+// the last sync.
 func (a *Analyzer) syncStageStats() {
 	for i := 0; i < a.cfg.NumStages(); i++ {
 		m := a.pipe.StageMetrics(i)
@@ -339,6 +353,10 @@ func (a *Analyzer) syncStageStats() {
 		a.Stats.StageTimeNs[k] += int64(m.Time - prev.Time)
 		a.prevStage[i] = m
 	}
+	fm := a.pipe.FMMetrics()
+	a.Stats.FMDeduped += fm.Deduped - a.prevFM.Deduped
+	a.Stats.FMTightened += fm.Tightened - a.prevFM.Tightened
+	a.prevFM = fm
 }
 
 // ResetStats clears the counters but keeps the memo tables (matching the
@@ -617,7 +635,16 @@ func (a *Analyzer) analyzeFresh(prob *system.Problem, p ir.Pair) Result {
 	}
 
 	// Direction-vector analysis: the first observed test is the base
-	// (*,…,*) cascade run, which is what Table 1 counts.
+	// (*,…,*) cascade run, which is what Table 1 counts. The observer also
+	// fires on refinement-memo hits — with the Result the cascade originally
+	// produced — so baseKind and the per-kind tallies are the same whether a
+	// subproblem was recomputed or served from the table.
+	var dm depvec.Memo
+	if a.opts.Memoize {
+		// The refinement memo keys on the encoder's still-live full key plus
+		// the pushed directions; analyzeCandidate encoded it just above.
+		dm = dirMemo{a}
+	}
 	var baseKind dtest.Kind
 	first := true
 	sum := depvec.ComputeObserved(ts, depvec.Options{
@@ -625,6 +652,8 @@ func (a *Analyzer) analyzeFresh(prob *system.Problem, p ir.Pair) Result {
 		PruneDistance: a.opts.PruneDistance,
 		Separable:     a.opts.Separable,
 		Pipeline:      a.pipe,
+		Refiner:       a.refiner,
+		Memo:          dm,
 	}, func(r dtest.Result) {
 		if first {
 			baseKind = r.Kind
@@ -639,6 +668,11 @@ func (a *Analyzer) analyzeFresh(prob *system.Problem, p ir.Pair) Result {
 			a.Stats.BudgetTrips[int(r.Trip)]++
 		}
 	})
+	a.Stats.TrailPushes += sum.TrailPushes
+	a.Stats.TrailPops += sum.TrailPops
+	if sum.TrailMaxDepth > a.Stats.TrailMaxDepth {
+		a.Stats.TrailMaxDepth = sum.TrailMaxDepth
+	}
 	out := Result{
 		Pair:      p,
 		Exact:     sum.Exact,
@@ -652,9 +686,13 @@ func (a *Analyzer) analyzeFresh(prob *system.Problem, p ir.Pair) Result {
 		if !sum.Exact {
 			// An inexact "dependent" is Unknown when a test's structural
 			// limits gave up, Maybe when a budget cut the refinement short.
+			// Both attribute the trip; only budgetary trips promise that a
+			// bigger budget could still decide the pair.
 			out.Outcome = dtest.Unknown
 			if sum.Trip != dtest.TripNone {
-				out.Outcome = dtest.Maybe
+				if sum.Trip.Budgetary() {
+					out.Outcome = dtest.Maybe
+				}
 				out.Trip = sum.Trip
 			}
 		}

@@ -209,6 +209,7 @@ func (a *Analyzer) AnalyzeAllContext(ctx context.Context, cands []refs.Candidate
 	// a shared table — replace with the table's final size.
 	a.Stats.UniqueFull = a.full.Len()
 	a.Stats.UniqueEq = a.eq.Len()
+	a.Stats.UniqueDir = a.dir.Len()
 	if errVal != nil {
 		return nil, errVal
 	}
@@ -267,5 +268,13 @@ func (a *Analyzer) shardTables(workers int) {
 			return true
 		})
 		a.eq = st
+	}
+	if _, ok := a.dir.(*memo.ShardedTable[dtest.Result]); !ok {
+		st := memo.NewShardedTable[dtest.Result](shards)
+		a.dir.Range(func(k memo.Key, v dtest.Result) bool {
+			st.Insert(k, v)
+			return true
+		})
+		a.dir = st
 	}
 }

@@ -16,6 +16,10 @@ type MemoStats struct {
 	FullEntries, FullBuckets int
 	// Without-bounds (GCD) table occupancy.
 	EqEntries, EqBuckets int
+	// Direction-keyed refinement table occupancy and traffic: one entry per
+	// memoized refinement subproblem (full key + pushed directions).
+	DirEntries          int
+	DirLookups, DirHits int
 	// Sharding of the full table: zero Shards means the tables are still in
 	// their serial (unsharded) form. ShardLens is the per-shard entry count;
 	// ShardMin/ShardMax summarize its spread.
@@ -40,6 +44,9 @@ func (a *Analyzer) MemoStats() MemoStats {
 	m := MemoStats{
 		FullEntries: a.full.Len(),
 		EqEntries:   a.eq.Len(),
+		DirEntries:  a.dir.Len(),
+		DirLookups:  a.Stats.DirLookups,
+		DirHits:     a.Stats.DirHits,
 		L1Lookups:   a.Stats.L1Lookups,
 		L1Hits:      a.Stats.L1Hits,
 		L2Lookups:   a.Stats.L2Lookups,

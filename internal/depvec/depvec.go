@@ -145,6 +145,61 @@ type Options struct {
 	// instead of a throwaway dtest.Solve. The analyzer passes its worker's
 	// pipeline here so direction tests are cost-accounted like base tests.
 	Pipeline *dtest.Pipeline
+	// Refiner, when non-nil, supplies the reusable refinement workspace
+	// (direction-row arena and per-level buffers) so a warm analysis
+	// allocates nothing per refinement node. nil uses a throwaway.
+	Refiner *Refiner
+	// Memo, when non-nil, memoizes cascade invocations by direction
+	// combination: every test — the base (*,…,*) test included — first asks
+	// Lookup and, when it ran the cascade, offers the verdict to Store. The
+	// analyzer passes an adapter onto its shared memo hierarchy here, which
+	// is what lets refinement subproblems hit across pairs and across
+	// refinement trees (§5's claim covers these tests too).
+	Memo Memo
+}
+
+// Memo memoizes direction-refinement subproblems. dirs holds one byte per
+// common level, outermost first: '*' for an unconstrained level or the
+// pushed '<'/'='/'>' direction. The implementation owns canonicalization
+// and storage policy; either method may decline (Lookup by ok=false, Store
+// by dropping). A cached Result must be exactly what the cascade returned
+// for that system+directions (minus the witness), so a hit is
+// indistinguishable from a fresh run.
+type Memo interface {
+	Lookup(dirs []byte) (dtest.Result, bool)
+	Store(dirs []byte, r dtest.Result)
+}
+
+// Refiner is the reusable workspace of the clone-free refinement walk: the
+// arena that backs pushed direction rows, and the per-level direction and
+// vector buffers. One Refiner serves many ComputeObserved calls (the
+// analyzer keeps one per worker); it is not safe for concurrent use.
+type Refiner struct {
+	arena system.Scratch
+	fixed []Direction
+	cur   Vector
+	dirs  []byte
+}
+
+// NewRefiner returns an empty Refiner; buffers grow on first use.
+func NewRefiner() *Refiner { return &Refiner{} }
+
+// reset sizes the buffers for an analysis over the given number of levels:
+// fixed zeroed, cur all Any, dirs all '*'.
+func (rf *Refiner) reset(levels int) {
+	if cap(rf.fixed) < levels {
+		rf.fixed = make([]Direction, levels)
+		rf.cur = make(Vector, levels)
+		rf.dirs = make([]byte, levels)
+	}
+	rf.fixed = rf.fixed[:levels]
+	rf.cur = rf.cur[:levels]
+	rf.dirs = rf.dirs[:levels]
+	for i := 0; i < levels; i++ {
+		rf.fixed[i] = 0
+		rf.cur[i] = Any
+		rf.dirs[i] = byte(Any)
+	}
 }
 
 // Summary is the direction-vector analysis result for one pair.
@@ -171,6 +226,32 @@ type Summary struct {
 	// ImplicitBB marks pairs proven independent only by refuting every
 	// direction vector.
 	ImplicitBB bool
+	// MemoHits counts cascade invocations answered from Options.Memo
+	// instead of running the tests (not included in TestsRun).
+	MemoHits int
+	// TrailPushes and TrailPops count direction constraints pushed onto and
+	// popped off the scratch system's trail; they match when the walk
+	// completes. TrailMaxDepth is the deepest simultaneous stack of pushed
+	// directions (≤ the number of refinable levels).
+	TrailPushes, TrailPops, TrailMaxDepth int
+}
+
+// note folds one cascade verdict into the exactness/trip summary. The first
+// trip is recorded, but a budgetary trip (a Budget limit, the clock, or
+// cancellation — "re-run with more and the analysis may finish") takes
+// precedence over a structural one (a cap of the test itself): the pair's
+// verdict must be Maybe if *any* subproblem was budget-limited.
+func (s *Summary) note(r dtest.Result) {
+	if r.Exact {
+		return
+	}
+	s.Exact = false
+	if r.Trip == dtest.TripNone {
+		return
+	}
+	if s.Trip == dtest.TripNone || (!s.Trip.Budgetary() && r.Trip.Budgetary()) {
+		s.Trip = r.Trip
+	}
 }
 
 // Compute runs the hierarchical direction vector analysis. onTest, when
@@ -180,6 +261,13 @@ func Compute(ts *system.TSystem, opts Options) Summary {
 }
 
 // ComputeObserved is Compute with a per-test observer.
+//
+// The refinement walks ts itself: each tree node pushes its direction
+// constraint onto the system's trail (system.TSystem.PushDirection), tests,
+// recurses, and pops — one scratch system DFS-style instead of a deep clone
+// per node, which on a d-level nest eliminates O(3^d) copies. ts is mutated
+// during the call and restored before it returns. ComputeReference retains
+// the clone-based walk as a differential oracle.
 func ComputeObserved(ts *system.TSystem, opts Options, onTest func(dtest.Result)) Summary {
 	levels := 0
 	if ts.Prob != nil {
@@ -187,8 +275,14 @@ func ComputeObserved(ts *system.TSystem, opts Options, onTest func(dtest.Result)
 	}
 	sum := Summary{Exact: true}
 
-	// Fix pruned levels up front.
-	fixed := make([]Direction, levels) // 0 = refinable
+	rf := opts.Refiner
+	if rf == nil {
+		rf = NewRefiner()
+	}
+	rf.reset(levels)
+	fixed, cur, dirs := rf.fixed, rf.cur, rf.dirs
+
+	// Fix pruned levels up front (fixed[lvl] = 0 means refinable).
 	for lvl := 0; lvl < levels; lvl++ {
 		if opts.PruneUnused && !ts.LevelUsed(lvl) {
 			fixed[lvl] = Any
@@ -210,20 +304,32 @@ func ComputeObserved(ts *system.TSystem, opts Options, onTest func(dtest.Result)
 		}
 	}
 
+	// run tests the system under the currently pushed directions (dirs),
+	// consulting the memo first. A hit feeds the observer and the summary
+	// exactly as a fresh run would — cached verdicts are what the cascade
+	// returned — but does not count as a test run.
 	run := func(s *system.TSystem) dtest.Result {
+		if opts.Memo != nil {
+			if r, ok := opts.Memo.Lookup(dirs); ok {
+				sum.MemoHits++
+				sum.note(r)
+				if onTest != nil {
+					onTest(r)
+				}
+				return r
+			}
+		}
 		var r dtest.Result
 		if opts.Pipeline != nil {
 			r = opts.Pipeline.Run(s)
 		} else {
 			r, _ = dtest.Solve(s)
 		}
-		sum.TestsRun++
-		if !r.Exact {
-			sum.Exact = false
-			if r.Trip != dtest.TripNone && sum.Trip == dtest.TripNone {
-				sum.Trip = r.Trip
-			}
+		if opts.Memo != nil {
+			opts.Memo.Store(dirs, r)
 		}
+		sum.TestsRun++
+		sum.note(r)
 		if onTest != nil {
 			onTest(r)
 		}
@@ -237,16 +343,12 @@ func ComputeObserved(ts *system.TSystem, opts Options, onTest func(dtest.Result)
 	}
 
 	if opts.Separable && levels > 0 && Separable(ts) {
-		computeSeparable(ts, fixed, &sum, run)
+		computeSeparable(ts, fixed, dirs, &sum, rf, run)
 		return sum
 	}
 
-	cur := make(Vector, levels)
-	for i := range cur {
-		cur[i] = Any
-	}
-	var refine func(s *system.TSystem, lvl int)
-	refine = func(s *system.TSystem, lvl int) {
+	var refine func(lvl, depth int)
+	refine = func(lvl, depth int) {
 		// advance over fixed levels without testing
 		for lvl < levels && fixed[lvl] != 0 {
 			cur[lvl] = fixed[lvl]
@@ -257,21 +359,32 @@ func ComputeObserved(ts *system.TSystem, opts Options, onTest func(dtest.Result)
 			return
 		}
 		for _, dir := range []Direction{Less, Equal, Greater} {
-			sub := s.Clone()
-			if err := sub.AddDirection(lvl, byte(dir)); err != nil {
+			tm := ts.Mark()
+			am := rf.arena.Mark()
+			if err := ts.PushDirection(lvl, byte(dir), &rf.arena); err != nil {
+				// Overflow building the direction rows; the system is
+				// unchanged, but release any rows carved before the error.
+				rf.arena.Release(am)
 				sum.Exact = false
 				continue
 			}
-			r := run(sub)
-			if r.Outcome == dtest.Independent {
-				continue
+			sum.TrailPushes++
+			if depth+1 > sum.TrailMaxDepth {
+				sum.TrailMaxDepth = depth + 1
 			}
-			cur[lvl] = dir
-			refine(sub, lvl+1)
-			cur[lvl] = Any
+			dirs[lvl] = byte(dir)
+			if r := run(ts); r.Outcome != dtest.Independent {
+				cur[lvl] = dir
+				refine(lvl+1, depth+1)
+				cur[lvl] = Any
+			}
+			dirs[lvl] = byte(Any)
+			ts.PopTo(tm)
+			rf.arena.Release(am)
+			sum.TrailPops++
 		}
 	}
-	refine(ts, 0)
+	refine(0, 0)
 
 	if len(sum.Vectors) == 0 && levels > 0 {
 		// Every direction vector was refuted: the pair is independent even

@@ -53,8 +53,11 @@ func Separable(ts *system.TSystem) bool {
 // computeSeparable runs the dimension-wise method. It must only be called
 // on separable systems whose base (*,…,*) test was dependent; fixed is the
 // pruning array from ComputeObserved (nonzero entries are not re-tested).
-func computeSeparable(ts *system.TSystem, fixed []Direction, sum *Summary,
-	run func(*system.TSystem) dtest.Result) {
+// Each single-level test pushes its direction onto ts's trail and pops it —
+// dirs mirrors the pushed state so the memo sees the same canonical key
+// space the hierarchical walk uses (one non-'*' level).
+func computeSeparable(ts *system.TSystem, fixed []Direction, dirs []byte, sum *Summary,
+	rf *Refiner, run func(*system.TSystem) dtest.Result) {
 	levels := ts.Prob.Common
 	perLevel := make([][]Direction, levels)
 	for lvl := 0; lvl < levels; lvl++ {
@@ -63,14 +66,25 @@ func computeSeparable(ts *system.TSystem, fixed []Direction, sum *Summary,
 			continue
 		}
 		for _, dir := range []Direction{Less, Equal, Greater} {
-			sub := ts.Clone()
-			if err := sub.AddDirection(lvl, byte(dir)); err != nil {
+			tm := ts.Mark()
+			am := rf.arena.Mark()
+			if err := ts.PushDirection(lvl, byte(dir), &rf.arena); err != nil {
+				rf.arena.Release(am)
 				sum.Exact = false
 				continue
 			}
-			if r := run(sub); r.Outcome != dtest.Independent {
+			sum.TrailPushes++
+			if sum.TrailMaxDepth < 1 {
+				sum.TrailMaxDepth = 1
+			}
+			dirs[lvl] = byte(dir)
+			if r := run(ts); r.Outcome != dtest.Independent {
 				perLevel[lvl] = append(perLevel[lvl], dir)
 			}
+			dirs[lvl] = byte(Any)
+			ts.PopTo(tm)
+			rf.arena.Release(am)
+			sum.TrailPops++
 		}
 		if len(perLevel[lvl]) == 0 {
 			// The base test said dependent, so a separable system has at

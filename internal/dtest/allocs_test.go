@@ -109,6 +109,95 @@ func TestCascadeZeroAllocs(t *testing.T) {
 	})
 }
 
+// TestFMSolveZeroAllocs enforces PR 5's acceptance criterion on the
+// Fourier–Motzkin core itself: once the scratch — constraint list, round
+// buffers, bound store, dedup hash set, witness arrays — is warm, an int64
+// elimination that decides (either way) allocates nothing. Only the
+// big-integer retry and explicit branch-and-bound splits may allocate.
+func TestFMSolveZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts include race-detector instrumentation")
+	}
+	// fmDepSys is feasible with integral samples: 2t1 - t2 ≤ 2, t2 ≤ 2t1,
+	// boxed. The coefficient 2 keeps Loop Residue inapplicable and both
+	// variables two-sided, so FM decides Dependent via back-substitution.
+	fmDepSys := func() *system.TSystem {
+		return sys(2,
+			system.Constraint{Coef: []int64{2, -1}, C: 2},
+			system.Constraint{Coef: []int64{-2, 1}, C: 0},
+			system.Constraint{Coef: []int64{1, 0}, C: 5},
+			system.Constraint{Coef: []int64{-1, 0}, C: 0},
+			system.Constraint{Coef: []int64{0, 1}, C: 10},
+			system.Constraint{Coef: []int64{0, -1}, C: 0})
+	}
+	// fmDedupSys carries an exact duplicate and a dominated copy of its
+	// coupling row, so the steady state also covers the dedup path.
+	fmDedupSys := func() *system.TSystem {
+		return sys(2,
+			system.Constraint{Coef: []int64{2, -1}, C: 2},
+			system.Constraint{Coef: []int64{2, -1}, C: 2},
+			system.Constraint{Coef: []int64{2, -1}, C: 7},
+			system.Constraint{Coef: []int64{-2, 1}, C: 0},
+			system.Constraint{Coef: []int64{1, 0}, C: 5},
+			system.Constraint{Coef: []int64{-1, 0}, C: 0},
+			system.Constraint{Coef: []int64{0, 1}, C: 10},
+			system.Constraint{Coef: []int64{0, -1}, C: 0})
+	}
+	// fmIndepSys is refuted only after eliminating t1: 2t1 - 3t2 ≤ -1 and
+	// -2t1 + t2 ≤ 0 combine to -2t2 ≤ -1 (t2 ≥ 1/2 → t2 ≥ 1), against
+	// t2 ≤ 0.
+	fmIndepSys := func() *system.TSystem {
+		return sys(2,
+			system.Constraint{Coef: []int64{2, -3}, C: -1},
+			system.Constraint{Coef: []int64{-2, 1}, C: 0},
+			system.Constraint{Coef: []int64{0, 1}, C: 0},
+			system.Constraint{Coef: []int64{0, -1}, C: 3})
+	}
+	cases := []struct {
+		name string
+		ts   *system.TSystem
+		out  Outcome
+	}{
+		{"dependent", fmDepSys(), Dependent},
+		{"dedup", fmDedupSys(), Dependent},
+		{"independent", fmIndepSys(), Independent},
+	}
+	p := DefaultConfig().NewPipeline()
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if r := p.Run(c.ts); r.Kind != KindFourierMotzkin || r.Outcome != c.out {
+				t.Fatalf("premise: decided %v by %v, want %v by FM", r.Outcome, r.Kind, c.out)
+			}
+			for i := 0; i < 3; i++ {
+				p.Run(c.ts)
+			}
+			if n := testing.AllocsPerRun(100, func() { p.Run(c.ts) }); n != 0 {
+				t.Errorf("steady-state FM solve allocated %.1f times per problem", n)
+			}
+		})
+	}
+}
+
+// TestFMDedupMetrics pins the redundancy-elimination counters: identical
+// rows are dropped (FMDeduped), identical rows with a looser constant
+// tighten the survivor in place (FMTightened).
+func TestFMDedupMetrics(t *testing.T) {
+	p := DefaultConfig().NewPipeline()
+	before := p.FMMetrics()
+	p.Run(sys(2,
+		system.Constraint{Coef: []int64{2, -1}, C: 0},
+		system.Constraint{Coef: []int64{2, -1}, C: 0},
+		system.Constraint{Coef: []int64{-2, 1}, C: 5},
+		system.Constraint{Coef: []int64{-2, 1}, C: -1}))
+	after := p.FMMetrics()
+	if after.Deduped <= before.Deduped {
+		t.Errorf("duplicate row not counted: %+v -> %+v", before, after)
+	}
+	if after.Tightened <= before.Tightened {
+		t.Errorf("dominated row not counted as tightened: %+v -> %+v", before, after)
+	}
+}
+
 // TestRunTracedReusesScratch pins the opt-in trace to the scratch buffer:
 // tracing must not reintroduce a per-problem allocation.
 func TestRunTracedReusesScratch(t *testing.T) {

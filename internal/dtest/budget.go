@@ -84,9 +84,15 @@ const (
 	TripDeadline
 	// TripCancelled: the caller's context was cancelled mid-problem.
 	TripCancelled
+	// TripFMConstraintCap: the structural maxFMConstraints cap on one
+	// elimination round fired. Unlike the budgetary reasons above this is not
+	// a Budget limit: it is a property of the problem alone, always armed,
+	// and the verdict stays Unknown (not Maybe). It is recorded so the stats
+	// and cost reports can attribute the degradation.
+	TripFMConstraintCap
 
 	// NumTripReasons sizes per-reason counter arrays (stats.Counters).
-	NumTripReasons = int(TripCancelled) + 1
+	NumTripReasons = int(TripFMConstraintCap) + 1
 )
 
 func (t TripReason) String() string {
@@ -103,9 +109,24 @@ func (t TripReason) String() string {
 		return "deadline"
 	case TripCancelled:
 		return "cancelled"
+	case TripFMConstraintCap:
+		return "fm-constraint-cap"
 	default:
 		return "?"
 	}
+}
+
+// Budgetary reports whether the reason names a Budget limit (or the clock /
+// cancellation), as opposed to a structural cap of a test itself. Budgetary
+// trips degrade the verdict to Maybe ("ran out of budget, re-run with
+// more"); structural trips leave it Unknown ("the test cannot decide this
+// problem"), matching the pre-budget behaviour of maxFMConstraints.
+func (t TripReason) Budgetary() bool {
+	switch t {
+	case TripFMEliminations, TripBranchNodes, TripConstraints, TripDeadline, TripCancelled:
+		return true
+	}
+	return false
 }
 
 // clockCheckStride decimates wall-clock and cancellation checks on the

@@ -158,7 +158,7 @@ func TestBudgetTripBranchNodes(t *testing.T) {
 	bs := &budgetState{limits: Budget{MaxBranchNodes: 1}}
 	bs.reset()
 	bs.nodes = 1
-	r := fmSolve(cs, 2, 0, bs)
+	r := fmSolve(cs, 2, 0, bs, &sc.fm, &sc.sys)
 	if r.Outcome != Maybe || r.Trip != TripBranchNodes {
 		t.Fatalf("got %v", r)
 	}

@@ -36,13 +36,14 @@ func FourierMotzkin(s *state) Result {
 	return fourierApply(s, newScratch())
 }
 
-// fourierApply is FourierMotzkin drawing the flat constraint list and its
-// bound rows from sc. The elimination itself still allocates — it is the
-// rare, expensive end of the cascade, and its workspace shape depends on
-// how constraints multiply during elimination. The scratch's budget meters
-// the work; charges accumulate across the int64 pass, the big-integer
-// retry, and every branch-and-bound subproblem, so the budget bounds the
-// problem's *total* spend.
+// fourierApply is FourierMotzkin drawing every buffer — the flat constraint
+// list, the derived coefficient rows, and the solver's round/bound/witness
+// workspace — from sc, so the int64 elimination allocates nothing once the
+// scratch is warm (TestFMSolveZeroAllocs). Only the big-integer retry and
+// the rare branch-and-bound splits still allocate. The scratch's budget
+// meters the work; charges accumulate across the int64 pass, the
+// big-integer retry, and every branch-and-bound subproblem, so the budget
+// bounds the problem's *total* spend.
 func fourierApply(s *state, sc *Scratch) Result {
 	if s.infeasible || s.firstConflict() >= 0 {
 		// A constant constraint already refuted the system during
@@ -51,81 +52,271 @@ func fourierApply(s *state, sc *Scratch) Result {
 		return independent(KindFourierMotzkin)
 	}
 	cons := s.allConstraintsInto(sc)
-	r := fmSolve(cons, s.n, 0, &sc.bud)
-	if r.Outcome == Unknown {
+	r := fmSolve(cons, s.n, 0, &sc.bud, &sc.fm, &sc.sys)
+	if r.Outcome == Unknown && r.Trip == TripNone {
 		// The fast path gave up — possibly from int64 overflow in the
 		// coefficient growth FM is notorious for. Retry with arbitrary
 		// precision; structural limits (constraint cap, branch depth) still
-		// bound the work.
+		// bound the work. A constraint-cap trip is not retried: the cap is a
+		// count, not a precision limit, and the undeduplicated big pass can
+		// only hit it sooner.
 		r = fmSolveBig(toBig(cons), s.n, 0, &sc.bud)
 	}
 	return r
 }
 
-// fmEliminated records the constraints bounding one eliminated variable, for
-// back-substitution.
-type fmEliminated struct {
-	v      int
-	lowers []system.Constraint // coefficient of v is negative
-	uppers []system.Constraint // coefficient of v is positive
+// unknownCap is the verdict for the structural maxFMConstraints cap: still
+// Unknown ("the test cannot decide this"), but attributed through the trip
+// machinery so stats and cost reports can count it.
+func unknownCap() Result {
+	return Result{Outcome: Unknown, Kind: KindFourierMotzkin, Trip: TripFMConstraintCap}
 }
 
-func fmSolve(cons []system.Constraint, n, depth int, bs *budgetState) Result {
+// fmEliminated records, per eliminated variable, where its lower and upper
+// constraints sit in the scratch's bound store: [loStart,loEnd) are the
+// lowers (coefficient of v negative), [loEnd,upEnd) the uppers. Offsets
+// rather than subslices, so appending later rounds cannot invalidate them.
+type fmEliminated struct {
+	v                     int
+	loStart, loEnd, upEnd int
+}
+
+// fmScratch is the Fourier–Motzkin solver's reusable workspace, owned by
+// the cascade Scratch: the double-buffered working constraint list, the
+// per-variable bound store for back-substitution, the remaining/val/chosen
+// vectors, and the duplicate-detection hash set. All of it is reset by each
+// fmSolve entry (including branch-and-bound subcalls, which run strictly
+// after their parent stops touching the workspace), so one fmScratch serves
+// the whole recursion. The dedup counters are cumulative across problems;
+// Pipeline.FMMetrics exposes them.
+type fmScratch struct {
+	work  []system.Constraint // working list buffer A
+	next  []system.Constraint // working list buffer B
+	bound []system.Constraint // lowers/uppers of eliminated vars, offset-indexed
+	order []fmEliminated
+
+	remaining []bool
+	val       []int64 // witness under construction (aliased by Result.Witness)
+	chosen    []bool
+
+	set consSet
+
+	// Cumulative redundancy-elimination counters (never reset; read as
+	// deltas by the stats layer). deduped counts constraints dropped because
+	// an identical row with an equal-or-tighter constant was already
+	// present; tightened counts duplicates that instead strengthened the
+	// retained entry's constant.
+	deduped   int
+	tightened int
+}
+
+// dedupAdd appends c to list unless an entry with the identical coefficient
+// row already subsumes it. Two constraints with equal rows denote nested
+// half-spaces: the smaller constant dominates, so the weaker one is dropped
+// (deduped) or the retained entry's constant is tightened in place. Exact:
+// the feasible region is unchanged. Reports whether c was absorbed.
+func (fs *fmScratch) dedupAdd(list []system.Constraint, c system.Constraint) ([]system.Constraint, bool) {
+	fs.set.maybeGrow(list)
+	h := hashRow(c.Coef)
+	mask := uint64(len(fs.set.slots) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		slot := fs.set.slots[i]
+		if slot == 0 {
+			fs.set.slots[i] = int32(len(list) + 1)
+			fs.set.count++
+			return append(list, c), false
+		}
+		j := int(slot) - 1
+		if rowsEqual(list[j].Coef, c.Coef) {
+			if c.C < list[j].C {
+				list[j].C = c.C
+				fs.tightened++
+			} else {
+				fs.deduped++
+			}
+			return list, true
+		}
+	}
+}
+
+// consSet is an open-addressed hash set of constraint-list indexes keyed by
+// coefficient row, used for one working list at a time. Slots hold index+1
+// (0 = empty). reset clears it for a new list; maybeGrow rehashes from the
+// list when the load factor passes 1/2.
+type consSet struct {
+	slots []int32
+	count int
+}
+
+func (cs *consSet) reset(capHint int) {
+	n := 16
+	for n < 2*capHint {
+		n <<= 1
+	}
+	if cap(cs.slots) < n {
+		cs.slots = make([]int32, n)
+	} else {
+		cs.slots = cs.slots[:n]
+		for i := range cs.slots {
+			cs.slots[i] = 0
+		}
+	}
+	cs.count = 0
+}
+
+func (cs *consSet) maybeGrow(list []system.Constraint) {
+	if 2*(cs.count+1) <= len(cs.slots) {
+		return
+	}
+	n := 2 * len(cs.slots)
+	if cap(cs.slots) < n {
+		cs.slots = make([]int32, n)
+	} else {
+		cs.slots = cs.slots[:n]
+		for i := range cs.slots {
+			cs.slots[i] = 0
+		}
+	}
+	cs.count = 0
+	mask := uint64(n - 1)
+	for j := range list {
+		h := hashRow(list[j].Coef)
+		for i := h & mask; ; i = (i + 1) & mask {
+			if cs.slots[i] == 0 {
+				cs.slots[i] = int32(j + 1)
+				cs.count++
+				break
+			}
+		}
+	}
+}
+
+// hashRow hashes a coefficient row (the constant is excluded: dominance
+// compares constants of equal rows).
+func hashRow(coef []int64) uint64 {
+	h := uint64(1469598103934665603)
+	for _, v := range coef {
+		h = (h ^ uint64(v)) * 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+func rowsEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// fmSolve eliminates all variables, then back-substitutes a mid-range
+// integer sample. Rows derived by combination come from the arena; every
+// list lives in fs. Redundant derived constraints (identical rows) are
+// dropped or tightened as they appear, which is what keeps deep nests under
+// the maxFMConstraints cap.
+func fmSolve(cons []system.Constraint, n, depth int, bs *budgetState, fs *fmScratch, arena *system.Scratch) Result {
 	if bs.tripped() {
 		return bs.maybe()
 	}
-	work := cons
-	remaining := make([]bool, n)
-	numRemaining := 0
-	for i := 0; i < n; i++ {
-		remaining[i] = true
-		numRemaining++
+	fs.bound = fs.bound[:0]
+	fs.order = fs.order[:0]
+	fs.remaining = resizeBoolsTrue(fs.remaining, n)
+	numRemaining := n
+
+	// Deduplicate the incoming list once; the per-round dedup below keeps
+	// every later working list duplicate-free. Entries are struct copies, so
+	// tightening never writes through to the caller's rows.
+	fs.set.reset(2 * len(cons))
+	work := fs.work[:0]
+	for _, c := range cons {
+		work, _ = fs.dedupAdd(work, c)
 	}
-	var order []fmEliminated
+	fs.work = work
+	restIsNext := true // which buffer the next round's list draws from
 
 	for numRemaining > 0 {
-		v := pickFMVar(work, remaining, n)
+		v := pickFMVar(work, fs.remaining, n)
 		if v < 0 {
 			break // no remaining variable occurs in any constraint
 		}
 		if !bs.chargeElim() {
 			return bs.maybe()
 		}
-		var lowers, uppers, rest []system.Constraint
+		// Partition work: lowers and uppers move to the bound store (they
+		// are consumed by this elimination and later by back-substitution),
+		// everything else seeds the next round's list.
+		loStart := len(fs.bound)
 		for _, c := range work {
-			switch {
-			case c.Coef[v] > 0:
-				uppers = append(uppers, c)
-			case c.Coef[v] < 0:
-				lowers = append(lowers, c)
-			default:
-				rest = append(rest, c)
+			if c.Coef[v] < 0 {
+				fs.bound = append(fs.bound, c)
 			}
 		}
-		order = append(order, fmEliminated{v: v, lowers: lowers, uppers: uppers})
+		loEnd := len(fs.bound)
+		for _, c := range work {
+			if c.Coef[v] > 0 {
+				fs.bound = append(fs.bound, c)
+			}
+		}
+		upEnd := len(fs.bound)
+		var rest []system.Constraint
+		if restIsNext {
+			rest = fs.next[:0]
+		} else {
+			rest = fs.work[:0]
+		}
+		fs.set.reset(2 * len(work))
+		for _, c := range work {
+			if c.Coef[v] == 0 {
+				rest, _ = fs.dedupAdd(rest, c)
+			}
+		}
 		// combine every (lower, upper) pair, cancelling v
-		for _, lo := range lowers {
-			for _, up := range uppers {
-				nc, feasible, err := fmCombine(lo, up, v)
+		lowers := fs.bound[loStart:loEnd]
+		uppers := fs.bound[loEnd:upEnd]
+		for li := range lowers {
+			for ui := range uppers {
+				m := arena.Mark()
+				nc, ok, feasible, err := fmCombine(lowers[li], uppers[ui], v, arena)
 				if err != nil {
 					return unknown(KindFourierMotzkin)
 				}
 				if !feasible {
 					return independent(KindFourierMotzkin)
 				}
-				if nc != nil {
-					if !bs.chargeCons() {
-						return bs.maybe()
-					}
-					rest = append(rest, *nc)
-					if len(rest) > maxFMConstraints {
-						return unknown(KindFourierMotzkin)
-					}
+				if !ok {
+					arena.Release(m) // vacuous: reclaim the row
+					continue
+				}
+				if !bs.chargeCons() {
+					return bs.maybe()
+				}
+				var absorbed bool
+				rest, absorbed = fs.dedupAdd(rest, nc)
+				if absorbed {
+					arena.Release(m) // subsumed: reclaim the row
+					continue
+				}
+				if len(rest) > maxFMConstraints {
+					return unknownCap()
 				}
 			}
 		}
+		fs.order = append(fs.order, fmEliminated{v: v, loStart: loStart, loEnd: loEnd, upEnd: upEnd})
+		if restIsNext {
+			fs.next = rest
+		} else {
+			fs.work = rest
+		}
 		work = rest
-		remaining[v] = false
+		restIsNext = !restIsNext
+		fs.remaining[v] = false
 		numRemaining--
 	}
 	// Any leftover constraints involve no remaining variables... they were
@@ -137,29 +328,32 @@ func fmSolve(cons []system.Constraint, n, depth int, bs *budgetState) Result {
 	}
 
 	// A real solution exists. Back-substitute in reverse elimination order,
-	// choosing the middle integer of each allowed range.
-	val := make([]int64, n)   // chosen sample
-	chosen := make([]bool, n) // whether val[i] is set
-	for k := len(order) - 1; k >= 0; k-- {
-		e := order[k]
-		pick, bracketLo, bracketHi, ok, err := fmRange(e, val, chosen)
+	// choosing the middle integer of each allowed range. val is scratch-
+	// backed: a Dependent result's Witness aliases it and stays valid until
+	// the pipeline's next run, like every other scratch-backed buffer.
+	fs.val = resizeInt64sZero(fs.val, n)
+	fs.chosen = resizeBoolsFalse(fs.chosen, n)
+	for k := len(fs.order) - 1; k >= 0; k-- {
+		e := fs.order[k]
+		pick, bracketLo, bracketHi, ok, err := fmRange(
+			fs.bound[e.loStart:e.loEnd], fs.bound[e.loEnd:e.upEnd], e.v, fs.val, fs.chosen)
 		if err != nil {
 			return unknown(KindFourierMotzkin)
 		}
 		if !ok {
 			// Empty rational range cannot happen (elimination proved real
 			// feasibility), so ok=false means no *integer* in the range.
-			if k == len(order)-1 {
+			if k == len(fs.order)-1 {
 				// Paper's special case: no other variable has been chosen
 				// yet, so the empty integer range is unconditional.
 				return independent(KindFourierMotzkin)
 			}
-			return fmBranch(cons, n, depth, e.v, bracketLo, bracketHi, bs)
+			return fmBranch(cons, n, depth, e.v, bracketLo, bracketHi, bs, fs, arena)
 		}
-		val[e.v] = pick
-		chosen[e.v] = true
+		fs.val[e.v] = pick
+		fs.chosen[e.v] = true
 	}
-	return dependent(KindFourierMotzkin, val)
+	return dependent(KindFourierMotzkin, fs.val)
 }
 
 // pickFMVar chooses the next variable to eliminate: the one minimizing the
@@ -193,58 +387,60 @@ func pickFMVar(cons []system.Constraint, remaining []bool, n int) int {
 
 // fmCombine cancels variable v between a lower constraint (coef < 0) and an
 // upper constraint (coef > 0):  |b|·upper + a·lower with a = -lo.Coef[v],
-// b = up.Coef[v]. It returns nil for a vacuous result, feasible=false for a
+// b = up.Coef[v]. The combined row comes from the arena and is normalized
+// in place. It returns ok=false for a vacuous result, feasible=false for a
 // constant contradiction, or the normalized combined constraint.
-func fmCombine(lo, up system.Constraint, v int) (*system.Constraint, bool, error) {
+func fmCombine(lo, up system.Constraint, v int, arena *system.Scratch) (nc system.Constraint, ok, feasible bool, err error) {
 	a := -lo.Coef[v] // > 0
 	b := up.Coef[v]  // > 0
-	coef := make([]int64, len(lo.Coef))
+	coef := arena.Row(len(lo.Coef))
 	for i := range coef {
 		p1, err := linalg.MulChecked(a, up.Coef[i])
 		if err != nil {
-			return nil, true, err
+			return nc, false, true, err
 		}
 		p2, err := linalg.MulChecked(b, lo.Coef[i])
 		if err != nil {
-			return nil, true, err
+			return nc, false, true, err
 		}
 		if coef[i], err = linalg.AddChecked(p1, p2); err != nil {
-			return nil, true, err
+			return nc, false, true, err
 		}
 	}
 	p1, err := linalg.MulChecked(a, up.C)
 	if err != nil {
-		return nil, true, err
+		return nc, false, true, err
 	}
 	p2, err := linalg.MulChecked(b, lo.C)
 	if err != nil {
-		return nil, true, err
+		return nc, false, true, err
 	}
 	cc, err := linalg.AddChecked(p1, p2)
 	if err != nil {
-		return nil, true, err
+		return nc, false, true, err
 	}
 	coef[v] = 0
-	norm, feasible := (system.Constraint{Coef: coef, C: cc}).Normalize()
+	norm, feasible := (system.Constraint{Coef: coef, C: cc}).NormalizeInPlace()
 	if !feasible {
-		return nil, false, nil
+		return nc, false, false, nil
 	}
 	if norm.NumVarsUsed() == 0 {
-		return nil, true, nil // vacuous 0 ≤ C
+		return nc, false, true, nil // vacuous 0 ≤ C
 	}
-	return &norm, true, nil
+	return norm, true, true, nil
 }
 
-// fmRange computes the allowed rational range of e.v given already-chosen
-// values. On success it returns the middle integer of the range in pick with
-// ok=true. With no integer in the (nonempty real) range it returns ok=false
-// and the bracketing integers ⌊lo⌋ and ⌈up⌉ for branch-and-bound.
-func fmRange(e fmEliminated, val []int64, chosen []bool) (pick, bracketLo, bracketHi int64, ok bool, err error) {
+// fmRange computes the allowed rational range of variable v given already-
+// chosen values. On success it returns the middle integer of the range in
+// pick with ok=true. With no integer in the (nonempty real) range it
+// returns ok=false and the bracketing integers ⌊lo⌋ and ⌈up⌉ for
+// branch-and-bound.
+func fmRange(lowers, uppers []system.Constraint, v int, val []int64, chosen []bool) (pick, bracketLo, bracketHi int64, ok bool, err error) {
 	var hasLo, hasUp bool
 	var loR, upR linalg.Rat
-	for _, c := range e.lowers {
+	for _, c := range lowers {
 		// a·v + Σ rest ≤ C with a < 0  →  v ≥ (C - Σ rest)/a
-		bound, err2 := fmEval(c, e.v, val, chosen)
+		bound, err2 := fmEval(c, v, val, chosen)
 		if err2 != nil {
 			return 0, 0, 0, false, err2
 		}
@@ -256,8 +452,8 @@ func fmRange(e fmEliminated, val []int64, chosen []bool) (pick, bracketLo, brack
 			loR = bound
 		}
 	}
-	for _, c := range e.uppers {
-		bound, err2 := fmEval(c, e.v, val, chosen)
+	for _, c := range uppers {
+		bound, err2 := fmEval(c, v, val, chosen)
 		if err2 != nil {
 			return 0, 0, 0, false, err2
 		}
@@ -317,8 +513,10 @@ func fmEval(c system.Constraint, v int, val []int64, chosen []bool) (linalg.Rat,
 // v ≥ ⌈·⌉. Both independent → independent; any exact dependent → dependent.
 // A budget trip anywhere in the subtree surfaces as Maybe: one unresolved
 // branch leaves the split inconclusive, so the conservative verdict is the
-// only sound summary.
-func fmBranch(cons []system.Constraint, n, depth, v int, floor, ceil int64, bs *budgetState) Result {
+// only sound summary. The subcalls reuse the caller's fmScratch — by the
+// time a solve branches it has stopped touching the workspace, and the two
+// subproblems run strictly one after the other.
+func fmBranch(cons []system.Constraint, n, depth, v int, floor, ceil int64, bs *budgetState, fs *fmScratch, arena *system.Scratch) Result {
 	if !EnableExplicitBranchAndBound || depth >= maxBranchDepth {
 		return unknown(KindFourierMotzkin)
 	}
@@ -332,11 +530,11 @@ func fmBranch(cons []system.Constraint, n, depth, v int, floor, ceil int64, bs *
 		copy(out, cons)
 		return append(out, system.Constraint{Coef: coef, C: c})
 	}
-	left := fmSolve(mk(1, floor), n, depth+1, bs) // v ≤ floor
+	left := fmSolve(mk(1, floor), n, depth+1, bs, fs, arena) // v ≤ floor
 	if left.Outcome == Dependent && left.Exact {
 		return left
 	}
-	right := fmSolve(mk(-1, -ceil), n, depth+1, bs) // v ≥ ceil
+	right := fmSolve(mk(-1, -ceil), n, depth+1, bs, fs, arena) // v ≥ ceil
 	if right.Outcome == Dependent && right.Exact {
 		return right
 	}
@@ -347,4 +545,40 @@ func fmBranch(cons []system.Constraint, n, depth, v int, floor, ceil int64, bs *
 		return independent(KindFourierMotzkin)
 	}
 	return unknown(KindFourierMotzkin)
+}
+
+// resizeBoolsTrue returns s resized to n with every element true.
+func resizeBoolsTrue(s []bool, n int) []bool {
+	if cap(s) < n {
+		s = make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = true
+	}
+	return s
+}
+
+// resizeBoolsFalse returns s resized to n with every element false.
+func resizeBoolsFalse(s []bool, n int) []bool {
+	if cap(s) < n {
+		s = make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+// resizeInt64sZero returns s resized to n with every element zero.
+func resizeInt64sZero(s []int64, n int) []int64 {
+	if cap(s) < n {
+		s = make([]int64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }

@@ -117,7 +117,7 @@ func fmSolveBig(cons []bigCons, n, depth int, bs *budgetState) Result {
 				}
 				rest = append(rest, norm)
 				if len(rest) > maxFMConstraints {
-					return unknown(KindFourierMotzkin)
+					return unknownCap()
 				}
 			}
 		}

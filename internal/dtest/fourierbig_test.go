@@ -68,7 +68,8 @@ func TestBigFMAgreesWithFastPath(t *testing.T) {
 			}
 			cs = append(cs, system.Constraint{Coef: coef, C: int64(rng.Intn(11) - 5)})
 		}
-		fast := fmSolve(NewState(sys(n, cs...)).allConstraintsInto(newScratch()), n, 0, &budgetState{})
+		fastScratch := newScratch()
+		fast := fmSolve(NewState(sys(n, cs...)).allConstraintsInto(fastScratch), n, 0, &budgetState{}, &fastScratch.fm, &fastScratch.sys)
 		slow := fmSolveBig(toBig(NewState(sys(n, cs...)).allConstraintsInto(newScratch())), n, 0, &budgetState{})
 		if fast.Outcome == Unknown || slow.Outcome == Unknown {
 			continue

@@ -142,6 +142,20 @@ func (p *Pipeline) SetCancel(c <-chan struct{}) { p.sc.bud.cancel = c }
 // config's cost order).
 func (p *Pipeline) StageMetrics(i int) StageMetrics { return p.metrics[i] }
 
+// FMMetrics is the Fourier–Motzkin redundancy-elimination accounting,
+// cumulative over every problem the pipeline has run: how many derived
+// constraints were dropped as duplicates of an equal-or-tighter entry, and
+// how many duplicates instead tightened the retained entry's constant.
+type FMMetrics struct {
+	Deduped   int
+	Tightened int
+}
+
+// FMMetrics returns the pipeline's cumulative FM redundancy counters.
+func (p *Pipeline) FMMetrics() FMMetrics {
+	return FMMetrics{Deduped: p.sc.fm.deduped, Tightened: p.sc.fm.tightened}
+}
+
 // Run solves one preprocessed t-space system, without trace collection —
 // the hot path: a problem the cheap tests decide allocates nothing once the
 // scratch is warm.

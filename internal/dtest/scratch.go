@@ -28,6 +28,7 @@ type Scratch struct {
 	cons      []system.Constraint // Fourier–Motzkin flat constraint list
 	graph     ResidueGraph        // Loop Residue graph with a reusable edge buffer
 	dist      []int64             // Bellman–Ford distance buffer
+	fm        fmScratch           // Fourier–Motzkin round/bound/witness workspace
 
 	// bud meters the expensive end of the cascade (Fourier–Motzkin and its
 	// branch-and-bound) for this problem; reset per prepare. The cheap tests

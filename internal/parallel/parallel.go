@@ -105,37 +105,57 @@ func FromResults(u *ir.Unit, results []core.Result) *Report {
 		}
 	}
 
+	// mark records that res carries a dependence on the loop at level lvl of
+	// res.Pair.A's stack.
+	mark := func(res core.Result, lvl int, v depvec.Vector, dir depvec.Direction) {
+		l := res.Pair.A.Loops[lvl]
+		k := key{id: l.ID, index: l.Index, level: lvl}
+		info, ok := loops[k]
+		if !ok {
+			info = &LoopInfo{Index: l.Index, Level: lvl, ID: l.ID, Parallel: true}
+			loops[k] = info
+			order = append(order, k)
+		}
+		info.Parallel = false
+		info.Carried = append(info.Carried, Carrier{Pair: res.Pair, Vector: v, Direction: dir})
+	}
+
 	for _, res := range results {
 		if res.Outcome == dtest.Independent {
 			continue
 		}
 		common := res.Pair.Common
 		vectors := res.Vectors
+		if res.Outcome == dtest.Maybe {
+			// A budget-degraded verdict: the refinement walk may have been
+			// cut short before some subtree was explored, so the vector set
+			// is partial evidence — a loop absent from every vector is not
+			// thereby proven carrier-free. Discard the vectors so the
+			// conservative treatment below serializes every common loop,
+			// exactly as if the dependence were proven.
+			vectors = nil
+		}
 		if len(vectors) == 0 && common > 0 {
-			// No direction information (e.g. direction vectors disabled or
-			// an inexact verdict): conservatively mark every common loop as
-			// carrying the dependence.
+			// No direction information (direction vectors disabled, or a
+			// budget-degraded Maybe): any common loop could carry the
+			// dependence, so conservatively serialize them all. A synthetic
+			// all-'*' vector would not do it — its carrier level is the
+			// outermost loop only, leaving inner loops wrongly parallel.
 			all := make(depvec.Vector, common)
 			for i := range all {
 				all[i] = depvec.Any
 			}
-			vectors = []depvec.Vector{all}
+			for lvl := 0; lvl < common && lvl < len(res.Pair.A.Loops); lvl++ {
+				mark(res, lvl, all, depvec.Any)
+			}
+			continue
 		}
 		for _, v := range vectors {
 			lvl, dir := carrierLevel(v)
 			if lvl < 0 || lvl >= common || lvl >= len(res.Pair.A.Loops) {
 				continue // loop-independent dependence ('=...=') carries nothing
 			}
-			l := res.Pair.A.Loops[lvl]
-			k := key{id: l.ID, index: l.Index, level: lvl}
-			info, ok := loops[k]
-			if !ok {
-				info = &LoopInfo{Index: l.Index, Level: lvl, ID: l.ID, Parallel: true}
-				loops[k] = info
-				order = append(order, k)
-			}
-			info.Parallel = false
-			info.Carried = append(info.Carried, Carrier{Pair: res.Pair, Vector: v, Direction: dir})
+			mark(res, lvl, v, dir)
 		}
 	}
 

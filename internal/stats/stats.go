@@ -52,7 +52,26 @@ type Counters struct {
 	L1Lookups, L1Hits     int // per-worker direct-mapped layer
 	L2Lookups, L2Hits     int // shared table layer (L1 misses fall through)
 	EqLookups, EqHits     int // without-bounds (GCD) table
-	UniqueFull, UniqueEq  int
+	// DirLookups/DirHits meter the refinement memo: cascade invocations of
+	// the direction-vector walk (base test included) answered by the
+	// direction-keyed table instead of re-running the tests. UniqueDir is
+	// that table's entry count.
+	DirLookups, DirHits             int
+	UniqueFull, UniqueEq, UniqueDir int
+
+	// Clone-free refinement trail accounting. TrailPushes/TrailPops count
+	// direction constraints pushed onto and popped off the scratch system's
+	// trail (they match once every walk completes); TrailMaxDepth is the
+	// deepest simultaneous direction stack seen by any single pair
+	// (max-merged, not summed, by Add).
+	TrailPushes, TrailPops int
+	TrailMaxDepth          int
+
+	// Fourier–Motzkin redundancy elimination. FMDeduped counts derived
+	// constraints dropped because an identical row with an equal-or-tighter
+	// constant was already present; FMTightened counts duplicates that
+	// instead strengthened the retained constraint's constant in place.
+	FMDeduped, FMTightened int
 
 	// Verdicts.
 	Independent int
@@ -97,8 +116,18 @@ func (c *Counters) Add(o *Counters) {
 	c.L2Hits += o.L2Hits
 	c.EqLookups += o.EqLookups
 	c.EqHits += o.EqHits
+	c.DirLookups += o.DirLookups
+	c.DirHits += o.DirHits
 	c.UniqueFull += o.UniqueFull
 	c.UniqueEq += o.UniqueEq
+	c.UniqueDir += o.UniqueDir
+	c.TrailPushes += o.TrailPushes
+	c.TrailPops += o.TrailPops
+	if o.TrailMaxDepth > c.TrailMaxDepth {
+		c.TrailMaxDepth = o.TrailMaxDepth
+	}
+	c.FMDeduped += o.FMDeduped
+	c.FMTightened += o.FMTightened
 	c.Independent += o.Independent
 	c.Dependent += o.Dependent
 	c.Unknown += o.Unknown

@@ -14,11 +14,33 @@ package system
 type Scratch struct {
 	buf []int64
 	off int
+	gen int // bumped by grow, so stale Marks release as no-ops
 }
 
 // Reset reclaims every row handed out since the last Reset. Rows obtained
 // earlier must no longer be referenced.
 func (s *Scratch) Reset() { s.off = 0 }
+
+// ScratchMark is a position in the arena, for stack-style release (the
+// direction-vector refinement trail).
+type ScratchMark struct {
+	off, gen int
+}
+
+// Mark snapshots the arena position. Rows handed out after a Mark can be
+// reclaimed together with Release, giving the refinement trail stack
+// discipline without a full Reset.
+func (s *Scratch) Mark() ScratchMark { return ScratchMark{off: s.off, gen: s.gen} }
+
+// Release reclaims every row handed out since the matching Mark. Marks must
+// be released in LIFO order. If the arena grew in between, the mark points
+// into a retired buffer and the release is a no-op: the rows leak until the
+// next Reset, which is safe (growth is rare and Reset runs per problem).
+func (s *Scratch) Release(m ScratchMark) {
+	if m.gen == s.gen {
+		s.off = m.off
+	}
+}
 
 // Row returns an uninitialized coefficient row of length n. The caller must
 // overwrite every element (use ZeroRow when a zeroed row is needed). The
@@ -56,4 +78,5 @@ func (s *Scratch) grow(n int) {
 	}
 	s.buf = make([]int64, size)
 	s.off = 0
+	s.gen++
 }

@@ -1,0 +1,165 @@
+package system
+
+// Unit tests for the constraint push/pop trail (PR 5's clone-free
+// refinement substrate): PushDirection must push bit-identical constraints
+// to AddDirection, PopTo must restore the system exactly (constraints and
+// the infeasibility flag), and the row arena's Mark/Release must behave
+// under growth.
+
+import (
+	"reflect"
+	"testing"
+
+	"exactdep/internal/ir"
+)
+
+func trailSystem(t *testing.T) *TSystem {
+	t.Helper()
+	p, err := Build(doubleLoopPair(
+		[]ir.Expr{ir.NewTerm("i", 2).Add(ir.NewVar("j")), ir.NewTerm("j", 2).AddConst(1)},
+		[]ir.Expr{ir.NewVar("i").AddConst(1), ir.NewVar("j")}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts, err := Preprocess(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+// TestPushDirectionMatchesAddDirection: for every level and direction, a
+// push onto the shared system must yield exactly the system a clone +
+// AddDirection yields, and PopTo must then restore the original exactly.
+func TestPushDirectionMatchesAddDirection(t *testing.T) {
+	ts := trailSystem(t)
+	before := ts.String()
+	var sc Scratch
+	for lvl := 0; lvl < ts.Prob.Common; lvl++ {
+		for _, dir := range []byte{'<', '=', '>'} {
+			cloned := ts.Clone()
+			if err := cloned.AddDirection(lvl, dir); err != nil {
+				t.Fatalf("AddDirection(%d, %c): %v", lvl, dir, err)
+			}
+			m := ts.Mark()
+			am := sc.Mark()
+			if err := ts.PushDirection(lvl, dir, &sc); err != nil {
+				t.Fatalf("PushDirection(%d, %c): %v", lvl, dir, err)
+			}
+			if !reflect.DeepEqual(ts.Cons, cloned.Cons) || ts.Infeasible != cloned.Infeasible {
+				t.Fatalf("level %d dir %c: pushed system differs from cloned\n push %v\nclone %v",
+					lvl, dir, ts.Cons, cloned.Cons)
+			}
+			ts.PopTo(m)
+			sc.Release(am)
+			if got := ts.String(); got != before {
+				t.Fatalf("PopTo did not restore the system:\nbefore %s\nafter  %s", before, got)
+			}
+		}
+	}
+}
+
+// TestTrailNestedPushes exercises the DFS discipline: nested pushes across
+// levels, popped LIFO, must restore each intermediate state including the
+// infeasibility flag.
+func TestTrailNestedPushes(t *testing.T) {
+	ts := trailSystem(t)
+	var sc Scratch
+	before := ts.String()
+
+	m0 := ts.Mark()
+	a0 := sc.Mark()
+	if err := ts.PushDirection(0, '<', &sc); err != nil {
+		t.Fatal(err)
+	}
+	mid := ts.String()
+
+	m1 := ts.Mark()
+	a1 := sc.Mark()
+	nCons := len(ts.Cons)
+	if err := ts.PushDirection(1, '=', &sc); err != nil {
+		t.Fatal(err)
+	}
+	if len(ts.Cons) <= nCons {
+		t.Fatal("inner push must add constraints")
+	}
+	ts.PopTo(m1)
+	sc.Release(a1)
+	if got := ts.String(); got != mid {
+		t.Fatalf("inner pop must restore the outer push state:\nwant %s\ngot  %s", mid, got)
+	}
+	ts.PopTo(m0)
+	sc.Release(a0)
+	if got := ts.String(); got != before {
+		t.Fatalf("outer pop must restore the original:\nwant %s\ngot  %s", before, got)
+	}
+}
+
+// TestTrailInfeasibleRestore: a push that makes the system infeasible must
+// be fully undone by PopTo.
+func TestTrailInfeasibleRestore(t *testing.T) {
+	p, err := Build(singleLoopPair(1, 10, ir.NewVar("i").AddConst(1), ir.NewVar("i")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts, err := Preprocess(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sc Scratch
+	m := ts.Mark()
+	am := sc.Mark()
+	// a[i+1] vs a[i] has constant distance 1, so '=' is the constant
+	// falsehood 1 ≤ 0.
+	if err := ts.PushDirection(0, '=', &sc); err != nil {
+		t.Fatal(err)
+	}
+	if !ts.Infeasible {
+		t.Fatal("'=' on distance-1 dependence must be infeasible")
+	}
+	ts.PopTo(m)
+	sc.Release(am)
+	if ts.Infeasible {
+		t.Fatal("PopTo must clear the infeasibility pushed after the mark")
+	}
+}
+
+// TestScratchMarkReleaseAcrossGrow pins the arena's generation rule: a
+// Release whose Mark predates a growth is a no-op (the rows leak until
+// Reset), and rows handed out before the growth stay intact.
+func TestScratchMarkReleaseAcrossGrow(t *testing.T) {
+	var sc Scratch
+	r1 := sc.Row(4)
+	for i := range r1 {
+		r1[i] = int64(i + 1)
+	}
+	m := sc.Mark()
+	sc.Row(8)
+	// Force growth: ask for more than the current buffer can hold, but less
+	// than the doubled size, so later small rows still fit.
+	big := sc.Row(300)
+	if len(big) != 300 {
+		t.Fatalf("grown row has length %d", len(big))
+	}
+	off := sc.Mark()
+	sc.Release(m) // stale: points into the retired buffer
+	if got := sc.Mark(); got != off {
+		t.Fatal("stale Release must be a no-op after growth")
+	}
+	for i := range r1 {
+		if r1[i] != int64(i+1) {
+			t.Fatal("pre-growth row corrupted by growth")
+		}
+	}
+	// A post-growth mark still releases normally.
+	m2 := sc.Mark()
+	sc.Row(16)
+	sc.Release(m2)
+	if sc.Mark() != m2 {
+		t.Fatal("post-growth Release must reclaim")
+	}
+	sc.Reset()
+	if sc.Mark() != (ScratchMark{off: 0, gen: sc.gen}) {
+		t.Fatal("Reset must rewind the offset")
+	}
+}

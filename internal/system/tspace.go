@@ -298,34 +298,110 @@ func (s *TSystem) addConstraint(e TExpr) {
 // lvl: '<' means iA < iB, '=' equality (two inequalities), '>' iA > iB.
 // It returns an error for unknown directions or overflow.
 func (s *TSystem) AddDirection(lvl int, dir byte) error {
+	return s.PushDirection(lvl, dir, nil)
+}
+
+// TrailMark is a snapshot of the constraint stack, taken by Mark and
+// restored by PopTo. It captures the constraint count and the infeasibility
+// flag — everything PushDirection can change.
+type TrailMark struct {
+	cons       int
+	infeasible bool
+}
+
+// Mark snapshots the constraint stack for a later PopTo. The refinement
+// walk brackets every direction push with Mark/PopTo so one scratch system
+// serves the whole DFS instead of a clone per tree node.
+func (s *TSystem) Mark() TrailMark {
+	return TrailMark{cons: len(s.Cons), infeasible: s.Infeasible}
+}
+
+// PopTo restores the system to a Mark, dropping every constraint pushed
+// since. Marks must be popped in LIFO order. Constraint rows handed out by
+// an arena between Mark and PopTo may be released with it (the dropped
+// constraints are the only references).
+func (s *TSystem) PopTo(m TrailMark) {
+	s.Cons = s.Cons[:m.cons]
+	s.Infeasible = m.infeasible
+}
+
+// PushDirection is AddDirection drawing its constraint rows from sc, so a
+// Mark/PushDirection/PopTo bracket allocates nothing once the arena is warm
+// (pass sc=nil to allocate fresh rows, which is what AddDirection does).
+// The pushed constraints are bit-identical to AddDirection's. On error the
+// system is unchanged.
+func (s *TSystem) PushDirection(lvl int, dir byte, sc *Scratch) error {
 	ai, bi := s.Prob.CommonPair(lvl)
 	if ai < 0 || bi < 0 {
 		return fmt.Errorf("system: level %d is not a common loop", lvl)
 	}
-	diff, err := s.XOf[ai].Sub(s.XOf[bi]) // iA - iB
+	a, b := s.XOf[ai], s.XOf[bi]
+	dc, err := linalg.AddChecked(a.Const, -b.Const) // (iA - iB).Const
 	if err != nil {
 		return err
 	}
+	// row materializes sign·(iA - iB)'s coefficients. Only the element-wise
+	// subtraction is checked, matching TExpr.Sub; the sign flip mirrors
+	// AddDirection's unchecked negation.
+	row := func(sign int64) ([]int64, error) {
+		var r []int64
+		if sc != nil {
+			r = sc.Row(len(a.Coef))
+		} else {
+			r = make([]int64, len(a.Coef))
+		}
+		for i := range r {
+			d, err := linalg.AddChecked(a.Coef[i], -b.Coef[i])
+			if err != nil {
+				return nil, err
+			}
+			r[i] = sign * d
+		}
+		return r, nil
+	}
 	switch dir {
 	case '<': // iA - iB ≤ -1
-		s.addConstraint(TExpr{Const: diff.Const + 1, Coef: diff.Coef})
+		r, err := row(1)
+		if err != nil {
+			return err
+		}
+		s.pushConstraint(r, -(dc + 1))
 	case '=': // iA - iB ≤ 0 and iB - iA ≤ 0
-		s.addConstraint(diff)
-		neg := TExpr{Const: -diff.Const, Coef: make([]int64, len(diff.Coef))}
-		for i, c := range diff.Coef {
-			neg.Coef[i] = -c
+		r1, err := row(1)
+		if err != nil {
+			return err
 		}
-		s.addConstraint(neg)
+		r2, err := row(-1)
+		if err != nil {
+			return err
+		}
+		s.pushConstraint(r1, -dc)
+		s.pushConstraint(r2, dc)
 	case '>': // iB - iA ≤ -1
-		neg := TExpr{Const: -diff.Const + 1, Coef: make([]int64, len(diff.Coef))}
-		for i, c := range diff.Coef {
-			neg.Coef[i] = -c
+		r, err := row(-1)
+		if err != nil {
+			return err
 		}
-		s.addConstraint(neg)
+		s.pushConstraint(r, dc-1)
 	default:
 		return fmt.Errorf("system: unknown direction %q", string(dir))
 	}
 	return nil
+}
+
+// pushConstraint is addConstraint for a caller-owned coefficient row: the
+// gcd normalization writes in place instead of allocating. Same dropping and
+// infeasibility rules.
+func (s *TSystem) pushConstraint(coef []int64, c int64) {
+	nc, ok := (Constraint{Coef: coef, C: c}).NormalizeInPlace()
+	if !ok {
+		s.Infeasible = true
+		return
+	}
+	if nc.NumVarsUsed() == 0 {
+		return // 0 ≤ C with C ≥ 0: vacuous
+	}
+	s.Cons = append(s.Cons, nc)
 }
 
 // Distance returns iB - iA at common level lvl as a t-space expression. A
