@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check allocgate bench bench-json benchcmp
+.PHONY: build test vet race check allocgate bench bench-json benchcmp benchcmp-gate
 
 build:
 	$(GO) build ./...
@@ -27,8 +27,11 @@ allocgate:
 
 # check is the CI gate: vet plus race-enabled tests, so the concurrent
 # driver (core.AnalyzeAll, memo.ShardedTable) is race-checked on every run,
-# plus the allocation-regression gate.
+# plus the allocation-regression gate. Set PERFGATE=1 to also run the
+# wall-clock perf gate (benchcmp-gate) — opt-in because ns/op on a shared or
+# throttled host is too noisy to block every CI run on.
 check: vet race allocgate
+	@if [ "$(PERFGATE)" = "1" ]; then $(MAKE) benchcmp-gate; fi
 
 # bench runs the paper-evaluation benchmarks (root package) and the cascade,
 # memo, and refinement stage/allocation microbenchmarks with allocation
@@ -38,11 +41,19 @@ bench:
 
 # bench-json writes the machine-readable perf baseline (ns/op, allocs/op,
 # memo hit rates over the suite, budget-trip profile of the FM-hard
-# adversarial suite, refinement counter profile) so future PRs can diff
-# against it.
+# adversarial suite, refinement counter profile, cold large-corpus scaling)
+# so future PRs can diff against it.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR5.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR6.json
 
 # benchcmp diffs the previous PR's committed baseline against this PR's.
 benchcmp:
-	$(GO) run ./cmd/benchcmp BENCH_PR4.json BENCH_PR5.json
+	$(GO) run ./cmd/benchcmp BENCH_PR5.json BENCH_PR6.json
+
+# benchcmp-gate re-measures the gated benchmark (just that one, via the
+# benchjson -only filter) and fails if it regressed more than 15% in ns/op
+# against the committed baseline. Opt into it from check with PERFGATE=1.
+benchcmp-gate:
+	$(GO) run ./cmd/benchjson -only analyze_all_memo_hot -out .bench_gate.json
+	$(GO) run ./cmd/benchcmp -gate analyze_all_memo_hot_workers_4 -tolerance 15 BENCH_PR6.json .bench_gate.json
+	@rm -f .bench_gate.json

@@ -177,6 +177,37 @@ func BenchmarkAnalyzeAllMemoHot(b *testing.B) {
 	}
 }
 
+// BenchmarkAnalyzeAllLargeCorpus: the concurrent driver on a very large
+// synthetic corpus (thousands of nests, workload.LargeCorpus) with a cold
+// analyzer per iteration, so the measured path is the contended one — cache
+// misses, batched sharded-table inserts, and singleflight dedup — rather
+// than the memo-hot replay BenchmarkAnalyzeAllMemoHot isolates. Worker
+// counts 1/2/4 (plus GOMAXPROCS when larger) chart the scaling curve; on a
+// single-CPU host the interesting number is how close fan-out stays to
+// serial (the coordination overhead), not speedup.
+func BenchmarkAnalyzeAllLargeCorpus(b *testing.B) {
+	opts := core.Options{Memoize: true, ImprovedMemo: true}
+	all, err := workload.LargeCorpusCandidates(4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	workerCounts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				a := core.New(opts)
+				if _, err := a.AnalyzeAll(all, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFigure1Residue: the §3.4 residue-graph construction and
 // negative-cycle check.
 func BenchmarkFigure1Residue(b *testing.B) {

@@ -1,9 +1,18 @@
 // Command benchcmp diffs two bench-json baselines (make benchcmp →
-// BENCH_PR4.json vs BENCH_PR5.json): benchmarks are matched by name and the
+// BENCH_PR5.json vs BENCH_PR6.json): benchmarks are matched by name and the
 // ns/op, bytes/op and allocs/op deltas printed side by side, with benchmarks
 // present in only one file called out separately. It reads only the
 // "benchmarks" array, so any exactdep-bench/v1 file works regardless of
 // which profile sections it carries.
+//
+// With -gate NAME the command additionally enforces a regression bound on
+// that one benchmark: if NEW's ns/op exceeds OLD's by more than -tolerance
+// percent (default 15), or the benchmark is missing from either file, the
+// exit status is 1. This is the perf gate behind make benchcmp-gate, which
+// re-measures just the gated benchmark (benchjson -only) and compares it
+// against the committed baseline. The tolerance is deliberately generous:
+// it is meant to catch structural regressions (a lost fast path, restored
+// per-pair allocations), not scheduler noise on a busy host.
 package main
 
 import (
@@ -50,7 +59,7 @@ func delta(old, new float64) string {
 	return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
 }
 
-func run(oldPath, newPath string) error {
+func run(oldPath, newPath, gate string, tolerance float64) error {
 	oldDoc, err := load(oldPath)
 	if err != nil {
 		return err
@@ -106,12 +115,39 @@ func run(oldPath, newPath string) error {
 			fmt.Printf("  %s\n", n)
 		}
 	}
+	if gate != "" {
+		ob, ok := oldByName[gate]
+		if !ok {
+			return fmt.Errorf("gate benchmark %q missing from %s", gate, oldPath)
+		}
+		var nb *benchRecord
+		for i := range newDoc.Benchmarks {
+			if newDoc.Benchmarks[i].Name == gate {
+				nb = &newDoc.Benchmarks[i]
+				break
+			}
+		}
+		if nb == nil {
+			return fmt.Errorf("gate benchmark %q missing from %s", gate, newPath)
+		}
+		if ob.NsPerOp <= 0 {
+			return fmt.Errorf("gate benchmark %q has non-positive baseline ns/op", gate)
+		}
+		regress := (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp * 100
+		if regress > tolerance {
+			return fmt.Errorf("gate %q regressed %.1f%% in ns/op (%.0f -> %.0f), tolerance %.1f%%",
+				gate, regress, ob.NsPerOp, nb.NsPerOp, tolerance)
+		}
+		fmt.Printf("\ngate %q ok: %+.1f%% ns/op within %.1f%% tolerance\n", gate, regress, tolerance)
+	}
 	return nil
 }
 
 func main() {
+	gate := flag.String("gate", "", "fail (exit 1) if this benchmark's ns/op regresses beyond -tolerance")
+	tolerance := flag.Float64("tolerance", 15, "allowed ns/op regression for -gate, in percent")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchcmp OLD.json NEW.json\n")
+		fmt.Fprintf(os.Stderr, "usage: benchcmp [-gate NAME [-tolerance PCT]] OLD.json NEW.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -119,7 +155,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), flag.Arg(1)); err != nil {
+	if err := run(flag.Arg(0), flag.Arg(1), *gate, *tolerance); err != nil {
 		fmt.Fprintln(os.Stderr, "benchcmp:", err)
 		os.Exit(1)
 	}

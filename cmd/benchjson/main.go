@@ -1,12 +1,16 @@
 // Command benchjson emits a machine-readable benchmark baseline (make
-// bench-json → BENCH_PR5.json): ns/op, bytes/op and allocs/op for the key
+// bench-json → BENCH_PR6.json): ns/op, bytes/op and allocs/op for the key
 // encoder, the lock-free sharded lookup, the memo-hot AnalyzeAll pass, the
+// cold very-large-corpus AnalyzeAll pass at several worker counts, the
 // budgeted FM-hard degradation pass, and the direction-vector refinement
 // strategies (clone-per-node reference vs the clone-free trail walk, cold
 // and memoized), plus per-program memo hit rates over the PERFECT-style
 // suite, the deterministic budget-trip profile, and the refinement/FM
 // counter profile. Future PRs diff their own run against the committed
-// baseline (cmd/benchcmp, make benchcmp) to keep a perf trajectory.
+// baseline (cmd/benchcmp, make benchcmp) to keep a perf trajectory; the
+// -only flag restricts a run to benchmarks whose name contains the given
+// substring (skipping the profile sections), which is how the perf gate
+// (make benchcmp-gate) re-measures just its gated benchmark.
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 
 	"exactdep/internal/core"
@@ -26,6 +31,10 @@ import (
 	"exactdep/internal/system"
 	"exactdep/internal/workload"
 )
+
+// largeCorpusNests sizes the very-large-corpus records (matching
+// BenchmarkAnalyzeAllLargeCorpus).
+const largeCorpusNests = 4096
 
 type benchRecord struct {
 	Name        string  `json:"name"`
@@ -168,7 +177,7 @@ func suiteCandidates() ([]refs.Candidate, error) {
 	return all, nil
 }
 
-func run(out string) error {
+func run(out, only string) error {
 	probs, err := suiteProblems()
 	if err != nil {
 		return err
@@ -184,7 +193,18 @@ func run(out string) error {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 
-	d.Benchmarks = append(d.Benchmarks, record("memo_encode", func(b *testing.B) {
+	// match/add implement the -only filter: a benchmark runs when its name
+	// contains the substring (everything runs when the filter is empty).
+	match := func(name string) bool {
+		return only == "" || strings.Contains(name, only)
+	}
+	add := func(name string, fn func(b *testing.B)) {
+		if match(name) {
+			d.Benchmarks = append(d.Benchmarks, record(name, fn))
+		}
+	}
+
+	add("memo_encode", func(b *testing.B) {
 		var e memo.Encoder
 		for _, p := range probs {
 			e.EncodeFull(p, true)
@@ -197,9 +217,9 @@ func run(out string) error {
 			e.EncodeFull(p, true)
 			e.EncodeEq(p, true)
 		}
-	}))
+	})
 
-	d.Benchmarks = append(d.Benchmarks, record("sharded_lookup_parallel", func(b *testing.B) {
+	add("sharded_lookup_parallel", func(b *testing.B) {
 		tbl := memo.NewShardedTable[int](0)
 		var e memo.Encoder
 		keys := make([]memo.Key, 0, len(probs))
@@ -220,11 +240,11 @@ func run(out string) error {
 				i++
 			}
 		})
-	}))
+	})
 
 	for _, w := range []int{1, 4} {
 		w := w
-		d.Benchmarks = append(d.Benchmarks, record(fmt.Sprintf("analyze_all_memo_hot_workers_%d", w), func(b *testing.B) {
+		add(fmt.Sprintf("analyze_all_memo_hot_workers_%d", w), func(b *testing.B) {
 			a := core.New(core.Options{Memoize: true, ImprovedMemo: true})
 			if _, err := a.AnalyzeAll(cands, w); err != nil {
 				b.Fatal(err)
@@ -236,7 +256,40 @@ func run(out string) error {
 					b.Fatal(err)
 				}
 			}
-		}))
+		})
+	}
+
+	// Cold analysis of a very large synthetic corpus (thousands of nests):
+	// the contended path — misses, batched sharded-table inserts, and
+	// singleflight dedup — at several worker counts. The corpus is generated
+	// only when the filter selects at least one of these records.
+	corpusWorkers := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		corpusWorkers = append(corpusWorkers, n)
+	}
+	corpusWanted := false
+	for _, w := range corpusWorkers {
+		if match(fmt.Sprintf("analyze_all_large_corpus_workers_%d", w)) {
+			corpusWanted = true
+		}
+	}
+	if corpusWanted {
+		corpus, err := workload.LargeCorpusCandidates(largeCorpusNests)
+		if err != nil {
+			return err
+		}
+		for _, w := range corpusWorkers {
+			w := w
+			add(fmt.Sprintf("analyze_all_large_corpus_workers_%d", w), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					a := core.New(core.Options{Memoize: true, ImprovedMemo: true})
+					if _, err := a.AnalyzeAll(corpus, w); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 
 	// Budgeted pass over the FM-hard adversarial suite: how fast the cascade
@@ -248,7 +301,7 @@ func run(out string) error {
 	}
 	budOpts := core.Options{Memoize: true, ImprovedMemo: true,
 		Budget: dtest.Budget{MaxFMEliminations: 2}}
-	d.Benchmarks = append(d.Benchmarks, record("analyze_fmhard_budgeted", func(b *testing.B) {
+	add("analyze_fmhard_budgeted", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			a := core.New(budOpts)
@@ -256,8 +309,8 @@ func run(out string) error {
 				b.Fatal(err)
 			}
 		}
-	}))
-	{
+	})
+	if only == "" {
 		a := core.New(budOpts)
 		rs, err := a.AnalyzeAll(hard, 1)
 		if err != nil {
@@ -291,13 +344,13 @@ func run(out string) error {
 			return err
 		}
 		opts := depvec.Options{PruneUnused: true}
-		d.Benchmarks = append(d.Benchmarks, record(fmt.Sprintf("refinement_deep_reference_depth_%d", depth), func(b *testing.B) {
+		add(fmt.Sprintf("refinement_deep_reference_depth_%d", depth), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				depvec.ComputeReference(ts.Clone(), opts, nil)
 			}
-		}))
-		d.Benchmarks = append(d.Benchmarks, record(fmt.Sprintf("refinement_deep_trail_depth_%d", depth), func(b *testing.B) {
+		})
+		add(fmt.Sprintf("refinement_deep_trail_depth_%d", depth), func(b *testing.B) {
 			o := opts
 			o.Refiner = depvec.NewRefiner()
 			o.Pipeline = dtest.DefaultConfig().NewPipeline()
@@ -305,8 +358,8 @@ func run(out string) error {
 			for i := 0; i < b.N; i++ {
 				depvec.ComputeObserved(ts, o, nil)
 			}
-		}))
-		d.Benchmarks = append(d.Benchmarks, record(fmt.Sprintf("refinement_deep_trail_memo_depth_%d", depth), func(b *testing.B) {
+		})
+		add(fmt.Sprintf("refinement_deep_trail_memo_depth_%d", depth), func(b *testing.B) {
 			o := opts
 			o.Refiner = depvec.NewRefiner()
 			o.Pipeline = dtest.DefaultConfig().NewPipeline()
@@ -317,11 +370,11 @@ func run(out string) error {
 			for i := 0; i < b.N; i++ {
 				depvec.ComputeObserved(ts, o, nil)
 			}
-		}))
+		})
 	}
 
 	// Refinement counter profile: one serial production-configuration pass.
-	{
+	if only == "" {
 		a := core.New(core.Options{Memoize: true, ImprovedMemo: true, DirectionVectors: true,
 			PruneUnused: true, PruneDistance: true})
 		if _, err := a.AnalyzeAll(cands, 1); err != nil {
@@ -339,12 +392,14 @@ func run(out string) error {
 		}
 	}
 
-	d.MemoSuite, err = workload.SuiteMemoSummaries(workload.RunnerOptions{
-		Core: core.Options{Memoize: true, ImprovedMemo: true, DirectionVectors: true,
-			PruneUnused: true, PruneDistance: true},
-	})
-	if err != nil {
-		return err
+	if only == "" {
+		d.MemoSuite, err = workload.SuiteMemoSummaries(workload.RunnerOptions{
+			Core: core.Options{Memoize: true, ImprovedMemo: true, DirectionVectors: true,
+				PruneUnused: true, PruneDistance: true},
+		})
+		if err != nil {
+			return err
+		}
 	}
 
 	buf, err := json.MarshalIndent(d, "", "  ")
@@ -360,9 +415,10 @@ func run(out string) error {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR5.json", "output path ('-' for stdout)")
+	out := flag.String("out", "BENCH_PR6.json", "output path ('-' for stdout)")
+	only := flag.String("only", "", "run only benchmarks whose name contains this substring (skips profile sections)")
 	flag.Parse()
-	if err := run(*out); err != nil {
+	if err := run(*out, *only); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

@@ -283,14 +283,19 @@ func AnalyzeUnitContext(ctx context.Context, u *Unit, opts Options) (*Report, er
 }
 
 // AnalyzeUnitWorkers is AnalyzeUnit on the concurrent driver: candidate
-// pairs fan out over a pool of workers goroutines sharing sharded memo
-// tables (workers <= 0 means GOMAXPROCS, 1 runs serially). Results come
-// back in candidate order and are identical to the serial run's; see
-// Analyzer.AnalyzeAll for the counter-determinism caveats.
+// pairs fan out over a pool of worker goroutines sharing sharded memo
+// tables. Results come back in candidate order and are identical to the
+// serial run's; see Analyzer.AnalyzeAll for the counter-determinism
+// caveats.
 //
 // Deprecated: use AnalyzeUnitContext with Options.Workers, which also
-// carries a context for deadlines and cancellation. This shim forwards
-// there with context.Background().
+// carries a context for deadlines and cancellation. Note that the two
+// worker conventions differ: Options.Workers uses 0 for serial and any
+// negative value for GOMAXPROCS, while this shim's workers parameter uses
+// 1 for serial and <= 0 for GOMAXPROCS. The shim translates its parameter
+// to the Options.Workers convention (workers 1 → 0, workers <= 0 → -1,
+// anything else unchanged) and forwards to AnalyzeUnitContext with
+// context.Background().
 func AnalyzeUnitWorkers(u *Unit, opts Options, workers int) (*Report, error) {
 	switch {
 	case workers == 1:

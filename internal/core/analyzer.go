@@ -286,6 +286,41 @@ type Analyzer struct {
 	// limits, fixed at construction: degraded memo entries are served and
 	// stored only under this class.
 	budClass dtest.BudgetClass
+
+	// pb builds each candidate's dependence problem into per-analyzer
+	// scratch (system.Builder), so the memo-hot path does not allocate a
+	// fresh Problem per pair. The built Problem is only live within one
+	// analyzeCandidate call, which is what makes the reuse safe.
+	pb system.Builder
+
+	// inflight is the singleflight layer over the full table, shared by all
+	// worker views of one concurrent run; nil on serial analyzers and on the
+	// parent (the parent's flights field owns it and workerView copies it
+	// here). A worker that misses every cache layer claims its key before
+	// solving, so two workers never run the cascade for one canonical
+	// problem at the same time.
+	inflight *memo.InFlight[cached]
+
+	// Batches defer this worker view's memo inserts: entries are staged
+	// locally and drained into the sharded tables in bulk (at a size
+	// threshold and at worker exit), so the tables' copy-on-write snapshots
+	// are not rebuilt once per insert. Nil on serial analyzers, where Insert
+	// goes straight to the unsynchronized table.
+	fullBatch *memo.Batch[cached]
+	eqBatch   *memo.Batch[system.GCDResult]
+	dirBatch  *memo.Batch[dtest.Result]
+
+	// Concurrent-driver state owned by the parent analyzer (nil/empty on
+	// worker views): the shared in-flight layer, worker views cached across
+	// AnalyzeAll calls (so their L1 caches stay warm — rebuilding them per
+	// call made every pair of a memo-hot run fall through to the shared
+	// table), and reusable per-run buffers.
+	flights *memo.InFlight[cached]
+	views   []*Analyzer
+	provBuf []provenance
+	procBuf []bool
+	ctrBuf  []stats.Counters
+	seenPtr map[*int64]bool
 }
 
 // New returns an analyzer with the given options.
@@ -322,13 +357,25 @@ func (a *Analyzer) newPipeline() *dtest.Pipeline {
 	return p
 }
 
+// insertBatchSize is the worker-view staging threshold: a view's deferred
+// memo inserts drain into the sharded tables whenever this many are pending
+// (and always at worker exit). Each drain rebuilds the copy-on-write
+// snapshot of every touched shard, so an insert-heavy cold run copies about
+// tableSize²/(2·insertBatchSize) entries in total — the size is chosen to
+// keep that cost small against the solves that produced the inserts, while
+// the in-flight layer (flights retire only when their insert drains) keeps
+// the window of not-yet-visible verdicts from causing duplicate solves.
+const insertBatchSize = 256
+
 // workerView returns a private analyzer view over the shared memo tables
 // for one worker goroutine: options and the stage configuration are shared
 // read-only; the pipeline (with its scratch), the key encoder, the L1 memo
-// cache, and the counters are per-worker.
+// cache, the insert batches, and the counters are per-worker. Must be
+// called after shardTables (the batches bind to the sharded tables).
 func (a *Analyzer) workerView() *Analyzer {
 	wa := &Analyzer{opts: a.opts, full: a.full, eq: a.eq, dir: a.dir,
-		refiner: depvec.NewRefiner(), cfg: a.cfg, cfgErr: a.cfgErr, budClass: a.budClass}
+		refiner: depvec.NewRefiner(), cfg: a.cfg, cfgErr: a.cfgErr, budClass: a.budClass,
+		inflight: a.flights}
 	if wa.cfg != nil {
 		wa.pipe = wa.newPipeline()
 		wa.prevStage = make([]dtest.StageMetrics, wa.cfg.NumStages())
@@ -336,6 +383,24 @@ func (a *Analyzer) workerView() *Analyzer {
 	if wa.opts.Memoize && wa.opts.L1Size >= 0 {
 		wa.l1 = memo.NewL1[cached](wa.opts.L1Size)
 		wa.l1dir = memo.NewL1[dtest.Result](wa.opts.L1Size)
+	}
+	if st, ok := a.full.(*memo.ShardedTable[cached]); ok {
+		wa.fullBatch = memo.NewBatch(st, insertBatchSize)
+		if fl := wa.inflight; fl != nil {
+			// A finished flight stands in for its not-yet-visible table
+			// entry; retire each one as soon as its insert drains.
+			wa.fullBatch.OnDrain(func(keys []memo.Key) {
+				for _, k := range keys {
+					fl.Forget(k)
+				}
+			})
+		}
+	}
+	if st, ok := a.eq.(*memo.ShardedTable[system.GCDResult]); ok {
+		wa.eqBatch = memo.NewBatch(st, insertBatchSize)
+	}
+	if st, ok := a.dir.(*memo.ShardedTable[dtest.Result]); ok {
+		wa.dirBatch = memo.NewBatch(st, insertBatchSize)
 	}
 	return wa
 }
@@ -391,10 +456,18 @@ func (a *Analyzer) AnalyzeCandidate(c refs.Candidate) (Result, error) {
 // independent terms, so the concurrent driver can rewrite DecidedBy to
 // exactly what a serial pass would have reported (see AnalyzeAll).
 type provenance struct {
-	// key is the canonical full-problem key ("" for constant pairs or when
-	// memoization is off); mirror is the swapped pair's key under
-	// SymmetricMemo.
-	key, mirror string
+	// key is a stable instance of the canonical full-problem key (nil for
+	// constant pairs, GCD-decided pairs, or when memoization is off): the
+	// interned key handed back by the cache layer that answered, or the
+	// owned clone made for the insert. The post-pass resolves it against
+	// the final table and replays the serial first-occurrence rule on key
+	// *identity*, so no per-pair key strings are materialized.
+	key memo.Key
+	// keyStr/mirror are the string renderings of the direct and swapped
+	// keys, recorded only under SymmetricMemo, where one canonical problem
+	// is reachable through two distinct keys and the post-pass must match
+	// by content rather than identity.
+	keyStr, mirror string
 	// fresh is the DecidedBy a fresh (uncached) analysis of this canonical
 	// problem reports; for a cache hit it is read from the cached entry.
 	fresh DecidedBy
@@ -436,41 +509,32 @@ func (a *Analyzer) analyzeCandidate(c refs.Candidate, prov *provenance) (Result,
 		return Result{Pair: p, Outcome: dtest.Independent, Exact: true, DecidedBy: ByConstant}, nil
 	}
 
-	prob, err := system.Build(p)
+	prob, err := a.pb.Build(p)
 	if err != nil {
 		return Result{}, err
 	}
 
 	var fullKey memo.Key
 	if a.opts.Memoize {
-		// The steady-state fast path: scratch-backed encode, L1 probe, L2
-		// lock-free probe — zero allocations on a hit (gated by
-		// TestMemoHitZeroAllocs). FullLookups/FullHits stay the candidate-
-		// level totals; L1*/L2* split them by the layer that answered.
+		// The steady-state fast path: scratch-backed problem build and key
+		// encode, L1 probe, L2 lock-free probe — zero allocations on a hit
+		// (gated by TestMemoHitZeroAllocs). FullLookups/FullHits stay the
+		// candidate-level totals; L1*/L2*/InflightAdopts split them by the
+		// layer that answered.
 		fullKey = a.enc.EncodeFull(prob, a.opts.ImprovedMemo)
 		a.Stats.FullLookups++
-		if prov != nil {
-			prov.key = fullKey.Bytes()
-			if a.opts.SymmetricMemo {
-				if mk, err := a.mirrorKey(p); err == nil {
-					prov.mirror = mk.Bytes()
-				}
+		if prov != nil && a.opts.SymmetricMemo {
+			prov.keyStr = fullKey.Bytes()
+			if mk, err := a.mirrorKey(p); err == nil {
+				prov.mirror = mk.Bytes()
 			}
 		}
 		if a.l1 != nil {
 			a.Stats.L1Lookups++
-			if hit, ok := a.l1.Lookup(fullKey); ok && hit.usable(a.budClass) {
+			if sk, hit, ok := a.l1.LookupStored(fullKey); ok && hit.usable(a.budClass) {
 				a.Stats.L1Hits++
 				a.Stats.FullHits++
-				if prov != nil {
-					prov.fresh = hit.res.DecidedBy
-					prov.cacheable = true
-				}
-				res := hit.expand(prob)
-				res.Pair = p
-				res.DecidedBy = ByCache
-				a.tallyVerdict(res)
-				return res, nil
+				return a.serveHit(prob, p, sk, hit, prov), nil
 			}
 		}
 		a.Stats.L2Lookups++
@@ -480,15 +544,7 @@ func (a *Analyzer) analyzeCandidate(c refs.Candidate, prov *provenance) (Result,
 			if a.l1 != nil {
 				a.l1.Store(stored, hit)
 			}
-			if prov != nil {
-				prov.fresh = hit.res.DecidedBy
-				prov.cacheable = true
-			}
-			res := hit.expand(prob)
-			res.Pair = p
-			res.DecidedBy = ByCache
-			a.tallyVerdict(res)
-			return res, nil
+			return a.serveHit(prob, p, stored, hit, prov), nil
 		}
 		if a.opts.SymmetricMemo {
 			if res, under, ok, err := a.lookupMirrored(p, prob); err != nil {
@@ -503,12 +559,93 @@ func (a *Analyzer) analyzeCandidate(c refs.Candidate, prov *provenance) (Result,
 				return res, nil
 			}
 		}
+		if a.inflight != nil && !a.peekGCDIndependent(prob) {
+			// Every cache layer missed: claim the key so only one worker
+			// solves this canonical problem at a time. Losers block until
+			// the winner publishes, then adopt its verdict straight off the
+			// flight (no table re-probe — the winner's insert may still be
+			// sitting in its batch). A winner that could not cache (clock
+			// trip, cancellation) publishes ok=false and the waiters
+			// re-claim: in a serial pass each occurrence of such a problem
+			// solves fresh too.
+			for {
+				f, leader := a.inflight.Claim(fullKey)
+				if leader {
+					res, fin := a.solveAndCache(prob, p, fullKey, prov)
+					a.inflight.Finish(f, fin.key, fin.val, fin.ok)
+					return res, nil
+				}
+				a.Stats.InflightWaits++
+				ik, cv, ok := f.Wait()
+				if !ok {
+					continue
+				}
+				if !cv.usable(a.budClass) {
+					break
+				}
+				a.Stats.InflightAdopts++
+				a.Stats.FullHits++
+				if a.l1 != nil {
+					a.l1.Store(ik, cv)
+				}
+				return a.serveHit(prob, p, ik, cv, prov), nil
+			}
+		}
 	}
 
+	res, _ := a.solveAndCache(prob, p, fullKey, prov)
+	return res, nil
+}
+
+// peekGCDIndependent reports whether the eq table already proves this
+// problem independent by Extended GCD alone. GCD-independent verdicts are
+// never stored in the full table, so every occurrence of such a problem
+// misses every candidate-level cache layer and would otherwise claim the
+// in-flight dedup lock — paying a map entry, a channel, and a key rendering
+// per occurrence to guard a "solve" that is one lock-free eq-table read.
+// The peek is counter-silent: analyzeFresh re-encodes and does the counted
+// lookup, so the stats are the same as without the peek.
+func (a *Analyzer) peekGCDIndependent(prob *system.Problem) bool {
+	// The encoder's eq buffer is separate from its full buffer, so the
+	// caller's still-pending fullKey stays valid across this encode.
+	eqKey := a.enc.EncodeEq(prob, a.opts.ImprovedMemo)
+	v, ok := a.eq.Lookup(eqKey)
+	return ok && v == system.GCDIndependent
+}
+
+// serveHit expands a cached entry for the requesting pair and records
+// provenance; sk is the entry's stable interned key.
+func (a *Analyzer) serveHit(prob *system.Problem, p ir.Pair, sk memo.Key, hit cached, prov *provenance) Result {
+	if prov != nil {
+		prov.key = sk
+		prov.fresh = hit.res.DecidedBy
+		prov.cacheable = true
+	}
+	res := hit.expand(prob)
+	res.Pair = p
+	res.DecidedBy = ByCache
+	a.tallyVerdict(res)
+	return res
+}
+
+// flightResult is what a solve publishes to in-flight waiters: the interned
+// key and cached value when the verdict entered the memo table, ok=false
+// when it was not cacheable.
+type flightResult struct {
+	key memo.Key
+	val cached
+	ok  bool
+}
+
+// solveAndCache runs the fresh analysis for a candidate that missed every
+// cache layer and stores the verdict (directly, or staged in the worker's
+// batch).
+func (a *Analyzer) solveAndCache(prob *system.Problem, p ir.Pair, fullKey memo.Key, prov *provenance) (Result, flightResult) {
 	res := a.analyzeFresh(prob, p)
 	if prov != nil {
 		prov.fresh = res.DecidedBy
 	}
+	var fin flightResult
 	// GCD-independent verdicts live only in the without-bounds table (the
 	// paper's split: the bounds table holds the cases that actually reached
 	// the exact tests). Clock-tripped and cancelled verdicts are never
@@ -520,17 +657,30 @@ func (a *Analyzer) analyzeCandidate(c refs.Candidate, prov *provenance) (Result,
 		ck := fullKey.Clone()
 		cv := project(res, prob)
 		cv.budgetClass = a.budClass
-		a.full.Insert(ck, cv)
+		if a.fullBatch != nil {
+			// Staged insert: drained in bulk, so skip the per-insert Len
+			// sweep too — the driver snapshots UniqueFull after the drain.
+			a.fullBatch.Add(ck, cv)
+		} else {
+			a.full.Insert(ck, cv)
+			a.Stats.UniqueFull = a.full.Len()
+		}
 		if a.l1 != nil {
 			a.l1.Store(ck, cv)
 		}
-		a.Stats.UniqueFull = a.full.Len()
 		if prov != nil {
+			prov.key = ck
 			prov.cacheable = true
 		}
+		fin = flightResult{key: ck, val: cv, ok: true}
+	} else if prov != nil && a.opts.Memoize && res.DecidedBy != ByGCD {
+		// Non-cacheable verdict: the post-pass still needs a stable key to
+		// resolve this occurrence against cacheable ones of the same
+		// problem, so clone it here (rare: only clock/cancel trips).
+		prov.key = fullKey.Clone()
 	}
 	a.tallyVerdict(res)
-	return res, nil
+	return res, fin
 }
 
 // cacheableTrip reports whether a verdict with this trip reason may enter
@@ -616,8 +766,12 @@ func (a *Analyzer) analyzeFresh(prob *system.Problem, p ir.Pair) Result {
 		return Result{Pair: p, Outcome: dtest.Unknown, DecidedBy: ByTest}
 	}
 	if a.opts.Memoize && !gcdKnown {
-		a.eq.Insert(eqKey.Clone(), res)
-		a.Stats.UniqueEq = a.eq.Len()
+		if a.eqBatch != nil {
+			a.eqBatch.Add(eqKey.Clone(), res)
+		} else {
+			a.eq.Insert(eqKey.Clone(), res)
+			a.Stats.UniqueEq = a.eq.Len()
+		}
 	}
 	if res == system.GCDIndependent {
 		a.Stats.GCDIndependent++

@@ -117,26 +117,67 @@ func (a *Analyzer) AnalyzeAllContext(ctx context.Context, cands []refs.Candidate
 	}
 
 	a.shardTables(workers)
+	views := a.ensureViews(workers)
 
 	// Snapshot the keys already cached (LoadMemo, earlier runs) before
 	// workers start: the provenance post-pass must treat them as hits from
 	// the first occurrence on, exactly as a serial pass over a warm table
-	// would.
+	// would. The default replay matches keys by interned-instance identity
+	// (no strings, no allocation per pair); SymmetricMemo replays over key
+	// *content* because one canonical problem is reachable through two keys.
 	var provs []provenance
-	var seen map[string]bool
+	var seenStr map[string]bool
 	if a.opts.Memoize {
-		provs = make([]provenance, len(cands))
-		seen = make(map[string]bool, a.full.Len())
-		a.full.Range(func(k memo.Key, _ cached) bool {
-			seen[k.Bytes()] = true
-			return true
-		})
+		if cap(a.provBuf) < len(cands) {
+			a.provBuf = make([]provenance, len(cands))
+		}
+		provs = a.provBuf[:len(cands)]
+		for i := range provs {
+			provs[i] = provenance{}
+		}
+		if a.opts.SymmetricMemo {
+			seenStr = make(map[string]bool, a.full.Len())
+			a.full.Range(func(k memo.Key, _ cached) bool {
+				seenStr[k.Bytes()] = true
+				return true
+			})
+		} else {
+			if a.seenPtr == nil {
+				a.seenPtr = make(map[*int64]bool, a.full.Len())
+			} else {
+				clear(a.seenPtr)
+			}
+			a.full.Range(func(k memo.Key, _ cached) bool {
+				a.seenPtr[&k[0]] = true
+				return true
+			})
+		}
 	}
 
 	out := make([]Result, len(cands))
-	processed := make([]bool, len(cands)) // distinct indexes per worker; read after join
-	counters := make([]stats.Counters, workers)
+	if cap(a.procBuf) < len(cands) {
+		a.procBuf = make([]bool, len(cands))
+	}
+	processed := a.procBuf[:len(cands)] // distinct indexes per worker; read after join
+	for i := range processed {
+		processed[i] = false
+	}
+	if cap(a.ctrBuf) < workers {
+		a.ctrBuf = make([]stats.Counters, workers)
+	}
+	counters := a.ctrBuf[:workers]
 	eff := a.effectiveBudget(ctx)
+	// Workers claim candidates in chunks: one shared atomic add per chunk
+	// instead of per pair, sized so each worker still gets several claims
+	// (work stays balanced) without the claim counter becoming the
+	// contended line of a memo-hot run.
+	chunk := len(cands) / (workers * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	if chunk > 64 {
+		chunk = 64
+	}
 	var (
 		next   atomic.Int64
 		failed atomic.Bool
@@ -151,42 +192,65 @@ func (a *Analyzer) AnalyzeAllContext(ctx context.Context, cands []refs.Candidate
 			defer wg.Done()
 			// Each worker is a private Analyzer view over the shared
 			// tables: options and the cascade stage configuration are
-			// read-only; the cascade pipeline (with its scratch) and the
+			// read-only; the cascade pipeline (with its scratch), the L1
+			// caches (kept warm across runs), the insert batches, and the
 			// counters — including the per-stage Table 6 cost counters —
 			// are per-worker and merged at the end. The pipeline carries
 			// the deadline-merged budget and the context's Done channel.
-			wa := a.workerView()
-			if wa.pipe != nil && !plainCtx {
-				wa.pipe.SetBudget(eff)
-				wa.pipe.SetCancel(ctx.Done())
+			wa := views[w]
+			wa.Stats = stats.Counters{}
+			if wa.pipe != nil {
+				if plainCtx {
+					wa.pipe.SetBudget(a.opts.Budget)
+					wa.pipe.SetCancel(nil)
+				} else {
+					wa.pipe.SetBudget(eff)
+					wa.pipe.SetCancel(ctx.Done())
+				}
 			}
-			defer func() { counters[w] = wa.Stats }()
+			defer func() {
+				// Drain the deferred inserts, push the table-traffic deltas
+				// (the tables' own read path is stat-free), then hand the
+				// counters over — all before wg.Wait releases the merge.
+				wa.drainBatches()
+				counters[w] = wa.Stats
+			}()
 			for !failed.Load() {
+				base := int(next.Add(int64(chunk))) - chunk
+				if base >= len(cands) {
+					return
+				}
+				end := base + chunk
+				if end > len(cands) {
+					end = len(cands)
+				}
 				if !plainCtx && ctx.Err() != nil {
 					return
 				}
-				i := int(next.Add(1)) - 1
-				if i >= len(cands) {
-					return
-				}
-				var prov *provenance
-				if provs != nil {
-					prov = &provs[i]
-				}
-				r, err := wa.analyzeCandidate(cands[i], prov)
-				if err != nil {
-					errMu.Lock()
-					// Keep the error of the earliest failing candidate so
-					// the reported failure does not depend on scheduling.
-					if i < errIdx {
-						errIdx, errVal = i, err
+				for i := base; i < end; i++ {
+					if failed.Load() {
+						return
 					}
-					errMu.Unlock()
-					failed.Store(true)
-					return
+					var prov *provenance
+					if provs != nil {
+						prov = &provs[i]
+					}
+					r, err := wa.analyzeCandidate(cands[i], prov)
+					if err != nil {
+						errMu.Lock()
+						// Keep the error of the earliest failing candidate
+						// so the reported failure does not depend on
+						// scheduling.
+						if i < errIdx {
+							errIdx, errVal = i, err
+						}
+						errMu.Unlock()
+						failed.Store(true)
+						return
+					}
+					out[i] = r
+					processed[i] = true
 				}
-				out[i] = r
-				processed[i] = true
 			}
 		}(w)
 	}
@@ -206,7 +270,8 @@ func (a *Analyzer) AnalyzeAllContext(ctx context.Context, cands []refs.Candidate
 		}
 	}
 	// Add sums the per-worker uniqueness snapshots, which is meaningless for
-	// a shared table — replace with the table's final size.
+	// a shared table — replace with the table's final size (the batches are
+	// all drained by now).
 	a.Stats.UniqueFull = a.full.Len()
 	a.Stats.UniqueEq = a.eq.Len()
 	a.Stats.UniqueDir = a.dir.Len()
@@ -216,32 +281,92 @@ func (a *Analyzer) AnalyzeAllContext(ctx context.Context, cands []refs.Candidate
 
 	// Provenance post-pass: rewrite DecidedBy in candidate order to the
 	// serial rule. GCD-independent verdicts are never stored in the full
-	// table, so every occurrence reports ByGCD; any other problem's first
-	// occurrence keeps its fresh verdict and marks the key, later
-	// occurrences (directly or, under SymmetricMemo, via the mirrored key)
-	// report ByCache.
+	// table, so every occurrence reports ByGCD (their provenance carries no
+	// key); any other problem's first occurrence keeps its fresh verdict
+	// and marks the key, later occurrences report ByCache.
+	if a.opts.SymmetricMemo {
+		// Content-keyed replay: a problem is also "seen" through its
+		// mirrored key.
+		for i := range provs {
+			pv := &provs[i]
+			if pv.keyStr == "" { // constant or GCD-decided pair
+				continue
+			}
+			if pv.fresh == ByGCD {
+				out[i].DecidedBy = ByGCD
+				continue
+			}
+			if seenStr[pv.keyStr] || (pv.mirror != "" && seenStr[pv.mirror]) {
+				out[i].DecidedBy = ByCache
+			} else {
+				out[i].DecidedBy = pv.fresh
+			}
+			// Only results that actually entered (or came from) the memo
+			// table make later occurrences hits in a serial replay;
+			// clock-tripped verdicts are never cached, so their keys stay
+			// unseen.
+			if pv.cacheable {
+				seenStr[pv.keyStr] = true
+			}
+		}
+		return out, nil
+	}
+	// Identity-keyed replay: resolve each recorded key to the table's
+	// interned instance (occurrences of one canonical problem may have
+	// recorded distinct clones when racing workers both staged an insert),
+	// then replay first-occurrence over instance identity.
 	for i := range provs {
 		pv := &provs[i]
-		if pv.key == "" { // constant pair: decided before memoization
+		if pv.key == nil { // constant or GCD-decided pair
 			continue
 		}
-		if pv.fresh == ByGCD {
-			out[i].DecidedBy = ByGCD
-			continue
+		id := &pv.key[0]
+		if sk, _, ok := a.full.LookupStored(pv.key); ok {
+			id = &sk[0]
 		}
-		if seen[pv.key] || (pv.mirror != "" && seen[pv.mirror]) {
+		if a.seenPtr[id] {
 			out[i].DecidedBy = ByCache
 		} else {
 			out[i].DecidedBy = pv.fresh
 		}
-		// Only results that actually entered (or came from) the memo table
-		// make later occurrences hits in a serial replay; clock-tripped
-		// verdicts are never cached, so their keys stay unseen.
 		if pv.cacheable {
-			seen[pv.key] = true
+			a.seenPtr[id] = true
 		}
 	}
 	return out, nil
+}
+
+// ensureViews returns one cached worker view per worker, creating the
+// in-flight dedup layer and any missing views. Views persist on the parent
+// across AnalyzeAll calls so their L1 caches stay warm — the dominant cost
+// of the previous per-call views was every worker re-faulting its working
+// set through the shared table. Must run after shardTables.
+func (a *Analyzer) ensureViews(workers int) []*Analyzer {
+	if a.opts.Memoize && a.flights == nil {
+		a.flights = memo.NewInFlight[cached](4 * workers)
+	}
+	for len(a.views) < workers {
+		a.views = append(a.views, a.workerView())
+	}
+	return a.views[:workers]
+}
+
+// drainBatches flushes a worker view's deferred memo inserts and pushes its
+// locally counted table traffic into the sharded tables as one delta per
+// table. Called as the worker exits, before counters are merged.
+func (wa *Analyzer) drainBatches() {
+	if wa.fullBatch != nil {
+		wa.fullBatch.Flush()
+		wa.fullBatch.Table().AddStats(wa.Stats.L2Lookups, wa.Stats.L2Hits)
+	}
+	if wa.eqBatch != nil {
+		wa.eqBatch.Flush()
+		wa.eqBatch.Table().AddStats(wa.Stats.EqLookups, wa.Stats.EqHits)
+	}
+	if wa.dirBatch != nil {
+		wa.dirBatch.Flush()
+		wa.dirBatch.Table().AddStats(wa.Stats.DirLookups, wa.Stats.DirHits)
+	}
 }
 
 // shardTables promotes the memo tables to their concurrent form, copying

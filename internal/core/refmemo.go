@@ -62,9 +62,13 @@ func (m dirMemo) Store(dirs []byte, r dtest.Result) {
 	}
 	r.Witness = nil
 	ck := key.Clone()
-	a.dir.Insert(ck, r)
+	if a.dirBatch != nil {
+		a.dirBatch.Add(ck, r)
+	} else {
+		a.dir.Insert(ck, r)
+		a.Stats.UniqueDir = a.dir.Len()
+	}
 	if a.l1dir != nil {
 		a.l1dir.Store(ck, r)
 	}
-	a.Stats.UniqueDir = a.dir.Len()
 }

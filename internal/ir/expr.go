@@ -157,11 +157,14 @@ func (e Expr) Subst(v string, repl Expr) Expr {
 }
 
 // Rename returns e with variable old renamed to new. If new already appears
-// in e the coefficients are combined.
+// in e the coefficients are combined. When old does not occur, e is returned
+// as is (expressions are treated as immutable values throughout, so sharing
+// the term map is safe and keeps the no-op case allocation-free — the common
+// case for rectangular loop bounds renamed onto primed indices).
 func (e Expr) Rename(old, new string) Expr {
 	c := e.Terms[old]
 	if c == 0 {
-		return e.Clone()
+		return e
 	}
 	out := e.Clone()
 	out.setCoeff(old, 0)

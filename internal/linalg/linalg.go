@@ -137,6 +137,26 @@ func FromRows(rows [][]int64) *Matrix {
 	return m
 }
 
+// Reshape resizes m to rows×cols and zeroes every element, reusing the
+// backing array when it is large enough. It is the scratch-reuse counterpart
+// of NewMatrix for callers (system.Builder) that rebuild a matrix per
+// problem without allocating one per call.
+func (m *Matrix) Reshape(rows, cols int) {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: negative dimension %dx%d", rows, cols))
+	}
+	n := rows * cols
+	if cap(m.a) < n {
+		m.a = make([]int64, n)
+	} else {
+		m.a = m.a[:n]
+		for i := range m.a {
+			m.a[i] = 0
+		}
+	}
+	m.Rows, m.Cols = rows, cols
+}
+
 // At returns element (i,j).
 func (m *Matrix) At(i, j int) int64 { return m.a[i*m.Cols+j] }
 

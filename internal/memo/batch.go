@@ -1,0 +1,71 @@
+package memo
+
+// Batch stages inserts for a ShardedTable so a worker's misses are drained
+// in bulk (InsertBatch) instead of paying one copy-on-write snapshot rebuild
+// per entry. Entries staged in a Batch are invisible to other workers until
+// Flush; the staging worker itself keeps serving them from its L1, and any
+// cross-worker duplicate solve the delay could cause is already deduplicated
+// by the InFlight layer. Not safe for concurrent use; give each worker its
+// own Batch over the shared table.
+type Batch[V any] struct {
+	t       *ShardedTable[V]
+	limit   int
+	keys    []Key
+	vals    []V
+	onDrain func(keys []Key)
+	scratch []Key
+}
+
+// NewBatch returns a Batch draining into t whenever limit entries are
+// staged (limit <= 0 means 64).
+func NewBatch[V any](t *ShardedTable[V], limit int) *Batch[V] {
+	if limit <= 0 {
+		limit = 64
+	}
+	return &Batch[V]{t: t, limit: limit}
+}
+
+// Add stages (k, v) for the next drain, flushing when the batch is full.
+// The table will retain k: pass stable keys, exactly as for Insert.
+func (b *Batch[V]) Add(k Key, v V) {
+	b.keys = append(b.keys, k)
+	b.vals = append(b.vals, v)
+	if len(b.keys) >= b.limit {
+		b.Flush()
+	}
+}
+
+// OnDrain registers fn to be called after each Flush with the keys that
+// just became visible in the table (InFlight.Forget is the intended use).
+// The slice is only valid for the duration of the call.
+func (b *Batch[V]) OnDrain(fn func(keys []Key)) { b.onDrain = fn }
+
+// Flush drains every staged entry into the table.
+func (b *Batch[V]) Flush() {
+	if len(b.keys) == 0 {
+		return
+	}
+	if b.onDrain != nil {
+		b.scratch = append(b.scratch[:0], b.keys...)
+	}
+	b.t.InsertBatch(b.keys, b.vals)
+	if b.onDrain != nil {
+		b.onDrain(b.scratch)
+		for i := range b.scratch {
+			b.scratch[i] = nil
+		}
+	}
+	var zero V
+	for i := range b.keys {
+		b.keys[i] = nil
+		b.vals[i] = zero
+	}
+	b.keys = b.keys[:0]
+	b.vals = b.vals[:0]
+}
+
+// Table returns the destination table.
+func (b *Batch[V]) Table() *ShardedTable[V] { return b.t }
+
+// Pending returns the number of staged, undrained entries.
+func (b *Batch[V]) Pending() int { return len(b.keys) }

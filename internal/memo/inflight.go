@@ -1,0 +1,142 @@
+package memo
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// InFlight is the singleflight layer of the concurrent memo hierarchy: it
+// deduplicates solves of the same canonical problem that are in progress at
+// the same time. The memo tables only prevent re-solving a problem after
+// its verdict is published; when two workers miss on the same key within
+// one solve's latency, both would run the full test cascade and race to
+// insert equivalent entries. Claim elects exactly one leader per key; every
+// other claimant blocks in Wait until the leader Finishes, then adopts the
+// published verdict directly off the flight — no table re-probe, which also
+// makes the layer correct when leaders defer their table inserts to a
+// Batch.
+//
+// Values handed off must be deterministic in the key (one verdict per
+// canonical problem — the same contract the tables have), so adoption is
+// indistinguishable from a table hit. Leaders that decide not to cache
+// (clock-tripped or cancelled verdicts) Finish with ok=false; waiters then
+// re-claim, and whoever wins the next claim solves for itself.
+//
+// A flight that Finishes ok stays registered until Forget: with deferred
+// (batched) table inserts there is a window where the verdict is published
+// but not yet visible in the table, and a worker that misses the table
+// during that window claims the closed flight and adopts instantly instead
+// of re-solving. The driver Forgets each key when its insert drains, so the
+// map holds at most the undrained inserts. ok=false flights are removed at
+// Finish (there is nothing to adopt).
+type InFlight[V any] struct {
+	sh []inflightShard[V]
+	// claims counts leader elections, waits counts Wait calls, adoptions
+	// counts waits that ended in a value handoff. waits − adoptions is the
+	// re-claim traffic caused by non-cacheable verdicts.
+	claims    atomic.Int64
+	waits     atomic.Int64
+	adoptions atomic.Int64
+}
+
+type inflightShard[V any] struct {
+	mu sync.Mutex
+	m  map[string]*Flight[V]
+	_  [32]byte
+}
+
+// Flight is one in-progress solve. The leader publishes through Finish;
+// waiters block in Wait.
+type Flight[V any] struct {
+	g    *InFlight[V]
+	si   int
+	ks   string
+	done chan struct{}
+	// key/val/ok are written by Finish before done is closed and read by
+	// waiters only after <-done, so they need no further synchronization.
+	key Key
+	val V
+	ok  bool
+}
+
+// NewInFlight returns an InFlight layer with n shards, rounded up to a
+// power of two (n <= 0 means DefaultShards).
+func NewInFlight[V any](n int) *InFlight[V] {
+	if n <= 0 {
+		n = DefaultShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	g := &InFlight[V]{sh: make([]inflightShard[V], p)}
+	for i := range g.sh {
+		g.sh[i].m = make(map[string]*Flight[V])
+	}
+	return g
+}
+
+// Claim registers the caller as the solver of canonical key k, returning
+// leader=true and a Flight it must eventually Finish. If another solve of k
+// is already in flight, Claim returns that solve's Flight and leader=false;
+// the caller should Wait on it.
+func (g *InFlight[V]) Claim(k Key) (f *Flight[V], leader bool) {
+	ks := k.Bytes()
+	si := int(mix(k.hash()) & uint64(len(g.sh)-1))
+	sh := &g.sh[si]
+	sh.mu.Lock()
+	if cur, ok := sh.m[ks]; ok {
+		sh.mu.Unlock()
+		return cur, false
+	}
+	f = &Flight[V]{g: g, si: si, ks: ks, done: make(chan struct{})}
+	sh.m[ks] = f
+	sh.mu.Unlock()
+	g.claims.Add(1)
+	return f, true
+}
+
+// Finish publishes the leader's verdict on f and releases every waiter.
+// stored must be the interned (stable) key of the published entry when
+// ok=true; ok=false means the leader did not cache, telling waiters to
+// re-claim and solve for themselves. A flight finished ok remains claimable
+// (late claimants adopt without waiting) until Forget; a flight finished
+// !ok is deregistered here so the next claimant becomes a leader.
+func (g *InFlight[V]) Finish(f *Flight[V], stored Key, v V, ok bool) {
+	f.key, f.val, f.ok = stored, v, ok
+	if !ok {
+		sh := &g.sh[f.si]
+		sh.mu.Lock()
+		delete(sh.m, f.ks)
+		sh.mu.Unlock()
+	}
+	close(f.done)
+}
+
+// Forget deregisters the flight for key k, if any. The driver calls this
+// once k's table insert is visible to every worker (the batch drained):
+// from then on a lookup hits the table and the flight is no longer needed.
+func (g *InFlight[V]) Forget(k Key) {
+	ks := k.Bytes()
+	sh := &g.sh[mix(k.hash())&uint64(len(g.sh)-1)]
+	sh.mu.Lock()
+	delete(sh.m, ks)
+	sh.mu.Unlock()
+}
+
+// Wait blocks until the flight's leader Finishes and returns the published
+// interned key and value. ok=false means the leader did not cache its
+// verdict; the caller should re-claim.
+func (f *Flight[V]) Wait() (Key, V, bool) {
+	f.g.waits.Add(1)
+	<-f.done
+	if f.ok {
+		f.g.adoptions.Add(1)
+	}
+	return f.key, f.val, f.ok
+}
+
+// Stats returns the cumulative leader-election, wait, and adoption counts.
+func (g *InFlight[V]) Stats() (claims, waits, adoptions int) {
+	return int(g.claims.Load()), int(g.waits.Load()), int(g.adoptions.Load())
+}

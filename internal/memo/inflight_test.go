@@ -1,0 +1,319 @@
+package memo
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestInFlightLeaderAndAdopt orchestrates the dedup guarantee directly: one
+// leader claims a key, several racers claim while the solve is in progress,
+// the leader publishes — every racer must adopt the published verdict, and
+// exactly one claim may have been a leader election.
+func TestInFlightLeaderAndAdopt(t *testing.T) {
+	g := NewInFlight[int](4)
+	k := Key{7, 1, 2, 3}
+
+	f, leader := g.Claim(k)
+	if !leader {
+		t.Fatal("first claim of an idle key must elect a leader")
+	}
+
+	const racers = 8
+	var wg sync.WaitGroup
+	results := make([]int, racers)
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rf, rl := g.Claim(k)
+			if rl {
+				t.Error("racer elected leader while a flight was registered")
+				return
+			}
+			ik, v, ok := rf.Wait()
+			if !ok {
+				t.Error("racer saw ok=false from a cacheable finish")
+				return
+			}
+			if &ik[0] != &k[0] {
+				t.Error("racer adopted a key other than the published instance")
+			}
+			results[i] = v
+		}(i)
+	}
+
+	// Wait until every racer is parked in Wait before publishing, so the
+	// adoption path (not the table) is what serves them.
+	for {
+		if _, waits, _ := g.Stats(); waits >= racers {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	g.Finish(f, k, 42, true)
+	wg.Wait()
+
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("racer %d adopted %d, want 42", i, v)
+		}
+	}
+	claims, waits, adoptions := g.Stats()
+	if claims != 1 {
+		t.Fatalf("claims = %d, want exactly 1 leader election", claims)
+	}
+	if waits != racers || adoptions != racers {
+		t.Fatalf("waits/adoptions = %d/%d, want %d/%d", waits, adoptions, racers, racers)
+	}
+}
+
+// TestInFlightNonCacheableReclaim: a leader that finishes ok=false tells its
+// waiters to re-claim; the flight is deregistered, so the next claim elects
+// a new leader.
+func TestInFlightNonCacheableReclaim(t *testing.T) {
+	g := NewInFlight[int](1)
+	k := Key{9, 4}
+
+	f, leader := g.Claim(k)
+	if !leader {
+		t.Fatal("first claim must lead")
+	}
+	done := make(chan bool)
+	go func() {
+		rf, rl := g.Claim(k)
+		if rl {
+			t.Error("claim during flight must not lead")
+			done <- false
+			return
+		}
+		if _, _, ok := rf.Wait(); ok {
+			t.Error("waiter saw ok=true from a non-cacheable finish")
+			done <- false
+			return
+		}
+		// Re-claim after the failed flight: now we must lead.
+		rf2, rl2 := g.Claim(k)
+		if !rl2 {
+			t.Error("re-claim after ok=false finish must elect a new leader")
+			done <- false
+			return
+		}
+		g.Finish(rf2, k, 7, true)
+		done <- true
+	}()
+
+	for {
+		if _, waits, _ := g.Stats(); waits >= 1 {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	g.Finish(f, nil, 0, false)
+	if !<-done {
+		t.Fatal("reclaim scenario failed")
+	}
+	if claims, _, _ := g.Stats(); claims != 2 {
+		t.Fatalf("claims = %d, want 2 (original + re-claim)", claims)
+	}
+}
+
+// TestInFlightFinishedFlightServesUntilForget pins the deferred-insert
+// contract: a flight finished ok stays claimable — late claimants adopt its
+// verdict without waiting — until Forget retires it, after which a claim
+// elects a fresh leader.
+func TestInFlightFinishedFlightServesUntilForget(t *testing.T) {
+	g := NewInFlight[string](2)
+	k := Key{1, 2}
+
+	f, leader := g.Claim(k)
+	if !leader {
+		t.Fatal("first claim must lead")
+	}
+	g.Finish(f, k, "verdict", true)
+
+	// The insert is still staged in some batch: a claim in this window must
+	// adopt off the closed flight instead of re-solving.
+	lf, ll := g.Claim(k)
+	if ll {
+		t.Fatal("claim of a finished-but-unforgotten key must not lead")
+	}
+	if _, v, ok := lf.Wait(); !ok || v != "verdict" {
+		t.Fatalf("late claimant got (%q, %v), want (\"verdict\", true)", v, ok)
+	}
+
+	g.Forget(k)
+	f2, l2 := g.Claim(k)
+	if !l2 {
+		t.Fatal("claim after Forget must elect a leader (the table now serves the key)")
+	}
+	g.Finish(f2, k, "again", true)
+	g.Forget(k)
+}
+
+// TestInFlightHammer stress-races many goroutines over a small key space in
+// the driver's usage pattern (lookup table → claim → leader solves and
+// inserts, waiters adopt), with flights retired only at the end — the
+// staged-insert window at its widest. Exactly one solve per key must happen,
+// and every goroutine must observe that solve's value. Run under -race by
+// make race.
+func TestInFlightHammer(t *testing.T) {
+	const (
+		goroutines = 8
+		keyCount   = 32
+		rounds     = 50
+	)
+	g := NewInFlight[int64](8)
+	tbl := NewShardedTable[int64](8)
+	keys := make([]Key, keyCount)
+	for i := range keys {
+		keys[i] = Key{int64(i), int64(i) * 3, 11}
+	}
+	var solves [keyCount]atomic.Int64
+
+	var wg sync.WaitGroup
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for ki := range keys {
+					k := keys[ki]
+					want := int64(ki) * 1000
+					if v, ok := tbl.Lookup(k); ok {
+						if v != want {
+							t.Errorf("table served %d for key %d, want %d", v, ki, want)
+						}
+						continue
+					}
+					for {
+						f, leader := g.Claim(k)
+						if leader {
+							solves[ki].Add(1)
+							tbl.Insert(k.Clone(), want)
+							g.Finish(f, k, want, true)
+							break
+						}
+						if _, v, ok := f.Wait(); ok {
+							if v != want {
+								t.Errorf("adopted %d for key %d, want %d", v, ki, want)
+							}
+							break
+						}
+					}
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+
+	for ki := range solves {
+		if n := solves[ki].Load(); n != 1 {
+			t.Fatalf("key %d solved %d times, want exactly 1", ki, n)
+		}
+	}
+	claims, _, _ := g.Stats()
+	if claims != keyCount {
+		t.Fatalf("claims = %d, want %d (one leader election per key)", claims, keyCount)
+	}
+	for _, k := range keys {
+		g.Forget(k)
+		if _, leader := g.Claim(k); !leader {
+			t.Fatal("claim after Forget must lead")
+		}
+	}
+}
+
+// TestInsertBatchMatchesInsert: a batched drain must leave the table in the
+// same state as one Insert per entry, including overwrite-keeps-first-key
+// semantics and stats deltas.
+func TestInsertBatchMatchesInsert(t *testing.T) {
+	a := NewShardedTable[int](4)
+	b := NewShardedTable[int](4)
+	var keys []Key
+	var vals []int
+	for i := 0; i < 200; i++ {
+		k := Key{int64(i % 50), int64(i / 50)} // duplicates across the set
+		keys = append(keys, k)
+		vals = append(vals, i)
+		a.Insert(k.Clone(), i)
+	}
+	// InsertBatch consumes (nils) the key slice, so feed it clones.
+	bk := make([]Key, len(keys))
+	for i := range keys {
+		bk[i] = keys[i].Clone()
+	}
+	b.InsertBatch(bk, vals)
+
+	if a.Len() != b.Len() {
+		t.Fatalf("Len: per-entry %d vs batched %d", a.Len(), b.Len())
+	}
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 4; j++ {
+			k := Key{int64(i), int64(j)}
+			av, aok := a.Lookup(k)
+			bv, bok := b.Lookup(k)
+			if aok != bok || av != bv {
+				t.Fatalf("key %v: per-entry (%d,%v) vs batched (%d,%v)", k, av, aok, bv, bok)
+			}
+		}
+	}
+	for i := range bk {
+		if bk[i] != nil {
+			t.Fatal("InsertBatch must nil out consumed keys")
+		}
+	}
+}
+
+// TestBatchStagingAndDrain covers the Batch wrapper: staged entries are
+// invisible until Flush (or the limit), drain in bulk, and report through
+// OnDrain with the keys that just became visible.
+func TestBatchStagingAndDrain(t *testing.T) {
+	tbl := NewShardedTable[int](2)
+	b := NewBatch(tbl, 4)
+	var drained []string
+	b.OnDrain(func(keys []Key) {
+		for _, k := range keys {
+			drained = append(drained, k.Bytes())
+		}
+	})
+
+	k1, k2 := Key{1}, Key{2}
+	b.Add(k1, 10)
+	b.Add(k2, 20)
+	if _, ok := tbl.Lookup(k1); ok {
+		t.Fatal("staged entry visible before drain")
+	}
+	if b.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", b.Pending())
+	}
+	b.Flush()
+	if v, ok := tbl.Lookup(k1); !ok || v != 10 {
+		t.Fatalf("after flush, k1 = (%d,%v), want (10,true)", v, ok)
+	}
+	if len(drained) != 2 || drained[0] != k1.Bytes() || drained[1] != k2.Bytes() {
+		t.Fatalf("OnDrain saw %d keys, want the 2 staged ones", len(drained))
+	}
+	if b.Pending() != 0 {
+		t.Fatal("Flush must clear the staging area")
+	}
+
+	// The limit triggers an automatic drain (with the OnDrain callback).
+	drained = drained[:0]
+	for i := int64(10); i < 14; i++ {
+		b.Add(Key{i}, int(i))
+	}
+	if b.Pending() != 0 {
+		t.Fatal("Add at the limit must auto-flush")
+	}
+	if len(drained) != 4 {
+		t.Fatalf("OnDrain saw %d keys after auto-flush, want 4", len(drained))
+	}
+	if tbl.Len() != 6 {
+		t.Fatalf("table has %d entries, want 6", tbl.Len())
+	}
+	if b.Table() != tbl {
+		t.Fatal("Table must return the destination table")
+	}
+}

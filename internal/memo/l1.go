@@ -55,14 +55,24 @@ func (l *L1[V]) slot(k Key) uint64 {
 
 // Lookup returns the cached value for k. Allocation-free.
 func (l *L1[V]) Lookup(k Key) (V, bool) {
+	_, v, ok := l.LookupStored(k)
+	return v, ok
+}
+
+// LookupStored is Lookup additionally returning the cache's stable key on a
+// hit. Because an L1 is filled only with interned keys, the returned key is
+// the same instance the L2 retains — callers that need a stable identity for
+// the entry (the concurrent driver's provenance records) take it from here
+// without touching the shared table. Allocation-free.
+func (l *L1[V]) LookupStored(k Key) (Key, V, bool) {
 	l.lookups++
 	i := l.slot(k)
 	if sk := l.keys[i]; sk != nil && sk.equal(k) {
 		l.hits++
-		return l.vals[i], true
+		return sk, l.vals[i], true
 	}
 	var zero V
-	return zero, false
+	return nil, zero, false
 }
 
 // Store caches v under k, evicting whatever occupied the slot. k must be a

@@ -5,11 +5,23 @@
 //	h(x) = size(x) + Σ 2^i·x_i,
 //
 // so repeated subscript/bound patterns — the overwhelming majority in real
-// programs — are tested once. Two tables are kept: one keyed on the
-// subscript equations alone (the GCD test ignores bounds) and one on the
-// full problem. The "improved" encoding first drops loop variables that
-// cannot affect the verdict (unused indices), merging cases such as the
-// paper's pair of doubly nested loops that both collapse to a single loop.
+// programs — are tested once.
+//
+// The analyzer keeps three logical tables over this package's keys:
+//
+//   - the eq table, keyed on the subscript equations alone, caches GCD-test
+//     verdicts (the GCD test ignores bounds, so one entry serves every
+//     bounds variation of the same equations);
+//   - the full table, keyed on the complete problem (equations plus
+//     bounds), caches candidate-level verdicts with their distance and
+//     direction summaries;
+//   - the dir table, keyed on the full problem plus a canonical direction
+//     segment (Encoder.EncodeDirections), caches the up-to-3^d
+//     direction-constrained subproblems of Burke–Cytron refinement.
+//
+// The "improved" encoding first drops loop variables that cannot affect the
+// verdict (unused indices), merging cases such as the paper's pair of
+// doubly nested loops that both collapse to a single loop.
 //
 // Because memoization eliminates most test invocations, the memo lookup
 // itself is the analyzer's steady-state hot path. The package therefore
@@ -20,12 +32,19 @@
 //   - Table is the paper's open hash table, unsynchronized, for serial
 //     analysis.
 //   - ShardedTable shares one cache across the concurrent driver's workers
-//     with lock-free reads: each shard publishes an immutable open-addressed
-//     snapshot through an atomic pointer, and inserts copy-on-write under a
-//     short per-shard mutex (see sharded.go).
+//     with lock-free, stat-free reads: each shard publishes an immutable
+//     open-addressed snapshot through an atomic pointer, inserts
+//     copy-on-write under a short per-shard mutex, bulk writers stage
+//     through a Batch, and traffic counters merge delta-only at worker exit
+//     via AddStats (see sharded.go, batch.go).
 //   - L1 is a small direct-mapped per-worker cache in front of the shared
 //     table, so a worker's hot working set is answered without touching
-//     shared memory at all (see l1.go).
+//     shared memory at all (see l1.go). Every L1 entry's key is an interned
+//     L2 key, preserving the L1 ⊆ L2 containment the concurrent driver's
+//     provenance replay relies on.
+//   - InFlight deduplicates concurrent solves of the same canonical key, so
+//     two workers never run the test cascade for one problem at the same
+//     time (see inflight.go).
 //
 // Table and ShardedTable share the Map interface, so a serial table can be
 // promoted to a sharded one by re-inserting its entries (the concurrent

@@ -33,13 +33,15 @@ var (
 // The key space is split over N power-of-two shards. Each shard holds an
 // atomic pointer to an immutable open-addressed snapshot (the paper's open
 // hash table, frozen): a lookup is one atomic load plus a linear probe over
-// the snapshot — no locks, no shared writes beyond the shard's padded stat
-// counters. An insert takes the shard's mutex, copies the snapshot with the
-// new entry placed (growing when load factor would pass 3/4), and publishes
-// the copy with an atomic store. Copy-on-write makes inserts O(shard size),
-// which the workload's shape makes cheap: the suite's few hundred canonical
-// problems spread over the shards, and inserts stop once the unique
-// problems are cached.
+// the snapshot — no locks and no shared writes at all. Traffic counters are
+// not maintained per operation; workers that want table stats accumulate
+// lookups/hits locally and push one delta via AddStats when they finish, so
+// the hot read path touches no shared mutable memory. An insert takes the
+// shard's mutex, copies the snapshot with the new entry placed (growing when
+// load factor would pass 3/4), and publishes the copy with an atomic store.
+// Copy-on-write makes inserts O(shard size); writers that insert in bulk
+// should stage entries in a Batch, which rebuilds each touched shard's
+// snapshot once per drain instead of once per entry.
 //
 // Values are stored as given; callers that cache the same key from multiple
 // goroutines must make the value deterministic in the key (true for the
@@ -49,6 +51,10 @@ var (
 type ShardedTable[V any] struct {
 	shift uint
 	sh    []shard[V]
+	// lookups/hits are written only by AddStats (worker-exit delta merges),
+	// never by the lookup path itself.
+	lookups atomic.Int64
+	hits    atomic.Int64
 }
 
 // snapshot is one shard's immutable open-addressed table. All fields are
@@ -61,14 +67,12 @@ type snapshot[V any] struct {
 	n    int
 }
 
-// shard pads to its own cache line so neighbouring shards' stat counters
-// and snapshot publishes do not false-share.
+// shard pads to its own cache line so neighbouring shards' snapshot
+// publishes do not false-share.
 type shard[V any] struct {
-	snap    atomic.Pointer[snapshot[V]]
-	mu      sync.Mutex // serializes Insert; never taken by Lookup
-	lookups atomic.Int64
-	hits    atomic.Int64
-	_       [24]byte
+	snap atomic.Pointer[snapshot[V]]
+	mu   sync.Mutex // serializes Insert; never taken by Lookup
+	_    [40]byte
 }
 
 // DefaultShards is the shard count NewShardedTable uses for n <= 0.
@@ -107,8 +111,9 @@ func (s *ShardedTable[V]) shardFor(k Key) *shard[V] {
 }
 
 // Lookup returns the cached value for k. Safe for concurrent use and
-// lock-free: one atomic snapshot load, a probe, and two padded per-shard
-// stat increments — it allocates nothing and never blocks on writers.
+// lock-free: one atomic snapshot load plus a probe — it allocates nothing,
+// writes nothing shared, and never blocks on writers. Traffic is not
+// counted here; see AddStats.
 func (s *ShardedTable[V]) Lookup(k Key) (V, bool) {
 	_, v, ok := s.LookupStored(k)
 	return v, ok
@@ -119,7 +124,6 @@ func (s *ShardedTable[V]) Lookup(k Key) (V, bool) {
 // lock-free guarantees as Lookup.
 func (s *ShardedTable[V]) LookupStored(k Key) (Key, V, bool) {
 	sh := s.shardFor(k)
-	sh.lookups.Add(1)
 	sn := sh.snap.Load()
 	mask := uint64(len(sn.keys) - 1)
 	for i := mix(k.hash()) & mask; ; i = (i + 1) & mask {
@@ -129,7 +133,6 @@ func (s *ShardedTable[V]) LookupStored(k Key) (Key, V, bool) {
 			return nil, zero, false
 		}
 		if sk.equal(k) {
-			sh.hits.Add(1)
 			return sk, sn.vals[i], true
 		}
 	}
@@ -143,6 +146,55 @@ func (s *ShardedTable[V]) Insert(k Key, v V) {
 	sh.mu.Lock()
 	sh.snap.Store(sh.snap.Load().withInsert(k, v))
 	sh.mu.Unlock()
+}
+
+// InsertBatch stores every (keys[i], vals[i]) pair, grouping the batch by
+// shard so each touched shard's copy-on-write snapshot is rebuilt once per
+// call instead of once per entry. Duplicate keys within the batch overwrite
+// in order, matching a sequence of Inserts. The keys slice is consumed
+// (entries are nilled as they are placed); both slices must not be reused by
+// the caller until InsertBatch returns. Safe for concurrent use.
+func (s *ShardedTable[V]) InsertBatch(keys []Key, vals []V) {
+	for i := range keys {
+		if keys[i] == nil {
+			continue
+		}
+		sh := s.shardFor(keys[i])
+		// Count the batch's entries for this shard so the rebuilt snapshot
+		// is sized once, keeping load factor ≤ 3/4 through the whole drain.
+		extra := 0
+		for j := i; j < len(keys); j++ {
+			if keys[j] != nil && s.shardFor(keys[j]) == sh {
+				extra++
+			}
+		}
+		sh.mu.Lock()
+		next := sh.snap.Load().cloneGrown(extra)
+		for j := i; j < len(keys); j++ {
+			if keys[j] != nil && s.shardFor(keys[j]) == sh {
+				next.place(keys[j], vals[j])
+				keys[j] = nil
+			}
+		}
+		sh.snap.Store(next)
+		sh.mu.Unlock()
+	}
+}
+
+// cloneGrown returns a mutable copy of sn sized to hold extra more entries
+// at ≤ 3/4 load. The receiver is never modified.
+func (sn *snapshot[V]) cloneGrown(extra int) *snapshot[V] {
+	size := len(sn.keys)
+	for (sn.n+extra+1)*4 > size*3 {
+		size *= 2
+	}
+	next := &snapshot[V]{keys: make([]Key, size), vals: make([]V, size)}
+	for i, sk := range sn.keys {
+		if sk != nil {
+			next.place(sk, sn.vals[i])
+		}
+	}
+	return next
 }
 
 // withInsert returns a copy of sn with (k, v) placed, grown when the load
@@ -212,13 +264,23 @@ func (s *ShardedTable[V]) Buckets() int {
 	return n
 }
 
-// Stats returns lookup and hit counts merged across shards.
-func (s *ShardedTable[V]) Stats() (lookups, hits int) {
-	for i := range s.sh {
-		lookups += int(s.sh[i].lookups.Load())
-		hits += int(s.sh[i].hits.Load())
+// AddStats merges a worker's locally accumulated lookup/hit counts into the
+// table. The lookup path deliberately does not count its own traffic (a
+// shared counter write per probe is exactly the cache-line ping-pong the
+// sharded design exists to avoid); drivers count in worker-local counters
+// and push one delta per worker here when the worker exits.
+func (s *ShardedTable[V]) AddStats(lookups, hits int) {
+	if lookups != 0 {
+		s.lookups.Add(int64(lookups))
 	}
-	return lookups, hits
+	if hits != 0 {
+		s.hits.Add(int64(hits))
+	}
+}
+
+// Stats returns the lookup and hit counts merged so far via AddStats.
+func (s *ShardedTable[V]) Stats() (lookups, hits int) {
+	return int(s.lookups.Load()), int(s.hits.Load())
 }
 
 // Range calls f for every entry until f returns false, shard by shard. Each

@@ -45,13 +45,20 @@ type Counters struct {
 
 	// Memoization. FullLookups/FullHits are the candidate-level totals for
 	// the with-bounds cache regardless of which layer answered; L1*/L2*
-	// split them by layer (per-worker direct-mapped L1 vs shared table), so
-	// L1Hits+L2Hits == FullHits and, with the L1 enabled,
-	// L1Lookups == FullLookups.
-	FullLookups, FullHits int // with-bounds cache, both layers combined
+	// split them by layer (per-worker direct-mapped L1 vs shared table) and
+	// InflightAdopts counts hits served by adopting another worker's
+	// just-finished solve, so L1Hits+L2Hits+InflightAdopts == FullHits and,
+	// with the L1 enabled, L1Lookups == FullLookups.
+	FullLookups, FullHits int // with-bounds cache, all layers combined
 	L1Lookups, L1Hits     int // per-worker direct-mapped layer
 	L2Lookups, L2Hits     int // shared table layer (L1 misses fall through)
 	EqLookups, EqHits     int // without-bounds (GCD) table
+	// Singleflight dedup (concurrent driver only). InflightWaits counts
+	// blocks on another worker's in-progress solve of the same canonical
+	// key; InflightAdopts counts waits that ended adopting the winner's
+	// cacheable verdict (the difference is re-claims after non-cacheable
+	// solves). Serial analysis never touches the in-flight layer.
+	InflightWaits, InflightAdopts int
 	// DirLookups/DirHits meter the refinement memo: cascade invocations of
 	// the direction-vector walk (base test included) answered by the
 	// direction-keyed table instead of re-running the tests. UniqueDir is
@@ -116,6 +123,8 @@ func (c *Counters) Add(o *Counters) {
 	c.L2Hits += o.L2Hits
 	c.EqLookups += o.EqLookups
 	c.EqHits += o.EqHits
+	c.InflightWaits += o.InflightWaits
+	c.InflightAdopts += o.InflightAdopts
 	c.DirLookups += o.DirLookups
 	c.DirHits += o.DirHits
 	c.UniqueFull += o.UniqueFull

