@@ -41,19 +41,23 @@ bench:
 
 # bench-json writes the machine-readable perf baseline (ns/op, allocs/op,
 # memo hit rates over the suite, budget-trip profile of the FM-hard
-# adversarial suite, refinement counter profile, cold large-corpus scaling)
-# so future PRs can diff against it.
+# adversarial suite, refinement counter profile, cold large-corpus scaling,
+# incremental corpus cold/warm split) so future PRs can diff against it.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR6.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR7.json
 
 # benchcmp diffs the previous PR's committed baseline against this PR's.
 benchcmp:
-	$(GO) run ./cmd/benchcmp BENCH_PR5.json BENCH_PR6.json
+	$(GO) run ./cmd/benchcmp BENCH_PR6.json BENCH_PR7.json
 
-# benchcmp-gate re-measures the gated benchmark (just that one, via the
-# benchjson -only filter) and fails if it regressed more than 15% in ns/op
-# against the committed baseline. Opt into it from check with PERFGATE=1.
+# benchcmp-gate re-measures the gated benchmarks (just those, via the
+# benchjson -only filter) and fails if one regressed more than 15% in ns/op
+# against the committed baseline. The corpus warm path is the incremental
+# layer's headline number, so it is gated alongside the memo-hot pass. Opt
+# into the gate from check with PERFGATE=1.
 benchcmp-gate:
 	$(GO) run ./cmd/benchjson -only analyze_all_memo_hot -out .bench_gate.json
-	$(GO) run ./cmd/benchcmp -gate analyze_all_memo_hot_workers_4 -tolerance 15 BENCH_PR6.json .bench_gate.json
+	$(GO) run ./cmd/benchcmp -gate analyze_all_memo_hot_workers_4 -tolerance 15 BENCH_PR7.json .bench_gate.json
+	$(GO) run ./cmd/benchjson -only corpus_incremental_warm -out .bench_gate.json
+	$(GO) run ./cmd/benchcmp -gate corpus_incremental_warm_1pct_workers_1 -tolerance 15 BENCH_PR7.json .bench_gate.json
 	@rm -f .bench_gate.json

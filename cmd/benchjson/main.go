@@ -1,19 +1,22 @@
 // Command benchjson emits a machine-readable benchmark baseline (make
-// bench-json → BENCH_PR6.json): ns/op, bytes/op and allocs/op for the key
+// bench-json → BENCH_PR7.json): ns/op, bytes/op and allocs/op for the key
 // encoder, the lock-free sharded lookup, the memo-hot AnalyzeAll pass, the
 // cold very-large-corpus AnalyzeAll pass at several worker counts, the
-// budgeted FM-hard degradation pass, and the direction-vector refinement
-// strategies (clone-per-node reference vs the clone-free trail walk, cold
-// and memoized), plus per-program memo hit rates over the PERFECT-style
-// suite, the deterministic budget-trip profile, and the refinement/FM
-// counter profile. Future PRs diff their own run against the committed
-// baseline (cmd/benchcmp, make benchcmp) to keep a perf trajectory; the
-// -only flag restricts a run to benchmarks whose name contains the given
-// substring (skipping the profile sections), which is how the perf gate
-// (make benchcmp-gate) re-measures just its gated benchmark.
+// incremental corpus driver (cold store fill vs a 1%-dirty warm re-run over
+// the fingerprint → verdict store), the budgeted FM-hard degradation pass,
+// and the direction-vector refinement strategies (clone-per-node reference
+// vs the clone-free trail walk, cold and memoized), plus per-program memo
+// hit rates over the PERFECT-style suite, the deterministic budget-trip
+// profile, and the refinement/FM counter profile. Future PRs diff their own
+// run against the committed baseline (cmd/benchcmp, make benchcmp) to keep
+// a perf trajectory; the -only flag restricts a run to benchmarks whose
+// name contains the given substring (skipping the profile sections), which
+// is how the perf gate (make benchcmp-gate) re-measures just its gated
+// benchmarks.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,6 +26,7 @@ import (
 	"testing"
 
 	"exactdep/internal/core"
+	corpuspkg "exactdep/internal/corpus"
 	"exactdep/internal/depvec"
 	"exactdep/internal/dtest"
 	"exactdep/internal/ir"
@@ -292,6 +296,72 @@ func run(out, only string) error {
 		}
 	}
 
+	// Incremental corpus driver over the same very large corpus, split into
+	// per-nest units: cold (empty store — fingerprint, solve, fill) versus a
+	// 1%-dirty warm re-run where 41 mutated nests are re-solved and the rest
+	// served from the store. Mirrors BenchmarkCorpusIncremental; the warm
+	// ns/op is the corpus layer's headline number and is gated in
+	// benchcmp-gate.
+	incrWanted := false
+	for _, w := range []int{1, 4} {
+		if match(fmt.Sprintf("corpus_incremental_cold_workers_%d", w)) ||
+			match(fmt.Sprintf("corpus_incremental_warm_1pct_workers_%d", w)) {
+			incrWanted = true
+		}
+	}
+	if incrWanted {
+		incrOpts := core.Options{Memoize: true, ImprovedMemo: true}
+		units, err := workload.LargeCorpusUnits(largeCorpusNests)
+		if err != nil {
+			return err
+		}
+		dirtyIdx := make([]int, 41)
+		for i := range dirtyIdx {
+			dirtyIdx[i] = (i*97 + 5) % len(units)
+		}
+		seed := corpuspkg.NewDriver(incrOpts, 1)
+		if err := seed.SetStore(corpuspkg.NewStore(incrOpts)); err != nil {
+			return err
+		}
+		if err := seed.Run(context.Background(), units, nil); err != nil {
+			return err
+		}
+		filled := seed.Store()
+		var deltaSeq int64
+		for _, w := range []int{1, 4} {
+			w := w
+			add(fmt.Sprintf("corpus_incremental_cold_workers_%d", w), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					dr := corpuspkg.NewDriver(incrOpts, w)
+					if err := dr.SetStore(corpuspkg.NewStore(incrOpts)); err != nil {
+						b.Fatal(err)
+					}
+					if err := dr.Run(context.Background(), units, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			add(fmt.Sprintf("corpus_incremental_warm_1pct_workers_%d", w), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					deltaSeq++
+					dirty := workload.MutateNests(units, dirtyIdx, deltaSeq)
+					dr := corpuspkg.NewDriver(incrOpts, w)
+					if err := dr.SetStore(filled); err != nil {
+						b.Fatal(err)
+					}
+					if err := dr.Run(context.Background(), dirty, nil); err != nil {
+						b.Fatal(err)
+					}
+					if dr.Stats.UnitsSolved != len(dirtyIdx) {
+						b.Fatalf("warm run re-solved %d units, want %d", dr.Stats.UnitsSolved, len(dirtyIdx))
+					}
+				}
+			})
+		}
+	}
+
 	// Budgeted pass over the FM-hard adversarial suite: how fast the cascade
 	// degrades under a starvation budget, and the (deterministic) trip
 	// profile it produces.
@@ -415,7 +485,7 @@ func run(out, only string) error {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR6.json", "output path ('-' for stdout)")
+	out := flag.String("out", "BENCH_PR7.json", "output path ('-' for stdout)")
 	only := flag.String("only", "", "run only benchmarks whose name contains this substring (skips profile sections)")
 	flag.Parse()
 	if err := run(*out, *only); err != nil {

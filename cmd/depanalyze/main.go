@@ -3,12 +3,25 @@
 // and a loop-parallelization summary.
 //
 //	depanalyze [flags] file.loop      (or - for stdin)
+//	depanalyze [flags] dir            (corpus: every *.loop under dir)
+//	depanalyze [flags] a.loop b.loop  (corpus: the listed files)
+//
+// With a directory argument, or more than one file argument, depanalyze
+// analyzes the inputs as one corpus: a single analyzer session with shared
+// memo tables, one unit per file in deterministic order. The -store flag
+// adds the persistent verdict store, so a re-run re-solves only the files
+// whose dependence structure changed. The per-program renderers (-annotate,
+// -dot, -distribute) and the parallelization summary need a single parsed
+// program and are rejected in corpus mode; single-file behavior and exit
+// codes are unchanged.
 //
 // Flags:
 //
 //	-vectors=false    skip direction/distance vectors
 //	-memo             enable memoization (improved scheme)
 //	-memo-file=path   persist the memo table across runs (implies -memo)
+//	-store=path       corpus mode: persist the fingerprint → verdict store
+//	                  across runs (incremental re-analysis)
 //	-workers=N        analysis goroutines (default GOMAXPROCS; 1 = serial)
 //	-cascade=full     cascade pipeline: full (cost-ordered) or fm-only
 //	                  (Fourier–Motzkin alone, for cross-validation)
@@ -57,6 +70,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	vectors := fs.Bool("vectors", true, "compute direction and distance vectors")
 	memo := fs.Bool("memo", false, "memoize repeated dependence problems")
 	memoFile := fs.String("memo-file", "", "persist the memo table across runs (implies -memo)")
+	storeFile := fs.String("store", "", "corpus mode: persist the fingerprint → verdict store across runs")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "analysis worker goroutines (1 = serial)")
 	cascade := fs.String("cascade", "full", "cascade pipeline: full (cost-ordered) or fm-only (cross-validation)")
 	budgetFM := fs.Int("budget-fm", 0, "per-pair cap on Fourier-Motzkin eliminations (0 = unlimited)")
@@ -74,13 +88,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	if fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: depanalyze [flags] file.loop  (use - for stdin)")
+	if fs.NArg() < 1 {
+		fmt.Fprintln(stderr, "usage: depanalyze [flags] file.loop|dir [file.loop ...]  (use - for stdin)")
 		fs.Usage()
 		return 2
 	}
 	if *memoFile != "" || *memoStats {
 		*memo = true
+	}
+
+	// A directory argument or multiple file arguments select corpus mode.
+	corpusMode := fs.NArg() > 1
+	if fs.NArg() == 1 && fs.Arg(0) != "-" {
+		if fi, err := os.Stat(fs.Arg(0)); err == nil && fi.IsDir() {
+			corpusMode = true
+		}
+	}
+	if !corpusMode && *storeFile != "" {
+		fmt.Fprintln(stderr, "depanalyze: -store applies only to corpus mode (a directory or multiple files)")
+		return 2
 	}
 
 	opts := exactdep.Options{
@@ -102,6 +128,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := opts.Validate(); err != nil {
 		fmt.Fprintf(stderr, "depanalyze: %v\n", err)
 		return 2
+	}
+
+	if corpusMode {
+		if *annotate || *dot || *distribute {
+			fmt.Fprintln(stderr, "depanalyze: -annotate, -dot and -distribute need a single program, not a corpus")
+			return 2
+		}
+		return runCorpus(corpusConfig{
+			args:      fs.Args(),
+			opts:      opts,
+			workers:   *workers,
+			timeout:   *timeout,
+			memoFile:  *memoFile,
+			storeFile: *storeFile,
+			stats:     *showStats,
+			memoStats: *memoStats,
+		}, stdout, stderr)
 	}
 
 	src, err := readSource(fs.Arg(0))
@@ -152,32 +195,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "warning: %s\n", w)
 	}
 	for _, r := range report.Results {
-		fmt.Fprintf(stdout, "%s vs %s: %s", r.Pair.A.Ref, r.Pair.B.Ref, r.Outcome)
-		if !r.Exact {
-			switch {
-			case r.Trip == exactdep.TripNone:
-				fmt.Fprintf(stdout, " (assumed)")
-			case r.Trip.Budgetary():
-				fmt.Fprintf(stdout, " (assumed: %s budget)", r.Trip)
-			default:
-				fmt.Fprintf(stdout, " (assumed: %s structural cap)", r.Trip)
-			}
-		}
-		fmt.Fprintf(stdout, "  [%s", r.DecidedBy)
-		if r.DecidedBy == exactdep.ByTest && r.Kind != 0 {
-			fmt.Fprintf(stdout, ": %s", r.Kind)
-		}
-		fmt.Fprintf(stdout, "]")
-		if len(r.Vectors) > 0 {
-			fmt.Fprintf(stdout, "  vectors:")
-			for _, v := range r.Vectors {
-				fmt.Fprintf(stdout, " %s", v)
-			}
-		}
-		for _, d := range r.Distances {
-			fmt.Fprintf(stdout, "  distance[level %d]=%d", d.Level, d.Value)
-		}
-		fmt.Fprintln(stdout)
+		printResult(stdout, r)
 	}
 
 	if *par {
@@ -221,6 +239,168 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if *memoStats {
+		printMemoStats(stdout, analyzer)
+	}
+	return 0
+}
+
+// printResult renders one pair verdict line (shared by the single-file and
+// corpus modes).
+func printResult(w io.Writer, r exactdep.Result) {
+	fmt.Fprintf(w, "%s vs %s: %s", r.Pair.A.Ref, r.Pair.B.Ref, r.Outcome)
+	if !r.Exact {
+		switch {
+		case r.Trip == exactdep.TripNone:
+			fmt.Fprintf(w, " (assumed)")
+		case r.Trip.Budgetary():
+			fmt.Fprintf(w, " (assumed: %s budget)", r.Trip)
+		default:
+			fmt.Fprintf(w, " (assumed: %s structural cap)", r.Trip)
+		}
+	}
+	fmt.Fprintf(w, "  [%s", r.DecidedBy)
+	if r.DecidedBy == exactdep.ByTest && r.Kind != 0 {
+		fmt.Fprintf(w, ": %s", r.Kind)
+	}
+	fmt.Fprintf(w, "]")
+	if len(r.Vectors) > 0 {
+		fmt.Fprintf(w, "  vectors:")
+		for _, v := range r.Vectors {
+			fmt.Fprintf(w, " %s", v)
+		}
+	}
+	for _, d := range r.Distances {
+		fmt.Fprintf(w, "  distance[level %d]=%d", d.Level, d.Value)
+	}
+	fmt.Fprintln(w)
+}
+
+// corpusConfig carries the corpus-mode invocation.
+type corpusConfig struct {
+	args      []string
+	opts      exactdep.Options
+	workers   int
+	timeout   time.Duration
+	memoFile  string
+	storeFile string
+	stats     bool
+	memoStats bool
+}
+
+// runCorpus analyzes a directory or a list of files as one corpus: a single
+// incremental driver run with shared memo tables, units in deterministic
+// order, optionally against a persistent verdict store.
+func runCorpus(cfg corpusConfig, stdout, stderr io.Writer) int {
+	var src exactdep.Corpus
+	if len(cfg.args) == 1 {
+		src = exactdep.CorpusDir(cfg.args[0])
+	} else {
+		src = exactdep.CorpusFiles(cfg.args...)
+	}
+
+	driver := exactdep.NewCorpusDriver(cfg.opts, cfg.workers)
+	analyzer := driver.Analyzer()
+	if cfg.memoFile != "" {
+		if f, err := os.Open(cfg.memoFile); err == nil {
+			loadErr := analyzer.LoadMemo(f)
+			f.Close()
+			if loadErr != nil {
+				fmt.Fprintf(stderr, "depanalyze: %v\n", loadErr)
+				return 1
+			}
+		} else if !os.IsNotExist(err) {
+			fmt.Fprintf(stderr, "depanalyze: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.storeFile != "" {
+		store := exactdep.NewCorpusStore(cfg.opts)
+		if f, err := os.Open(cfg.storeFile); err == nil {
+			store, err = exactdep.LoadCorpusStore(f, cfg.opts)
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(stderr, "depanalyze: %v\n", err)
+				return 1
+			}
+		} else if !os.IsNotExist(err) {
+			fmt.Fprintf(stderr, "depanalyze: %v\n", err)
+			return 1
+		}
+		if err := driver.SetStore(store); err != nil {
+			fmt.Fprintf(stderr, "depanalyze: %v\n", err)
+			return 1
+		}
+	}
+
+	ctx := context.Background()
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+	first := true
+	err := driver.Run(ctx, src, func(ur exactdep.UnitResult) error {
+		if !first {
+			fmt.Fprintln(stdout)
+		}
+		first = false
+		fmt.Fprintf(stdout, "== %s", ur.Name)
+		if ur.Reused {
+			fmt.Fprintf(stdout, " (unchanged, served from store)")
+		}
+		fmt.Fprintln(stdout, " ==")
+		for _, w := range ur.Warnings {
+			fmt.Fprintf(stderr, "warning: %s: %s\n", ur.Name, w)
+		}
+		for _, r := range ur.Results {
+			printResult(stdout, r)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "depanalyze: %v\n", err)
+		return 1
+	}
+
+	if cfg.memoFile != "" {
+		if err := saveMemoFile(analyzer, cfg.memoFile); err != nil {
+			fmt.Fprintf(stderr, "depanalyze: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.storeFile != "" {
+		f, err := os.Create(cfg.storeFile)
+		if err == nil {
+			err = driver.Store().Save(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "depanalyze: %v\n", err)
+			return 1
+		}
+	}
+
+	if cfg.stats {
+		cs, s := driver.Stats, analyzer.Stats
+		fmt.Fprintln(stdout)
+		fmt.Fprintf(stdout, "corpus: %d units (%d reused, %d solved), %d pairs served, %d pairs solved\n",
+			cs.Units, cs.UnitsReused, cs.UnitsSolved, cs.PairsServed, cs.PairsSolved)
+		fmt.Fprintf(stdout, "pairs: %d  constant: %d  gcd-independent: %d  tests: %d\n",
+			s.Pairs, s.Constant, s.GCDIndependent, s.TotalTests())
+		fmt.Fprintf(stdout, "verdicts: %d independent, %d dependent, %d unknown, %d maybe\n",
+			s.Independent, s.Dependent, s.Unknown, s.Maybe)
+		if s.TotalBudgetTrips() > 0 || s.CancelledPairs > 0 {
+			fmt.Fprintf(stdout, "degraded: %d budget trips, %d pairs cancelled\n",
+				s.TotalBudgetTrips(), s.CancelledPairs)
+		}
+		if cfg.opts.Memoize {
+			fmt.Fprintf(stdout, "memo: %d unique cases, %d/%d hits\n",
+				s.UniqueFull, s.FullHits, s.FullLookups)
+		}
+	}
+	if cfg.memoStats {
 		printMemoStats(stdout, analyzer)
 	}
 	return 0

@@ -155,3 +155,122 @@ func TestBudgetFlagGenerous(t *testing.T) {
 		t.Errorf("generous budget degraded:\n%s", s)
 	}
 }
+
+// corpusDir lays out a two-file corpus tree and returns its root.
+func corpusDir(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(root, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(rel, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(root, rel), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("a.loop", simpleSrc)
+	write(filepath.Join("sub", "b.loop"), "for i = 1 to 50\n  b[2*i] = b[2*i+1] + 1\nend\n")
+	return root
+}
+
+// TestCorpusMode: a directory argument analyzes every *.loop as one corpus,
+// a unit header per file in sorted order; multiple file args do the same.
+func TestCorpusMode(t *testing.T) {
+	root := corpusDir(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-memo", "-stats", root}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "== a.loop ==") || !strings.Contains(s, "== sub/b.loop ==") {
+		t.Fatalf("missing unit headers:\n%s", s)
+	}
+	if strings.Index(s, "== a.loop ==") > strings.Index(s, "== sub/b.loop ==") {
+		t.Fatalf("units out of sorted order:\n%s", s)
+	}
+	if !strings.Contains(s, "corpus: 2 units (0 reused, 2 solved)") {
+		t.Fatalf("missing corpus stats:\n%s", s)
+	}
+
+	out.Reset()
+	files := []string{filepath.Join(root, "sub", "b.loop"), filepath.Join(root, "a.loop")}
+	if code := run(files, &out, &errb); code != 0 {
+		t.Fatalf("multi-file exit %d, stderr %q", code, errb.String())
+	}
+	// Explicit file lists keep the given order.
+	s = out.String()
+	if strings.Index(s, "b.loop") > strings.Index(s, "a.loop ==") {
+		t.Fatalf("multi-file order not preserved:\n%s", s)
+	}
+}
+
+// TestCorpusStoreIncremental: with -store, the second run serves both units
+// from the verdict store, and editing one file re-solves only it.
+func TestCorpusStoreIncremental(t *testing.T) {
+	root := corpusDir(t)
+	store := filepath.Join(t.TempDir(), "verdicts.store")
+	args := []string{"-memo", "-stats", "-store", store, root}
+
+	var out, errb bytes.Buffer
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("cold exit %d, stderr %q", code, errb.String())
+	}
+	if strings.Contains(out.String(), "served from store") {
+		t.Fatalf("cold run claims store hits:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("warm exit %d, stderr %q", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "== a.loop (unchanged, served from store) ==") ||
+		!strings.Contains(out.String(), "corpus: 2 units (2 reused, 0 solved)") {
+		t.Fatalf("warm run did not reuse the store:\n%s", out.String())
+	}
+
+	edited := strings.ReplaceAll(simpleSrc, "a[i+1]", "a[i+2]")
+	if err := os.WriteFile(filepath.Join(root, "a.loop"), []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("dirty exit %d, stderr %q", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "corpus: 2 units (1 reused, 1 solved)") {
+		t.Fatalf("edited corpus did not re-solve exactly one unit:\n%s", s)
+	}
+	if !strings.Contains(s, "== sub/b.loop (unchanged, served from store) ==") {
+		t.Fatalf("unchanged unit was not served from the store:\n%s", s)
+	}
+	if !strings.Contains(s, "a[i + 2]") {
+		t.Fatalf("edited unit's fresh results missing:\n%s", s)
+	}
+}
+
+// TestCorpusModeExitCodes: corpus-specific usage and runtime errors.
+func TestCorpusModeExitCodes(t *testing.T) {
+	root := corpusDir(t)
+	single := writeLoop(t, simpleSrc)
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"store on single file", []string{"-store", filepath.Join(t.TempDir(), "s"), single}, 2},
+		{"annotate on corpus", []string{"-annotate", root}, 2},
+		{"dot on corpus", []string{"-dot", root}, 2},
+		{"distribute on corpus", []string{"-distribute", root}, 2},
+		{"empty dir", []string{t.TempDir()}, 1},
+		{"missing file in list", []string{single, filepath.Join(t.TempDir(), "nope.loop")}, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(c.args, &out, &errb); code != c.want {
+				t.Fatalf("exit %d, want %d (stderr %q)", code, c.want, errb.String())
+			}
+		})
+	}
+}

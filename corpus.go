@@ -1,0 +1,147 @@
+package exactdep
+
+// Corpus-level incremental analysis: the whole-corpus layer over the
+// analyzer. A Corpus is any ordered set of named units (directory trees of
+// DSL files, explicit file lists, or in-memory units); the driver
+// fingerprints each unit, serves unchanged units from a persistent verdict
+// store, and batches only changed/new units through the analyzer. See
+// internal/corpus and the ARCHITECTURE.md "Corpus layer" section.
+
+import (
+	"context"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"exactdep/internal/corpus"
+	"exactdep/internal/memo"
+)
+
+// Corpus-layer types.
+type (
+	// Corpus enumerates the units of a corpus in deterministic order.
+	Corpus = corpus.Source
+	// CorpusUnit is one named member of a corpus: the invalidation granule
+	// of incremental analysis.
+	CorpusUnit = corpus.Unit
+	// CorpusMem is an in-memory corpus (the units themselves).
+	CorpusMem = corpus.Mem
+	// CorpusDriver is the incremental corpus driver.
+	CorpusDriver = corpus.Driver
+	// CorpusStore is the persistent fingerprint → verdict store.
+	CorpusStore = corpus.Store
+	// CorpusStats counts one run's incremental traffic (units and pairs
+	// reused vs solved).
+	CorpusStats = corpus.Stats
+	// UnitResult is one unit's outcome in corpus order.
+	UnitResult = corpus.UnitResult
+	// Fingerprint is the 128-bit structural digest of a unit's dependence
+	// input.
+	Fingerprint = memo.Fingerprint
+)
+
+// Corpus constructors.
+var (
+	// CorpusDir is a Corpus over every *.loop file under a directory tree.
+	CorpusDir = corpus.Dir
+	// CorpusFiles is a Corpus over an explicit list of DSL files.
+	CorpusFiles = corpus.Files
+	// NewCorpusDriver returns a fresh incremental driver (workers: 1
+	// serial, <= 0 GOMAXPROCS).
+	NewCorpusDriver = corpus.NewDriver
+	// NewCorpusStore returns an empty verdict store bound to an options
+	// signature.
+	NewCorpusStore = corpus.NewStore
+	// LoadCorpusStore reads a store snapshot, validating its signature.
+	LoadCorpusStore = corpus.LoadStore
+)
+
+// CorpusReport is the result of analyzing one corpus.
+type CorpusReport struct {
+	// Units holds one result per unit, in corpus order.
+	Units []UnitResult
+	// Stats counts the run's incremental traffic.
+	Stats CorpusStats
+	// Counters snapshots the analyzer counters after the run (covers only
+	// the units actually solved; store-served units cost no analysis).
+	Counters Counters
+}
+
+// AnalyzeCorpus analyzes a corpus with a fresh driver. When
+// Options.StorePath is set, the verdict store is loaded from that path if
+// it exists (it must match the configuration), consulted so only changed or
+// new units are re-solved, and saved back after the run — the incremental
+// IDE/CI workflow in one call. Without a StorePath every unit is solved
+// fresh in a single batch with shared memo tables.
+func AnalyzeCorpus(src Corpus, opts Options) (*CorpusReport, error) {
+	return AnalyzeCorpusContext(context.Background(), src, opts)
+}
+
+// AnalyzeCorpusContext is AnalyzeCorpus honoring a context. Options.Workers
+// sizes the analyzer batch as in AnalyzeUnitContext (0 serial, negative
+// GOMAXPROCS); cut-short units degrade to sound Maybe verdicts and are
+// never stored.
+func AnalyzeCorpusContext(ctx context.Context, src Corpus, opts Options) (*CorpusReport, error) {
+	workers := 1
+	if opts.Workers != 0 {
+		workers = opts.Workers
+		if workers < 0 {
+			workers = 0 // the driver maps <= 0 to GOMAXPROCS
+		}
+	}
+	d := corpus.NewDriver(opts, workers)
+	if opts.StorePath != "" {
+		store, err := openStore(opts)
+		if err != nil {
+			return nil, err
+		}
+		if err := d.SetStore(store); err != nil {
+			return nil, err
+		}
+	}
+	urs, err := d.RunAll(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	if opts.StorePath != "" {
+		if err := saveStore(opts.StorePath, d.Store()); err != nil {
+			return nil, err
+		}
+	}
+	return &CorpusReport{Units: urs, Stats: d.Stats, Counters: d.Analyzer().Stats}, nil
+}
+
+// openStore loads the snapshot at opts.StorePath, or returns a fresh store
+// when the file does not exist yet (first run).
+func openStore(opts Options) (*CorpusStore, error) {
+	f, err := os.Open(opts.StorePath)
+	if errors.Is(err, fs.ErrNotExist) {
+		return corpus.NewStore(opts), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return corpus.LoadStore(f, opts)
+}
+
+// saveStore writes the store atomically-enough for a single writer: to a
+// temp file in the same directory, then rename.
+func saveStore(path string, s *CorpusStore) error {
+	f, err := os.CreateTemp(filepath.Dir(path), ".exactdep-store-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := s.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

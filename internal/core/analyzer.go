@@ -69,6 +69,11 @@ type Options struct {
 	// serial, negative means GOMAXPROCS. Analyzer.AnalyzeAll takes the pool
 	// size as an explicit argument and ignores this field.
 	Workers int
+	// StorePath names a persistent corpus verdict-store snapshot for the
+	// corpus entry points (exactdep.AnalyzeCorpus): loaded when present,
+	// saved back after the run. The analyzer itself ignores it — per-pair
+	// memo persistence stays explicit via SaveMemo/LoadMemo.
+	StorePath string
 	// Budget bounds the work any single pair may spend in the expensive end
 	// of the cascade; the zero value is unlimited. When a limit fires the
 	// pair gets a sound, conservative Maybe verdict with Result.Trip naming
@@ -427,6 +432,9 @@ func (a *Analyzer) syncStageStats() {
 // ResetStats clears the counters but keeps the memo tables (matching the
 // paper's idea of a table persisted across compilations).
 func (a *Analyzer) ResetStats() { a.Stats = stats.Counters{} }
+
+// Options returns the analyzer's configuration (a copy).
+func (a *Analyzer) Options() Options { return a.opts }
 
 // AnalyzeUnit analyzes every candidate pair of a lowered unit.
 func (a *Analyzer) AnalyzeUnit(u *ir.Unit) ([]Result, error) {

@@ -17,8 +17,10 @@ import (
 // is a compact record per entry; pairs and problems are not stored — only
 // the canonical keys and the verdicts.
 
-// memoFileVersion guards the on-disk format.
-const memoFileVersion = 1
+// memoFileVersion guards the on-disk format. Version 2 added the
+// direction-keyed refinement table (Dir); version 1 files (full+eq only)
+// still load, their refinement walks simply start cold.
+const memoFileVersion = 2
 
 // savedEntry is the serializable form of one full-table entry.
 type savedEntry struct {
@@ -37,12 +39,24 @@ type savedEq struct {
 	Result int
 }
 
-// savedTables is the on-disk document.
+// savedDir is one direction-keyed refinement table entry (the §6
+// subproblems of Burke–Cytron refinement). The witness is never persisted —
+// it aliases the producing pipeline's scratch and hits don't consume it.
+type savedDir struct {
+	Key     []int64
+	Outcome int
+	Exact   bool
+	Kind    int
+}
+
+// savedTables is the on-disk document. Dir was added in version 2; gob
+// leaves it empty when decoding a version-1 file.
 type savedTables struct {
 	Version  int
 	Improved bool
 	Full     []savedEntry
 	Eq       []savedEq
+	Dir      []savedDir
 }
 
 // SaveMemo writes the analyzer's memo tables so a later session (or another
@@ -79,6 +93,20 @@ func (a *Analyzer) SaveMemo(w io.Writer) error {
 		doc.Eq = append(doc.Eq, savedEq{Key: append([]int64(nil), k...), Result: int(v)})
 		return true
 	})
+	a.dir.Range(func(k memo.Key, v dtest.Result) bool {
+		if v.Outcome == dtest.Maybe {
+			// Count-tripped refinement verdicts are scoped to the budget
+			// class that produced them; same rule as the full table.
+			return true
+		}
+		doc.Dir = append(doc.Dir, savedDir{
+			Key:     append([]int64(nil), k...),
+			Outcome: int(v.Outcome),
+			Exact:   v.Exact,
+			Kind:    int(v.Kind),
+		})
+		return true
+	})
 	return gob.NewEncoder(w).Encode(&doc)
 }
 
@@ -90,8 +118,8 @@ func (a *Analyzer) LoadMemo(r io.Reader) error {
 	if err := gob.NewDecoder(r).Decode(&doc); err != nil {
 		return fmt.Errorf("core: loading memo table: %w", err)
 	}
-	if doc.Version != memoFileVersion {
-		return fmt.Errorf("core: memo table version %d, want %d", doc.Version, memoFileVersion)
+	if doc.Version < 1 || doc.Version > memoFileVersion {
+		return fmt.Errorf("core: memo table version %d, want 1..%d", doc.Version, memoFileVersion)
 	}
 	if doc.Improved != a.opts.ImprovedMemo {
 		return fmt.Errorf("core: memo table uses improved=%v keys, analyzer uses improved=%v",
@@ -121,7 +149,15 @@ func (a *Analyzer) LoadMemo(r io.Reader) error {
 	for _, e := range doc.Eq {
 		a.eq.Insert(memo.Key(e.Key), system.GCDResult(e.Result))
 	}
+	for _, e := range doc.Dir {
+		a.dir.Insert(memo.Key(e.Key), dtest.Result{
+			Outcome: dtest.Outcome(e.Outcome),
+			Exact:   e.Exact,
+			Kind:    dtest.Kind(e.Kind),
+		})
+	}
 	a.Stats.UniqueFull = a.full.Len()
 	a.Stats.UniqueEq = a.eq.Len()
+	a.Stats.UniqueDir = a.dir.Len()
 	return nil
 }

@@ -2,10 +2,12 @@ package core
 
 import (
 	"bytes"
+	"encoding/gob"
 	"testing"
 
 	"exactdep/internal/dtest"
 	"exactdep/internal/lang"
+	"exactdep/internal/memo"
 	"exactdep/internal/opt"
 )
 
@@ -73,6 +75,110 @@ func TestSaveLoadMemoRoundTrip(t *testing.T) {
 				t.Fatalf("result %d vector %d: %v vs %v", i, vi, f.Vectors[vi], s.Vectors[vi])
 			}
 		}
+	}
+}
+
+// TestSaveLoadDirTable pins the v2 format's reason for existing: the
+// direction-keyed refinement table survives a save/load cycle, so a
+// warm-started session's §6 refinement walks start from the persisted
+// subproblem verdicts instead of re-running them.
+func TestSaveLoadDirTable(t *testing.T) {
+	opts := Options{Memoize: true, ImprovedMemo: true,
+		DirectionVectors: true, PruneUnused: true, PruneDistance: true}
+	prog, err := lang.Parse(persistSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := opt.Lower(prog)
+	warm := New(opts)
+	if _, err := warm.AnalyzeUnit(unit); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.UniqueDir == 0 {
+		t.Fatal("premise: the refinement walk must populate the dir table")
+	}
+	var buf bytes.Buffer
+	if err := warm.SaveMemo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cold := New(opts)
+	if err := cold.LoadMemo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cold.Stats.UniqueDir, warm.Stats.UniqueDir; got != want {
+		t.Fatalf("persisted dir table has %d entries, want %d", got, want)
+	}
+	// The restored entries must actually serve refinement subproblems:
+	// bypass the full table by looking the subproblems up through a fresh
+	// run of the same unit on an analyzer whose *full* table is empty.
+	fresh := New(opts)
+	var doc savedTables
+	doc.Version = memoFileVersion
+	doc.Improved = true
+	warm.dir.Range(func(k memo.Key, v dtest.Result) bool {
+		doc.Dir = append(doc.Dir, savedDir{Key: append([]int64(nil), k...),
+			Outcome: int(v.Outcome), Exact: v.Exact, Kind: int(v.Kind)})
+		return true
+	})
+	var dirOnly bytes.Buffer
+	if err := gob.NewEncoder(&dirOnly).Encode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.LoadMemo(&dirOnly); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fresh.AnalyzeUnit(unit); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Stats.DirHits == 0 {
+		t.Fatal("restored dir table served no refinement subproblems")
+	}
+}
+
+// TestLoadMemoVersion1 pins backward compatibility: a version-1 snapshot
+// (full+eq only, no Dir section) still loads.
+func TestLoadMemoVersion1(t *testing.T) {
+	warm := New(Options{Memoize: true, ImprovedMemo: true})
+	prog, err := lang.Parse(persistSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warm.AnalyzeUnit(opt.Lower(prog)); err != nil {
+		t.Fatal(err)
+	}
+	var doc savedTables
+	doc.Version = 1
+	doc.Improved = true
+	warm.full.Range(func(k memo.Key, v cached) bool {
+		if v.res.Outcome == dtest.Maybe {
+			return true
+		}
+		doc.Full = append(doc.Full, savedEntry{Key: append([]int64(nil), k...),
+			Outcome: int(v.res.Outcome), Exact: v.res.Exact, Kind: int(v.res.Kind)})
+		return true
+	})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	cold := New(Options{Memoize: true, ImprovedMemo: true})
+	if err := cold.LoadMemo(&buf); err != nil {
+		t.Fatalf("version-1 snapshot must load: %v", err)
+	}
+	if cold.Stats.UniqueFull == 0 {
+		t.Fatal("version-1 full entries were dropped")
+	}
+	if cold.Stats.UniqueDir != 0 {
+		t.Fatal("version-1 snapshot cannot carry dir entries")
+	}
+	// An unknown future version must still be rejected.
+	doc.Version = memoFileVersion + 1
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.LoadMemo(&buf); err == nil {
+		t.Fatal("future version must be rejected")
 	}
 }
 

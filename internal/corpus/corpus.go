@@ -1,0 +1,168 @@
+// Package corpus is the whole-corpus layer over the analyzer: it abstracts
+// "the set of programs a compiler session sees" into named units of
+// candidate pairs, fingerprints each unit's dependence input
+// (memo.Fingerprint — the whole-nest extension of the §5 canonical-key
+// discipline), and drives incremental re-analysis against a persistent
+// fingerprint → verdict Store so only changed units ever reach the test
+// cascade.
+//
+// The pieces:
+//
+//   - Unit / Source: a corpus is any ordered set of named units. Dir and
+//     Files adapt directory trees of loop-language DSL files; Mem adapts
+//     in-memory unit slices (the workload package adapts the synthetic
+//     PERFECT-style suite and the 4096-nest LargeCorpus).
+//   - Fingerprinter: folds a unit's candidate systems — classes, common
+//     depths, subscript equations, loop bounds, symbols — into a 128-bit
+//     structural digest, straight off the IR with no system building, so
+//     fingerprinting a corpus costs microseconds per unit.
+//   - Store: fingerprint → per-unit verdicts, direction vectors, distances
+//     and cost counters, with gob snapshot Save/Load (the same discipline
+//     as core.SaveMemo) scoped to an Options signature.
+//   - Driver: diffs fingerprints against the store, schedules only
+//     changed/new units through core.AnalyzeAll (one batch, shared memo
+//     tables, deterministic order, serial == concurrent byte-identical),
+//     and serves everything else from the store.
+//
+// This is the IDE/CI re-analysis workflow the paper's §5 "store the hash
+// table across compilations" remark scales into: real traffic is mostly
+// re-analysis of slightly-changed programs, and the driver re-solves only
+// what changed.
+package corpus
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"exactdep/internal/lang"
+	"exactdep/internal/memo"
+	"exactdep/internal/opt"
+	"exactdep/internal/refs"
+)
+
+// Unit is one named member of a corpus: the invalidation granule of
+// incremental analysis. Cands are its candidate pairs in deterministic
+// order; Warnings carries lowering warnings for reporting.
+//
+// A unit is immutable once built: edits must produce a fresh Unit value
+// (re-read the file, or rebuild the candidate list as workload.MutateNests
+// does). That contract is what lets the driver cache the unit's
+// fingerprint in place, so a long-lived in-memory corpus pays the
+// fingerprint walk once per unit, not once per run.
+type Unit struct {
+	Name     string
+	Cands    []refs.Candidate
+	Warnings []string
+
+	fp memo.Fingerprint // cached digest; zero = not yet computed
+}
+
+// Fingerprint returns the unit's structural digest, computing it with f
+// and caching it on first use.
+func (u *Unit) Fingerprint(f *Fingerprinter) memo.Fingerprint {
+	if u.fp.IsZero() {
+		u.fp = f.Unit(*u)
+	}
+	return u.fp
+}
+
+// Source enumerates the units of a corpus in a deterministic order. Units
+// is called once per Driver.Run, so sources backed by files re-read them on
+// every run — which is exactly what lets the driver observe edits.
+type Source interface {
+	Units() ([]Unit, error)
+}
+
+// Mem is an in-memory corpus: the units themselves. The adapter for
+// generated workloads and for tests that mutate units between runs.
+type Mem []Unit
+
+// Units returns the units as given.
+func (m Mem) Units() ([]Unit, error) { return m, nil }
+
+// FromSource parses and lowers one loop-language source into a unit named
+// name, enumerating candidate pairs with write self-pairs included (the
+// same population the single-unit facade analyzes).
+func FromSource(name, src string) (Unit, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return Unit{}, fmt.Errorf("corpus: %s: %w", name, err)
+	}
+	u := opt.Lower(prog)
+	return Unit{Name: name, Cands: refs.Pairs(u), Warnings: u.Warnings}, nil
+}
+
+// files is the Source over an explicit list of DSL file paths.
+type files []string
+
+// Files returns a Source over the given loop-language files, one unit per
+// file in the given order, named by path.
+func Files(paths ...string) Source { return files(paths) }
+
+func (f files) Units() ([]Unit, error) {
+	units := make([]Unit, 0, len(f))
+	for _, path := range f {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: %w", err)
+		}
+		u, err := FromSource(path, string(b))
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+// dir is the Source over a directory tree of DSL files.
+type dir string
+
+// DirExt is the file extension Dir treats as a loop-language unit.
+const DirExt = ".loop"
+
+// Dir returns a Source over every *.loop file under root (recursively),
+// one unit per file in sorted relative-path order — the stable order that
+// makes corpus output deterministic across runs and platforms.
+func Dir(root string) Source { return dir(root) }
+
+func (d dir) Units() ([]Unit, error) {
+	var paths []string
+	err := filepath.WalkDir(string(d), func(path string, e fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !e.IsDir() && strings.HasSuffix(e.Name(), DirExt) {
+			paths = append(paths, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("corpus: walking %s: %w", string(d), err)
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("corpus: no %s files under %s", DirExt, string(d))
+	}
+	units := make([]Unit, 0, len(paths))
+	for _, path := range paths {
+		rel, err := filepath.Rel(string(d), path)
+		if err != nil {
+			rel = path
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: %w", err)
+		}
+		u, err := FromSource(filepath.ToSlash(rel), string(b))
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}

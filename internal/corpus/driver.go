@@ -1,0 +1,230 @@
+package corpus
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"exactdep/internal/core"
+	"exactdep/internal/memo"
+	"exactdep/internal/refs"
+)
+
+// Stats counts one Run's incremental traffic. The unit counters are what
+// the incremental tests pin: mutating k of N units must show UnitsSolved ==
+// k and UnitsReused == N-k.
+type Stats struct {
+	// Units is the corpus size this run.
+	Units int
+	// UnitsReused were served from the store without analysis.
+	UnitsReused int
+	// UnitsSolved went through the analyzer (changed, new, or no store).
+	UnitsSolved int
+	// PairsServed / PairsSolved split the pair population the same way.
+	PairsServed int
+	PairsSolved int
+}
+
+// UnitResult is one unit's outcome in corpus order.
+type UnitResult struct {
+	Name        string
+	Fingerprint memo.Fingerprint
+	// Reused reports that the results came from the store, not the
+	// analyzer.
+	Reused   bool
+	Results  []core.Result
+	Cost     CostSummary
+	Warnings []string
+}
+
+// Driver is the incremental corpus driver: it diffs unit fingerprints
+// against a persistent Store and schedules only changed or new units
+// through the analyzer — one core.AnalyzeAll batch with shared memo tables,
+// so unchanged-unit reuse (store hits) layers on top of cross-unit
+// canonical-problem reuse (memo hits). Without a store every unit is
+// solved fresh, and the driver is simply the batched corpus front end the
+// suite runner and depanalyze share.
+//
+// A Driver is not safe for concurrent use; the analyzer's internal worker
+// pool provides the parallelism.
+type Driver struct {
+	analyzer *core.Analyzer
+	workers  int
+	sig      string
+	store    *Store
+	fp       Fingerprinter
+
+	// Stats describes the most recent Run.
+	Stats Stats
+}
+
+// NewDriver returns a driver over a fresh analyzer configured by opts.
+// workers is the analyzer pool size for each Run's batch (1 serial, <= 0
+// GOMAXPROCS), with the same byte-identical-results guarantee as
+// core.AnalyzeAll.
+func NewDriver(opts core.Options, workers int) *Driver {
+	return &Driver{analyzer: core.New(opts), workers: workers, sig: Signature(opts)}
+}
+
+// NewDriverOver wraps an existing analyzer, sharing its memo tables and
+// counters — the adapter that lets per-program front ends (the suite
+// runner, depanalyze's multi-unit mode) keep one compiler-session analyzer
+// while routing scheduling through the corpus driver.
+func NewDriverOver(a *core.Analyzer, workers int) *Driver {
+	return &Driver{analyzer: a, workers: workers, sig: Signature(a.Options())}
+}
+
+// Analyzer exposes the underlying analyzer (memo persistence, stats,
+// distribution reports).
+func (d *Driver) Analyzer() *core.Analyzer { return d.analyzer }
+
+// SetStore attaches a persistent verdict store. The store must carry the
+// driver's own options signature — NewStore(sameOptions) or LoadStore with
+// the same options guarantees that.
+func (d *Driver) SetStore(s *Store) error {
+	if s != nil && s.sig != d.sig {
+		return fmt.Errorf("corpus: store signature %q does not match driver configuration %q", s.sig, d.sig)
+	}
+	d.store = s
+	return nil
+}
+
+// Store returns the attached store (nil if none).
+func (d *Driver) Store() *Store { return d.store }
+
+// Run analyzes the corpus incrementally and emits one UnitResult per unit
+// in corpus order. With a store attached, units whose fingerprint is
+// already present are served from it; the rest are fingerprinted, solved in
+// a single analyzer batch, and stored back (unless a verdict tripped on the
+// clock or on cancellation). emit may be nil — the run then updates the
+// store and Stats without materializing store-served results at all; a
+// non-nil emit error aborts the run. Stats is reset at the start of each
+// run.
+func (d *Driver) Run(ctx context.Context, src Source, emit func(UnitResult) error) error {
+	units, err := src.Units()
+	if err != nil {
+		return err
+	}
+	d.Stats = Stats{Units: len(units)}
+
+	type slot struct {
+		fp     memo.Fingerprint
+		stored *StoredUnit
+		off    int // offset into the miss batch when stored == nil
+	}
+	slots := make([]slot, len(units))
+	var batch []refs.Candidate
+	for i := range units {
+		u := &units[i]
+		if d.store != nil {
+			slots[i].fp = u.Fingerprint(&d.fp)
+			// The pair-count cross-check guards the (astronomically
+			// unlikely) fingerprint collision and any hand-edited store.
+			if su, ok := d.store.Lookup(slots[i].fp); ok && len(su.Results) == len(u.Cands) {
+				slots[i].stored = su
+				d.Stats.UnitsReused++
+				d.Stats.PairsServed += len(u.Cands)
+				continue
+			}
+		}
+		slots[i].off = len(batch)
+		batch = append(batch, u.Cands...)
+		d.Stats.UnitsSolved++
+		d.Stats.PairsSolved += len(u.Cands)
+	}
+
+	var solved []core.Result
+	if len(batch) > 0 {
+		solved, err = d.analyzer.AnalyzeAllContext(ctx, batch, d.workers)
+		if err != nil {
+			return err
+		}
+	}
+
+	for i := range units {
+		u := &units[i]
+		ur := UnitResult{Name: u.Name, Fingerprint: slots[i].fp, Warnings: u.Warnings}
+		if slots[i].stored != nil {
+			if emit == nil {
+				// No consumer: a stats-only run (e.g. "did anything
+				// change?") pays nothing to rebuild served results.
+				continue
+			}
+			ur.Reused = true
+			ur.Results = serve(u.Cands, slots[i].stored)
+			ur.Cost = slots[i].stored.Cost
+		} else {
+			ur.Results = solved[slots[i].off : slots[i].off+len(u.Cands)]
+			ur.Cost = summarize(ur.Results)
+			if d.store != nil && storable(ur.Results) {
+				d.store.Put(slots[i].fp, toStored(u.Name, ur.Results))
+			}
+		}
+		if emit != nil {
+			if err := emit(ur); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RunAll is Run collecting every UnitResult.
+func (d *Driver) RunAll(ctx context.Context, src Source) ([]UnitResult, error) {
+	var out []UnitResult
+	err := d.Run(ctx, src, func(ur UnitResult) error {
+		out = append(out, ur)
+		return nil
+	})
+	return out, err
+}
+
+// AppendCanonical appends the canonical rendering of a unit result: the
+// byte-identity surface of incremental analysis. It covers everything the
+// store persists — outcome, exactness, trip, direction vectors, distances,
+// per pair in order — and deliberately excludes provenance (DecidedBy, and
+// Kind, which names the deciding test): provenance depends on session
+// history, so a warm run legitimately reports ByCache where a cold run
+// reports ByTest. Cold and warm runs over the same corpus produce identical
+// canonical bytes at any worker count.
+func AppendCanonical(dst []byte, ur *UnitResult) []byte {
+	dst = append(dst, ur.Name...)
+	dst = append(dst, '\n')
+	for i := range ur.Results {
+		r := &ur.Results[i]
+		dst = strconv.AppendInt(dst, int64(i), 10)
+		dst = append(dst, ' ')
+		dst = append(dst, r.Outcome.String()...)
+		if r.Exact {
+			dst = append(dst, " exact"...)
+		}
+		if r.Trip != 0 {
+			dst = append(dst, " trip="...)
+			dst = strconv.AppendInt(dst, int64(r.Trip), 10)
+		}
+		for _, v := range r.Vectors {
+			dst = append(dst, ' ')
+			dst = append(dst, v.String()...)
+		}
+		for _, dist := range r.Distances {
+			dst = append(dst, " d"...)
+			dst = strconv.AppendInt(dst, int64(dist.Level), 10)
+			dst = append(dst, '=')
+			dst = strconv.AppendInt(dst, dist.Value, 10)
+		}
+		dst = append(dst, '\n')
+	}
+	return dst
+}
+
+// Canonical runs the corpus and returns the concatenated canonical
+// rendering of every unit — the convenient form of the byte-identity
+// guarantee for tests and tools.
+func (d *Driver) Canonical(ctx context.Context, src Source) ([]byte, error) {
+	var buf []byte
+	err := d.Run(ctx, src, func(ur UnitResult) error {
+		buf = AppendCanonical(buf, &ur)
+		return nil
+	})
+	return buf, err
+}

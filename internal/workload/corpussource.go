@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"exactdep/internal/corpus"
+	"exactdep/internal/ir"
+	"exactdep/internal/refs"
+)
+
+// Corpus adapters: the synthetic workloads exposed as corpus.Sources, so
+// the suite runner, the incremental tests, and the corpus benchmarks all
+// feed the same driver the DSL-file sources do.
+
+// SuiteSource returns the paper-calibrated program suite as an in-memory
+// corpus, one unit per program in suite order.
+func SuiteSource(symbolic bool) (corpus.Mem, error) {
+	var m corpus.Mem
+	for _, s := range Programs() {
+		cands, err := Candidates(s, symbolic)
+		if err != nil {
+			return nil, err
+		}
+		m = append(m, corpus.Unit{Name: s.Name, Cands: cands})
+	}
+	return m, nil
+}
+
+// LargeCorpusUnits returns a LargeCorpus of the given size as per-nest
+// units — the invalidation granularity of incremental analysis. Every
+// LargeCorpus nest is one assignment over a distinct array, so a program's
+// candidate list splits into nests on contiguous runs sharing an array
+// name; unit names are "<program>/<array>".
+func LargeCorpusUnits(nests int) (corpus.Mem, error) {
+	specs := LargeCorpus(nests)
+	var m corpus.Mem
+	for _, s := range specs {
+		cands, err := Candidates(s, false)
+		if err != nil {
+			return nil, err
+		}
+		for lo := 0; lo < len(cands); {
+			hi := lo + 1
+			arr := cands[lo].Pair.A.Ref.Array
+			for hi < len(cands) && cands[hi].Pair.A.Ref.Array == arr {
+				hi++
+			}
+			m = append(m, corpus.Unit{Name: s.Name + "/" + arr, Cands: cands[lo:hi:hi]})
+			lo = hi
+		}
+	}
+	return m, nil
+}
+
+// MutateNest returns a deep-enough copy of units with unit i edited the way
+// a programmer would: the first candidate's A-side first subscript gets its
+// constant shifted by delta (a[i+1] instead of a[i]), and the candidate is
+// re-classified. Unedited units share memory with the input — the corpus
+// driver never mutates units, so the aliasing is safe and keeps the k-dirty
+// test and benchmark setup cheap.
+func MutateNest(units corpus.Mem, i int, delta int64) corpus.Mem {
+	return MutateNests(units, []int{i}, delta)
+}
+
+// MutateNests is the bulk form: one shared copy of the unit slice with
+// every index in idxs edited, so dirtying 1% of a 4096-nest corpus costs
+// one slice copy, not k.
+func MutateNests(units corpus.Mem, idxs []int, delta int64) corpus.Mem {
+	out := make(corpus.Mem, len(units))
+	copy(out, units)
+	for _, i := range idxs {
+		out[i] = mutateUnit(units[i], delta)
+	}
+	return out
+}
+
+// mutateUnit builds a fresh Unit value — not a struct copy — so the
+// original's cached fingerprint is dropped along with the shared slices.
+func mutateUnit(u corpus.Unit, delta int64) corpus.Unit {
+	cands := make([]refs.Candidate, len(u.Cands))
+	copy(cands, u.Cands)
+	c := cands[0]
+	subs := make([]ir.Expr, len(c.Pair.A.Ref.Subscripts))
+	for j := range subs {
+		subs[j] = c.Pair.A.Ref.Subscripts[j].Clone()
+	}
+	subs[0].Const += delta
+	c.Pair.A.Ref.Subscripts = subs
+	c.Class = refs.Classify(c.Pair.A.Ref, c.Pair.B.Ref)
+	cands[0] = c
+	return corpus.Unit{Name: u.Name, Cands: cands, Warnings: u.Warnings}
+}

@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"exactdep/internal/core"
+	"exactdep/internal/corpus"
+)
+
+// TestLargeCorpusIncremental is the acceptance test of the corpus layer on
+// the 4096-nest LargeCorpus: mutate k (1%) of the nests, and the
+// incremental driver must re-solve exactly those k — with analyzer traffic
+// at most 2% of a cold run's — while producing output byte-identical to a
+// cold full analysis of the mutated corpus at workers = 1 and workers = 4,
+// through a store that survived a save/load round trip.
+func TestLargeCorpusIncremental(t *testing.T) {
+	const nests = 4096
+	const k = 41 // ~1% dirty
+
+	opts := core.Options{Memoize: true, ImprovedMemo: true,
+		DirectionVectors: true, PruneUnused: true, PruneDistance: true}
+
+	units, err := LargeCorpusUnits(nests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != nests {
+		t.Fatalf("LargeCorpusUnits(%d) = %d units, want one per nest", nests, len(units))
+	}
+
+	// Cold run, filling the store.
+	coldDriver := corpus.NewDriver(opts, 1)
+	if err := coldDriver.SetStore(corpus.NewStore(opts)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coldDriver.RunAll(context.Background(), units); err != nil {
+		t.Fatal(err)
+	}
+	coldPairs := coldDriver.Analyzer().Stats.Pairs
+	if cs := coldDriver.Stats; cs.Units != nests || cs.UnitsSolved != nests || cs.UnitsReused != 0 {
+		t.Fatalf("cold stats: %+v", cs)
+	}
+	if coldDriver.Store().Len() == 0 {
+		t.Fatal("cold run filled no store entries")
+	}
+
+	// Persist the filled store; the warm runs below each load a pristine
+	// copy, proving the round trip (and keeping the two runs independent).
+	var snapshot bytes.Buffer
+	if err := coldDriver.Store().Save(&snapshot); err != nil {
+		t.Fatal(err)
+	}
+	loadSnapshot := func() *corpus.Store {
+		t.Helper()
+		s, err := corpus.LoadStore(bytes.NewReader(snapshot.Bytes()), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	// Mutate k distinct nests, spread across the corpus.
+	dirty := units
+	for i := 0; i < k; i++ {
+		dirty = MutateNest(dirty, (i*97+5)%nests, 1)
+	}
+
+	// Reference: a cold full analysis of the mutated corpus.
+	refDriver := corpus.NewDriver(opts, 1)
+	want, err := refDriver.Canonical(context.Background(), dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 4} {
+		d := corpus.NewDriver(opts, workers)
+		if err := d.SetStore(loadSnapshot()); err != nil {
+			t.Fatal(err)
+		}
+		got, err := d.Canonical(context.Background(), dirty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cs := d.Stats; cs.UnitsSolved != k || cs.UnitsReused != nests-k {
+			t.Fatalf("workers=%d: driver re-solved %d units, reused %d; want exactly %d and %d",
+				workers, cs.UnitsSolved, cs.UnitsReused, k, nests-k)
+		}
+		warmPairs := d.Analyzer().Stats.Pairs
+		if warmPairs*50 > coldPairs {
+			t.Fatalf("workers=%d: warm run analyzed %d pairs, more than 2%% of cold's %d",
+				workers, warmPairs, coldPairs)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d: incremental output diverged from cold full analysis (%d vs %d bytes)",
+				workers, len(got), len(want))
+		}
+	}
+}
+
+// TestMutateNest pins the mutation helper itself: only the targeted unit
+// changes, and its fingerprint moves.
+func TestMutateNest(t *testing.T) {
+	units, err := LargeCorpusUnits(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f corpus.Fingerprinter
+	before := make([]string, len(units))
+	for i := range units {
+		before[i] = f.Unit(units[i]).String()
+	}
+	mut := MutateNest(units, 3, 2)
+	for i := range mut {
+		after := f.Unit(mut[i]).String()
+		if i == 3 {
+			if after == before[i] {
+				t.Fatal("mutated unit kept its fingerprint")
+			}
+			continue
+		}
+		if after != before[i] {
+			t.Fatalf("unit %d changed without being mutated", i)
+		}
+	}
+	// The input corpus is untouched (deep-enough copy).
+	if got := f.Unit(units[3]).String(); got != before[3] {
+		t.Fatal("MutateNest mutated its input")
+	}
+}

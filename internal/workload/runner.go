@@ -1,9 +1,11 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 
 	"exactdep/internal/core"
+	"exactdep/internal/corpus"
 	"exactdep/internal/lang"
 	"exactdep/internal/opt"
 	"exactdep/internal/refs"
@@ -46,42 +48,47 @@ func Run(s Spec, ro RunnerOptions) (*core.Analyzer, error) {
 	return a, nil
 }
 
+// driverWorkers maps the runner's worker convention (0 or 1 serial, N > 1
+// pool of N) onto the corpus driver's (where <= 0 means GOMAXPROCS).
+func driverWorkers(w int) int {
+	if w <= 1 {
+		return 1
+	}
+	return w
+}
+
 // RunInto runs one synthetic program through an existing analyzer (sharing
 // its memo tables, as a compiler would across a session) and returns the
-// per-pair results in candidate order.
+// per-pair results in candidate order. It is a corpus-of-one run of the
+// incremental driver with no store attached: the driver batches the unit
+// straight through the analyzer, serially at Workers <= 1, so counters are
+// identical to a direct AnalyzeCandidate loop.
 func RunInto(a *core.Analyzer, s Spec, ro RunnerOptions) ([]core.Result, error) {
 	cands, err := Candidates(s, ro.Symbolic)
 	if err != nil {
 		return nil, err
 	}
-	if ro.Workers <= 1 {
-		out := make([]core.Result, 0, len(cands))
-		for _, c := range cands {
-			r, err := a.AnalyzeCandidate(c)
-			if err != nil {
-				return nil, fmt.Errorf("workload %s: %w", s.Name, err)
-			}
-			out = append(out, r)
-		}
-		return out, nil
-	}
-	out, err := a.AnalyzeAll(cands, ro.Workers)
+	d := corpus.NewDriverOver(a, driverWorkers(ro.Workers))
+	urs, err := d.RunAll(context.Background(), corpus.Mem{{Name: s.Name, Cands: cands}})
 	if err != nil {
 		return nil, fmt.Errorf("workload %s: %w", s.Name, err)
 	}
-	return out, nil
+	return urs[0].Results, nil
 }
 
 // RunSuite runs every program of the suite through one analyzer (shared
 // memo tables, one compiler session) and returns it with merged counters.
+// The suite is a thirteen-unit corpus: one driver run, one analyzer batch.
 func RunSuite(ro RunnerOptions) (*core.Analyzer, error) {
-	a := core.New(ro.coreOpts())
-	for _, s := range Programs() {
-		if _, err := RunInto(a, s, ro); err != nil {
-			return nil, err
-		}
+	src, err := SuiteSource(ro.Symbolic)
+	if err != nil {
+		return nil, err
 	}
-	return a, nil
+	d := corpus.NewDriver(ro.coreOpts(), driverWorkers(ro.Workers))
+	if err := d.Run(context.Background(), src, nil); err != nil {
+		return nil, err
+	}
+	return d.Analyzer(), nil
 }
 
 // Analyze runs one synthetic program through the full pipeline (parse →
