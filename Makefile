@@ -42,22 +42,37 @@ bench:
 # bench-json writes the machine-readable perf baseline (ns/op, allocs/op,
 # memo hit rates over the suite, budget-trip profile of the FM-hard
 # adversarial suite, refinement counter profile, cold large-corpus scaling,
-# incremental corpus cold/warm split) so future PRs can diff against it.
+# incremental corpus cold/warm split, pipelined corpus cold/warm from mem
+# and dir sources with per-stage timing, host metadata) so future PRs can
+# diff against it.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR7.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR8.json
 
 # benchcmp diffs the previous PR's committed baseline against this PR's.
 benchcmp:
-	$(GO) run ./cmd/benchcmp BENCH_PR6.json BENCH_PR7.json
+	$(GO) run ./cmd/benchcmp BENCH_PR7.json BENCH_PR8.json
+
+# BASELINE is the committed perf baseline benchcmp-gate measures against.
+BASELINE := BENCH_PR8.json
 
 # benchcmp-gate re-measures the gated benchmarks (just those, via the
 # benchjson -only filter) and fails if one regressed more than 15% in ns/op
 # against the committed baseline. The corpus warm path is the incremental
-# layer's headline number, so it is gated alongside the memo-hot pass. Opt
-# into the gate from check with PERFGATE=1.
+# layer's headline number, and the warm Dir-backed pipeline run is the
+# front-end (parse+fingerprint+probe) twin of it, so both are gated
+# alongside the memo-hot pass. A missing baseline file fails loudly up
+# front rather than as a confusing benchcmp read error — PERFGATE=1 on
+# check means someone asked for the gate, so silently skipping it would be
+# worse. Opt into the gate from check with PERFGATE=1.
 benchcmp-gate:
+	@if [ ! -f $(BASELINE) ]; then \
+		echo "benchcmp-gate: baseline $(BASELINE) is missing — run 'make bench-json' and commit it"; \
+		exit 1; \
+	fi
 	$(GO) run ./cmd/benchjson -only analyze_all_memo_hot -out .bench_gate.json
-	$(GO) run ./cmd/benchcmp -gate analyze_all_memo_hot_workers_4 -tolerance 15 BENCH_PR7.json .bench_gate.json
+	$(GO) run ./cmd/benchcmp -gate analyze_all_memo_hot_workers_4 -tolerance 15 $(BASELINE) .bench_gate.json
 	$(GO) run ./cmd/benchjson -only corpus_incremental_warm -out .bench_gate.json
-	$(GO) run ./cmd/benchcmp -gate corpus_incremental_warm_1pct_workers_1 -tolerance 15 BENCH_PR7.json .bench_gate.json
+	$(GO) run ./cmd/benchcmp -gate corpus_incremental_warm_1pct_workers_1 -tolerance 15 $(BASELINE) .bench_gate.json
+	$(GO) run ./cmd/benchjson -only corpus_pipeline_warm_dir_workers_1 -out .bench_gate.json
+	$(GO) run ./cmd/benchcmp -gate corpus_pipeline_warm_dir_workers_1 -tolerance 15 $(BASELINE) .bench_gate.json
 	@rm -f .bench_gate.json

@@ -12,6 +12,8 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 
@@ -269,6 +271,92 @@ func BenchmarkCorpusIncremental(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// writeLargeCorpusDir renders the 4096-nest LargeCorpus as one .loop file
+// per program (32 files) under a temp dir — the disk-backed twin of
+// LargeCorpusUnits for the pipeline benchmarks, where the front end pays
+// read + parse per run the way an IDE/CI re-analysis does.
+func writeLargeCorpusDir(b *testing.B, nests int) string {
+	b.Helper()
+	root := b.TempDir()
+	for _, s := range workload.LargeCorpus(nests) {
+		path := filepath.Join(root, s.Name+".loop")
+		if err := os.WriteFile(path, []byte(workload.Source(s, false)), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return root
+}
+
+// BenchmarkCorpusPipeline: the end-to-end pipelined corpus path on the
+// 4096-nest LargeCorpus, cold (empty store: load, fingerprint, solve, fill)
+// and warm (filled store: the front end is the whole run), from both an
+// in-memory source (units pre-built, fingerprints cached after the first
+// pass) and a Dir source (32 files re-read and re-parsed every run). Worker
+// counts 1/2/4/8 chart the pipeline's scaling; the warm Dir series is the
+// headline — serial parse+fingerprint used to dominate the incremental win,
+// and the parallel front end is what moves it. Canonical-byte identity
+// across these worker counts is pinned by TestPipelineCanonicalIdentity.
+func BenchmarkCorpusPipeline(b *testing.B) {
+	opts := core.Options{Memoize: true, ImprovedMemo: true}
+	const nests = 4096
+	units, err := workload.LargeCorpusUnits(nests)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sources := []struct {
+		name string
+		src  corpus.Source
+	}{
+		{"mem", units},
+		{"dir", corpus.Dir(writeLargeCorpusDir(b, nests))},
+	}
+	for _, sc := range sources {
+		// Seed the warm store once per source (unit granularity differs:
+		// per-nest for mem, per-file for dir).
+		seed := corpus.NewDriver(opts, 1)
+		if err := seed.SetStore(corpus.NewStore(opts)); err != nil {
+			b.Fatal(err)
+		}
+		if err := seed.Run(context.Background(), sc.src, nil); err != nil {
+			b.Fatal(err)
+		}
+		filled := seed.Store()
+
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("cold/%s/workers=%d", sc.name, w), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					d := corpus.NewDriver(opts, w)
+					if err := d.SetStore(corpus.NewStore(opts)); err != nil {
+						b.Fatal(err)
+					}
+					if err := d.Run(context.Background(), sc.src, nil); err != nil {
+						b.Fatal(err)
+					}
+					if d.Stats.UnitsReused != 0 {
+						b.Fatalf("cold run reused %d units", d.Stats.UnitsReused)
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("warm/%s/workers=%d", sc.name, w), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					d := corpus.NewDriver(opts, w)
+					if err := d.SetStore(filled); err != nil {
+						b.Fatal(err)
+					}
+					if err := d.Run(context.Background(), sc.src, nil); err != nil {
+						b.Fatal(err)
+					}
+					if d.Stats.UnitsSolved != 0 {
+						b.Fatalf("warm run re-solved %d units", d.Stats.UnitsSolved)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -2,8 +2,10 @@
 // BENCH_PR5.json vs BENCH_PR6.json): benchmarks are matched by name and the
 // ns/op, bytes/op and allocs/op deltas printed side by side, with benchmarks
 // present in only one file called out separately. It reads only the
-// "benchmarks" array, so any exactdep-bench/v1 file works regardless of
-// which profile sections it carries.
+// "benchmarks" array and the "host" section (warning when the two baselines
+// come from hosts with different CPU counts, since workers=N scaling deltas
+// are then hardware artifacts), so any exactdep-bench/v1 file works
+// regardless of which profile sections it carries.
 //
 // With -gate NAME the command additionally enforces a regression bound on
 // that one benchmark: if NEW's ns/op exceeds OLD's by more than -tolerance
@@ -30,8 +32,16 @@ type benchRecord struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
+// hostInfo mirrors benchjson's host section; files predating it simply
+// decode to the zero value (CPU count 0 = unknown).
+type hostInfo struct {
+	NumCPU     int `json:"num_cpu"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+}
+
 type doc struct {
 	Schema     string        `json:"schema"`
+	Host       hostInfo      `json:"host"`
 	Benchmarks []benchRecord `json:"benchmarks"`
 }
 
@@ -67,6 +77,17 @@ func run(oldPath, newPath, gate string, tolerance float64) error {
 	newDoc, err := load(newPath)
 	if err != nil {
 		return err
+	}
+
+	// Scaling series (workers=N records) are hardware-relative: flag a
+	// comparison whose sides ran on hosts with different CPU counts, since
+	// every ns/op delta then confounds code change with hardware change. A
+	// baseline without a host section (pre-PR8) counts as unknown, not as a
+	// mismatch.
+	if oldDoc.Host.NumCPU != 0 && newDoc.Host.NumCPU != 0 && oldDoc.Host.NumCPU != newDoc.Host.NumCPU {
+		fmt.Fprintf(os.Stderr,
+			"benchcmp: warning: baselines come from hosts with different CPU counts (%s: %d, %s: %d) — ns/op deltas confound code and hardware\n",
+			oldPath, oldDoc.Host.NumCPU, newPath, newDoc.Host.NumCPU)
 	}
 
 	oldByName := make(map[string]benchRecord, len(oldDoc.Benchmarks))

@@ -1,18 +1,23 @@
 // Command benchjson emits a machine-readable benchmark baseline (make
-// bench-json → BENCH_PR7.json): ns/op, bytes/op and allocs/op for the key
+// bench-json → BENCH_PR8.json): ns/op, bytes/op and allocs/op for the key
 // encoder, the lock-free sharded lookup, the memo-hot AnalyzeAll pass, the
 // cold very-large-corpus AnalyzeAll pass at several worker counts, the
 // incremental corpus driver (cold store fill vs a 1%-dirty warm re-run over
-// the fingerprint → verdict store), the budgeted FM-hard degradation pass,
-// and the direction-vector refinement strategies (clone-per-node reference
-// vs the clone-free trail walk, cold and memoized), plus per-program memo
-// hit rates over the PERFECT-style suite, the deterministic budget-trip
-// profile, and the refinement/FM counter profile. Future PRs diff their own
-// run against the committed baseline (cmd/benchcmp, make benchcmp) to keep
-// a perf trajectory; the -only flag restricts a run to benchmarks whose
-// name contains the given substring (skipping the profile sections), which
-// is how the perf gate (make benchcmp-gate) re-measures just its gated
-// benchmarks.
+// the fingerprint → verdict store), the pipelined corpus path (cold/warm
+// from both in-memory and Dir sources at workers 1/2/4/8, with a per-stage
+// timing profile), the budgeted FM-hard degradation pass, and the
+// direction-vector refinement strategies (clone-per-node reference vs the
+// clone-free trail walk, cold and memoized), plus per-program memo hit
+// rates over the PERFECT-style suite, the deterministic budget-trip
+// profile, and the refinement/FM counter profile. Every file embeds host
+// metadata (GOMAXPROCS, CPU count, GOOS/GOARCH, go version) so scaling
+// numbers carry their hardware context — cmd/benchcmp warns when two
+// baselines come from hosts with different CPU counts. Future PRs diff
+// their own run against the committed baseline (cmd/benchcmp, make
+// benchcmp) to keep a perf trajectory; the -only flag restricts a run to
+// benchmarks whose name contains the given substring (skipping the profile
+// sections), which is how the perf gate (make benchcmp-gate) re-measures
+// just its gated benchmarks.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
@@ -48,12 +54,48 @@ type benchRecord struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
+// hostInfo is the hardware/runtime context of one baseline: scaling
+// records (workers=N series) are meaningless without the CPU count, so the
+// "this was a 1-vCPU host" caveat travels with the numbers.
+type hostInfo struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+// stageNs is one corpus run's per-stage pipeline timing (see
+// corpus.StageTimes for the semantics; front-end stages are summed across
+// workers).
+type stageNs struct {
+	LoadNs        int64 `json:"load_ns"`
+	FingerprintNs int64 `json:"fingerprint_ns"`
+	ProbeNs       int64 `json:"probe_ns"`
+	SolveNs       int64 `json:"solve_ns"`
+	EmitNs        int64 `json:"emit_ns"`
+	WallNs        int64 `json:"wall_ns"`
+}
+
+// pipelineProfile is the front-end-vs-solver breakdown of one cold and one
+// warm Dir-backed corpus run with stage timing enabled.
+type pipelineProfile struct {
+	Workers int     `json:"workers"`
+	Source  string  `json:"source"`
+	Cold    stageNs `json:"cold"`
+	Warm    stageNs `json:"warm"`
+}
+
 type doc struct {
 	Schema     string                 `json:"schema"`
 	GoVersion  string                 `json:"go_version"`
 	GOMAXPROCS int                    `json:"gomaxprocs"`
+	Host       hostInfo               `json:"host"`
 	Benchmarks []benchRecord          `json:"benchmarks"`
-	MemoSuite  []workload.MemoSummary `json:"memo_suite"`
+	// Pipeline is the per-stage timing split of the pipelined corpus driver
+	// (informational: wall times, not gated).
+	Pipeline  pipelineProfile        `json:"pipeline"`
+	MemoSuite []workload.MemoSummary `json:"memo_suite"`
 	// Budget is the degradation profile of the FM-hard adversarial suite
 	// under a starvation count budget — the budget layer's effectiveness
 	// baseline (trip counts are deterministic, so diffs are meaningful).
@@ -146,6 +188,24 @@ func deepNest(depth int) (*system.TSystem, error) {
 	return ts, nil
 }
 
+// writeLargeCorpusDir renders the LargeCorpus as one .loop file per program
+// under a fresh temp dir — the disk-backed twin of LargeCorpusUnits for the
+// pipeline records, where the front end pays read + parse per run.
+func writeLargeCorpusDir(nests int) (string, error) {
+	dir, err := os.MkdirTemp("", "exactdep-bench-corpus-")
+	if err != nil {
+		return "", err
+	}
+	for _, s := range workload.LargeCorpus(nests) {
+		path := filepath.Join(dir, s.Name+".loop")
+		if err := os.WriteFile(path, []byte(workload.Source(s, false)), 0o644); err != nil {
+			os.RemoveAll(dir)
+			return "", err
+		}
+	}
+	return dir, nil
+}
+
 // suiteProblems builds the unique canonical problems of the whole suite —
 // the encoder benchmark's input population.
 func suiteProblems() ([]*system.Problem, error) {
@@ -195,6 +255,13 @@ func run(out, only string) error {
 		Schema:     "exactdep-bench/v1",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Host: hostInfo{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+		},
 	}
 
 	// match/add implement the -only filter: a benchmark runs when its name
@@ -362,6 +429,119 @@ func run(out, only string) error {
 		}
 	}
 
+	// Pipelined corpus path: cold (empty store — load, fingerprint, solve,
+	// fill) and warm (filled store — the front end is the whole run) at
+	// workers 1/2/4/8, from an in-memory source and from a Dir source whose
+	// 32 files are re-read and re-parsed every run. The warm Dir series is
+	// the headline: serial parse+fingerprint used to dominate the
+	// incremental win, and the parallel front end is what moves it. On a
+	// 1-CPU host (see the host section) the series charts coordination
+	// overhead, not speedup.
+	pipeWorkers := []int{1, 2, 4, 8}
+	pipeWanted := false
+	for _, src := range []string{"mem", "dir"} {
+		for _, mode := range []string{"cold", "warm"} {
+			for _, w := range pipeWorkers {
+				if match(fmt.Sprintf("corpus_pipeline_%s_%s_workers_%d", mode, src, w)) {
+					pipeWanted = true
+				}
+			}
+		}
+	}
+	if pipeWanted {
+		pipeOpts := core.Options{Memoize: true, ImprovedMemo: true}
+		memUnits, err := workload.LargeCorpusUnits(largeCorpusNests)
+		if err != nil {
+			return err
+		}
+		dirRoot, err := writeLargeCorpusDir(largeCorpusNests)
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dirRoot)
+		for _, sc := range []struct {
+			name string
+			src  corpuspkg.Source
+		}{
+			{"mem", memUnits},
+			{"dir", corpuspkg.Dir(dirRoot)},
+		} {
+			sc := sc
+			seed := corpuspkg.NewDriver(pipeOpts, 1)
+			if err := seed.SetStore(corpuspkg.NewStore(pipeOpts)); err != nil {
+				return err
+			}
+			if err := seed.Run(context.Background(), sc.src, nil); err != nil {
+				return err
+			}
+			filled := seed.Store()
+			for _, w := range pipeWorkers {
+				w := w
+				add(fmt.Sprintf("corpus_pipeline_cold_%s_workers_%d", sc.name, w), func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						dr := corpuspkg.NewDriver(pipeOpts, w)
+						if err := dr.SetStore(corpuspkg.NewStore(pipeOpts)); err != nil {
+							b.Fatal(err)
+						}
+						if err := dr.Run(context.Background(), sc.src, nil); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				add(fmt.Sprintf("corpus_pipeline_warm_%s_workers_%d", sc.name, w), func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						dr := corpuspkg.NewDriver(pipeOpts, w)
+						if err := dr.SetStore(filled); err != nil {
+							b.Fatal(err)
+						}
+						if err := dr.Run(context.Background(), sc.src, nil); err != nil {
+							b.Fatal(err)
+						}
+						if dr.Stats.UnitsSolved != 0 {
+							b.Fatalf("warm run re-solved %d units", dr.Stats.UnitsSolved)
+						}
+					}
+				})
+			}
+			// Per-stage timing profile from the Dir source (the one whose
+			// front end pays real I/O) at GOMAXPROCS workers: one cold and
+			// one warm run with stage accounting on.
+			if only == "" && sc.name == "dir" {
+				pw := runtime.GOMAXPROCS(0)
+				timeRun := func(store *corpuspkg.Store) (stageNs, error) {
+					dr := corpuspkg.NewDriver(pipeOpts, pw)
+					dr.TimeStages = true
+					if err := dr.SetStore(store); err != nil {
+						return stageNs{}, err
+					}
+					if err := dr.Run(context.Background(), sc.src, nil); err != nil {
+						return stageNs{}, err
+					}
+					st := dr.Stats.Stage
+					return stageNs{
+						LoadNs:        st.Load.Nanoseconds(),
+						FingerprintNs: st.Fingerprint.Nanoseconds(),
+						ProbeNs:       st.Probe.Nanoseconds(),
+						SolveNs:       st.Solve.Nanoseconds(),
+						EmitNs:        st.Emit.Nanoseconds(),
+						WallNs:        st.Wall.Nanoseconds(),
+					}, nil
+				}
+				cold, err := timeRun(corpuspkg.NewStore(pipeOpts))
+				if err != nil {
+					return err
+				}
+				warm, err := timeRun(filled)
+				if err != nil {
+					return err
+				}
+				d.Pipeline = pipelineProfile{Workers: pw, Source: "dir", Cold: cold, Warm: warm}
+			}
+		}
+	}
+
 	// Budgeted pass over the FM-hard adversarial suite: how fast the cascade
 	// degrades under a starvation budget, and the (deterministic) trip
 	// profile it produces.
@@ -485,7 +665,7 @@ func run(out, only string) error {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR7.json", "output path ('-' for stdout)")
+	out := flag.String("out", "BENCH_PR8.json", "output path ('-' for stdout)")
 	only := flag.String("only", "", "run only benchmarks whose name contains this substring (skips profile sections)")
 	flag.Parse()
 	if err := run(*out, *only); err != nil {

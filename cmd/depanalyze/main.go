@@ -31,7 +31,10 @@
 //	-budget-ms=N      per-pair wall-clock deadline in milliseconds
 //	-timeout=D        whole-run deadline (context.WithTimeout); remaining
 //	                  pairs degrade to sound 'maybe' verdicts
-//	-stats            print the analyzer counters
+//	-stats            print the analyzer counters (in corpus mode also the
+//	                  per-stage pipeline timing)
+//	-cpuprofile=path  write a CPU profile of the run (pprof format)
+//	-memprofile=path  write a heap profile at exit (pprof format)
 //	-memostats        print memo table occupancy, shard spread, L1/L2 hit
 //	                  rates, and degraded-entry counts (implies -memo)
 //	-parallel=false   skip the parallelization summary
@@ -53,6 +56,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"exactdep"
@@ -64,7 +68,7 @@ func main() {
 
 // run is main with its environment made explicit, so the flag matrix and
 // exit codes are testable: 0 ok, 1 runtime error, 2 usage error.
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("depanalyze", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	vectors := fs.Bool("vectors", true, "compute direction and distance vectors")
@@ -79,6 +83,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	budgetMS := fs.Int("budget-ms", 0, "per-pair wall-clock budget in milliseconds (0 = unlimited)")
 	timeout := fs.Duration("timeout", 0, "whole-run deadline; remaining pairs degrade to 'maybe' (0 = none)")
 	showStats := fs.Bool("stats", false, "print analyzer statistics")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	memoStats := fs.Bool("memostats", false, "print memo occupancy, shard spread, L1/L2 hit rates, degraded entries (implies -memo)")
 	par := fs.Bool("parallel", true, "print the loop-parallelization summary")
 	annotate := fs.Bool("annotate", false, "print the source with parallel loops marked 'parfor'")
@@ -129,6 +135,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "depanalyze: %v\n", err)
 		return 2
 	}
+
+	// Profiles cover everything from here on (parse, lowering, analysis,
+	// rendering). An unwritable profile path is a runtime error, like any
+	// other bad file argument; the deferred stop also writes the heap
+	// profile and upgrades a late failure to exit 1.
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(stderr, "depanalyze: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(stderr, "depanalyze: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
 
 	if corpusMode {
 		if *annotate || *dot || *distribute {
@@ -244,6 +268,45 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// startProfiles begins CPU profiling and/or arms a heap-profile write,
+// returning the stop function that finishes both. Either path may be empty;
+// with both empty the stop function is a no-op.
+func startProfiles(cpuPath, memPath string) (func() error, error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() error {
+		var first error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			first = cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err == nil {
+				runtime.GC() // settle live-object statistics before the snapshot
+				err = pprof.WriteHeapProfile(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
+}
+
 // printResult renders one pair verdict line (shared by the single-file and
 // corpus modes).
 func printResult(w io.Writer, r exactdep.Result) {
@@ -299,6 +362,8 @@ func runCorpus(cfg corpusConfig, stdout, stderr io.Writer) int {
 	}
 
 	driver := exactdep.NewCorpusDriver(cfg.opts, cfg.workers)
+	// Stage accounting is opt-in (per-unit clock reads); -stats asks for it.
+	driver.TimeStages = cfg.stats
 	analyzer := driver.Analyzer()
 	if cfg.memoFile != "" {
 		if f, err := os.Open(cfg.memoFile); err == nil {
@@ -387,6 +452,8 @@ func runCorpus(cfg corpusConfig, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout)
 		fmt.Fprintf(stdout, "corpus: %d units (%d reused, %d solved), %d pairs served, %d pairs solved\n",
 			cs.Units, cs.UnitsReused, cs.UnitsSolved, cs.PairsServed, cs.PairsSolved)
+		fmt.Fprintf(stdout, "pipeline: load %s  fingerprint %s  probe %s  solve %s  emit %s  wall %s\n",
+			cs.Stage.Load, cs.Stage.Fingerprint, cs.Stage.Probe, cs.Stage.Solve, cs.Stage.Emit, cs.Stage.Wall)
 		fmt.Fprintf(stdout, "pairs: %d  constant: %d  gcd-independent: %d  tests: %d\n",
 			s.Pairs, s.Constant, s.GCDIndependent, s.TotalTests())
 		fmt.Fprintf(stdout, "verdicts: %d independent, %d dependent, %d unknown, %d maybe\n",

@@ -110,6 +110,10 @@ func TestExitCodes(t *testing.T) {
 		{"negative budget", []string{"-budget-fm=-1", good}, 2},
 		{"missing file", []string{filepath.Join(t.TempDir(), "nope.loop")}, 1},
 		{"syntax error", []string{bad}, 1},
+		{"cpuprofile missing value", []string{"-cpuprofile"}, 2},
+		{"memprofile missing value", []string{"-memprofile"}, 2},
+		{"cpuprofile bad path", []string{"-cpuprofile", filepath.Join(t.TempDir(), "no", "dir", "cpu.prof"), good}, 1},
+		{"memprofile bad path", []string{"-memprofile", filepath.Join(t.TempDir(), "no", "dir", "mem.prof"), good}, 1},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -202,6 +206,56 @@ func TestCorpusMode(t *testing.T) {
 	s = out.String()
 	if strings.Index(s, "b.loop") > strings.Index(s, "a.loop ==") {
 		t.Fatalf("multi-file order not preserved:\n%s", s)
+	}
+}
+
+// TestProfileFlags: -cpuprofile and -memprofile write non-empty pprof files
+// in both single-file and corpus mode, leaving the exit code at 0.
+func TestProfileFlags(t *testing.T) {
+	path := writeLoop(t, simpleSrc)
+	root := corpusDir(t)
+	dir := t.TempDir()
+	for _, c := range []struct {
+		name string
+		args []string
+	}{
+		{"single", []string{path}},
+		{"corpus", []string{root}},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			cpu := filepath.Join(dir, c.name+".cpu.prof")
+			mem := filepath.Join(dir, c.name+".mem.prof")
+			args := append([]string{"-cpuprofile", cpu, "-memprofile", mem}, c.args...)
+			var out, errb bytes.Buffer
+			if code := run(args, &out, &errb); code != 0 {
+				t.Fatalf("exit %d, stderr %q", code, errb.String())
+			}
+			for _, p := range []string{cpu, mem} {
+				fi, err := os.Stat(p)
+				if err != nil {
+					t.Fatalf("profile not written: %v", err)
+				}
+				if fi.Size() == 0 {
+					t.Fatalf("profile %s is empty", p)
+				}
+			}
+		})
+	}
+}
+
+// TestCorpusStatsPipeline: corpus-mode -stats includes the per-stage
+// pipeline timing line at any worker count.
+func TestCorpusStatsPipeline(t *testing.T) {
+	root := corpusDir(t)
+	for _, workers := range []string{"1", "4"} {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-stats", "-workers=" + workers, root}, &out, &errb); code != 0 {
+			t.Fatalf("workers=%s: exit %d, stderr %q", workers, code, errb.String())
+		}
+		s := out.String()
+		if !strings.Contains(s, "pipeline: load ") || !strings.Contains(s, "  wall ") {
+			t.Fatalf("workers=%s: missing pipeline stage line:\n%s", workers, s)
+		}
 	}
 }
 

@@ -79,9 +79,13 @@ func AnalyzeCorpus(src Corpus, opts Options) (*CorpusReport, error) {
 }
 
 // AnalyzeCorpusContext is AnalyzeCorpus honoring a context. Options.Workers
-// sizes the analyzer batch as in AnalyzeUnitContext (0 serial, negative
-// GOMAXPROCS); cut-short units degrade to sound Maybe verdicts and are
-// never stored.
+// sizes the whole corpus pipeline as in AnalyzeUnitContext (0 serial,
+// negative GOMAXPROCS): at more than one worker the driver loads,
+// fingerprints, and store-probes units with a worker pool and overlaps
+// analyzer batches with the rest of the front end, with canonical results,
+// counters, and store traffic identical to the serial run at every worker
+// count. Cut-short units degrade to sound Maybe verdicts and are never
+// stored.
 func AnalyzeCorpusContext(ctx context.Context, src Corpus, opts Options) (*CorpusReport, error) {
 	workers := 1
 	if opts.Workers != 0 {

@@ -65,9 +65,11 @@ type Options struct {
 	// negative disables the L1 so every lookup goes to the shared table.
 	L1Size int
 	// Workers is the concurrent driver's pool size for the unit-level entry
-	// points (exactdep.AnalyzeUnitContext / AnalyzeSourceContext): 0 means
-	// serial, negative means GOMAXPROCS. Analyzer.AnalyzeAll takes the pool
-	// size as an explicit argument and ignores this field.
+	// points (exactdep.AnalyzeUnitContext / AnalyzeSourceContext) and the
+	// corpus entry points (exactdep.AnalyzeCorpus, where it sizes the whole
+	// load/fingerprint/probe/solve pipeline): 0 means serial, negative means
+	// GOMAXPROCS. Analyzer.AnalyzeAll takes the pool size as an explicit
+	// argument and ignores this field.
 	Workers int
 	// StorePath names a persistent corpus verdict-store snapshot for the
 	// corpus entry points (exactdep.AnalyzeCorpus): loaded when present,

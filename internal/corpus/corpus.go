@@ -35,8 +35,11 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"exactdep/internal/lang"
 	"exactdep/internal/memo"
@@ -77,6 +80,77 @@ type Source interface {
 	Units() ([]Unit, error)
 }
 
+// Item is one lazily-loadable member of a corpus listing: the unit's name
+// plus the deferred read+parse that materializes it. Load must be safe to
+// call from any goroutine (items are loaded by a worker pool) and
+// independent of every other item's Load.
+type Item struct {
+	Name string
+	Load func() (Unit, error)
+}
+
+// Lister is the streaming face of a Source: sources that can enumerate
+// their members cheaply (a directory walk, a path list) before paying the
+// per-unit read+parse cost. The driver's pipelined front end loads,
+// fingerprints, and store-probes Lister items with a worker pool while the
+// solver is already chewing on earlier units; plain Sources are fully
+// materialized first. Dir and Files implement it; Mem deliberately does
+// not (its units already exist).
+type Lister interface {
+	Source
+	List() ([]Item, error)
+}
+
+// loadItems materializes a listing with a bounded worker pool, preserving
+// item order: workers claim indices atomically and fill a pre-sized slice,
+// so the result is byte-identical to a serial loop at any worker count.
+// workers <= 0 means runtime.GOMAXPROCS(0). On failure the error of the
+// lowest-index failing item wins — the same error a serial loop would have
+// stopped on — and every worker is joined before returning, so no goroutine
+// outlives the call.
+func loadItems(items []Item, workers int) ([]Unit, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	units := make([]Unit, len(items))
+	if workers <= 1 {
+		for i := range items {
+			u, err := items[i].Load()
+			if err != nil {
+				return nil, err
+			}
+			units[i] = u
+		}
+		return units, nil
+	}
+	errs := make([]error, len(items))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				units[i], errs[i] = items[i].Load()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return units, nil
+}
+
 // Mem is an in-memory corpus: the units themselves. The adapter for
 // generated workloads and for tests that mutate units between runs.
 type Mem []Unit
@@ -96,27 +170,41 @@ func FromSource(name, src string) (Unit, error) {
 	return Unit{Name: name, Cands: refs.Pairs(u), Warnings: u.Warnings}, nil
 }
 
+// loadFile is the Item.Load of the file-backed sources: read and parse one
+// DSL file into the unit named name.
+func loadFile(name, path string) func() (Unit, error) {
+	return func() (Unit, error) {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return Unit{}, fmt.Errorf("corpus: %w", err)
+		}
+		return FromSource(name, string(b))
+	}
+}
+
 // files is the Source over an explicit list of DSL file paths.
 type files []string
 
 // Files returns a Source over the given loop-language files, one unit per
-// file in the given order, named by path.
+// file in the given order, named by path. Units reads and parses the files
+// with a worker pool (List exposes the lazy form for the pipelined driver);
+// unit order is the given path order regardless of worker count.
 func Files(paths ...string) Source { return files(paths) }
 
-func (f files) Units() ([]Unit, error) {
-	units := make([]Unit, 0, len(f))
-	for _, path := range f {
-		b, err := os.ReadFile(path)
-		if err != nil {
-			return nil, fmt.Errorf("corpus: %w", err)
-		}
-		u, err := FromSource(path, string(b))
-		if err != nil {
-			return nil, err
-		}
-		units = append(units, u)
+func (f files) List() ([]Item, error) {
+	items := make([]Item, len(f))
+	for i, path := range f {
+		items[i] = Item{Name: path, Load: loadFile(path, path)}
 	}
-	return units, nil
+	return items, nil
+}
+
+func (f files) Units() ([]Unit, error) {
+	items, err := f.List()
+	if err != nil {
+		return nil, err
+	}
+	return loadItems(items, 0)
 }
 
 // dir is the Source over a directory tree of DSL files.
@@ -127,10 +215,13 @@ const DirExt = ".loop"
 
 // Dir returns a Source over every *.loop file under root (recursively),
 // one unit per file in sorted relative-path order — the stable order that
-// makes corpus output deterministic across runs and platforms.
+// makes corpus output deterministic across runs and platforms. Units reads
+// and parses the files with a worker pool (List exposes the lazy form for
+// the pipelined driver); the sorted order is fixed by the walk, before any
+// loading starts, so it is identical at every worker count.
 func Dir(root string) Source { return dir(root) }
 
-func (d dir) Units() ([]Unit, error) {
+func (d dir) List() ([]Item, error) {
 	var paths []string
 	err := filepath.WalkDir(string(d), func(path string, e fs.DirEntry, err error) error {
 		if err != nil {
@@ -148,21 +239,21 @@ func (d dir) Units() ([]Unit, error) {
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("corpus: no %s files under %s", DirExt, string(d))
 	}
-	units := make([]Unit, 0, len(paths))
-	for _, path := range paths {
+	items := make([]Item, len(paths))
+	for i, path := range paths {
 		rel, err := filepath.Rel(string(d), path)
 		if err != nil {
 			rel = path
 		}
-		b, err := os.ReadFile(path)
-		if err != nil {
-			return nil, fmt.Errorf("corpus: %w", err)
-		}
-		u, err := FromSource(filepath.ToSlash(rel), string(b))
-		if err != nil {
-			return nil, err
-		}
-		units = append(units, u)
+		items[i] = Item{Name: filepath.ToSlash(rel), Load: loadFile(filepath.ToSlash(rel), path)}
 	}
-	return units, nil
+	return items, nil
+}
+
+func (d dir) Units() ([]Unit, error) {
+	items, err := d.List()
+	if err != nil {
+		return nil, err
+	}
+	return loadItems(items, 0)
 }

@@ -3,12 +3,39 @@ package corpus
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"strconv"
+	"time"
 
 	"exactdep/internal/core"
 	"exactdep/internal/memo"
 	"exactdep/internal/refs"
 )
+
+// StageTimes breaks one Run's cost into pipeline stages. Load, Fingerprint
+// and Probe are summed across front-end workers, so on a pipelined run they
+// are CPU time and may exceed Wall; Solve and Emit are wall time on the
+// solver goroutine; Wall is the whole Run. All fields except Wall are zero
+// unless Driver.TimeStages is set (per-unit clock reads are measurable next
+// to a warm store probe, so the accounting is opt-in, like
+// core.Options.TimeCascade).
+type StageTimes struct {
+	// Load is reading + parsing units (file-backed sources; zero for
+	// in-memory corpora, whose units already exist).
+	Load time.Duration
+	// Fingerprint is the structural digest pass (zero-cost for units whose
+	// cached fingerprint is still valid).
+	Fingerprint time.Duration
+	// Probe is the fingerprint → verdict store lookups.
+	Probe time.Duration
+	// Solve is the analyzer batches over store misses.
+	Solve time.Duration
+	// Emit is rebuilding store-served results plus the caller's emit
+	// callbacks.
+	Emit time.Duration
+	// Wall is the whole Run, always measured.
+	Wall time.Duration
+}
 
 // Stats counts one Run's incremental traffic. The unit counters are what
 // the incremental tests pin: mutating k of N units must show UnitsSolved ==
@@ -23,6 +50,9 @@ type Stats struct {
 	// PairsServed / PairsSolved split the pair population the same way.
 	PairsServed int
 	PairsSolved int
+	// Stage is the per-stage pipeline timing (see StageTimes; stage
+	// accounting needs Driver.TimeStages).
+	Stage StageTimes
 }
 
 // UnitResult is one unit's outcome in corpus order.
@@ -39,14 +69,22 @@ type UnitResult struct {
 
 // Driver is the incremental corpus driver: it diffs unit fingerprints
 // against a persistent Store and schedules only changed or new units
-// through the analyzer — one core.AnalyzeAll batch with shared memo tables,
-// so unchanged-unit reuse (store hits) layers on top of cross-unit
-// canonical-problem reuse (memo hits). Without a store every unit is
-// solved fresh, and the driver is simply the batched corpus front end the
+// through the analyzer, so unchanged-unit reuse (store hits) layers on top
+// of cross-unit canonical-problem reuse (memo hits). Without a store every
+// unit is solved fresh, and the driver is simply the corpus front end the
 // suite runner and depanalyze share.
 //
-// A Driver is not safe for concurrent use; the analyzer's internal worker
-// pool provides the parallelism.
+// At workers == 1 a Run is fully serial: load everything, fingerprint and
+// probe unit by unit, solve the misses in one analyzer batch, emit. At
+// workers > 1 the whole path is pipelined (see pipeline.go): a worker pool
+// loads, fingerprints, and store-probes units concurrently; the solver
+// feeds accumulated miss batches to core.AnalyzeAllContext while later
+// units are still in the front end; and results are emitted in corpus
+// order as their prefix completes. Cold and warm canonical bytes — and the
+// unit/pair counters above — are identical at every worker count.
+//
+// A Driver is not safe for concurrent use; its own worker pools provide
+// the parallelism.
 type Driver struct {
 	analyzer *core.Analyzer
 	workers  int
@@ -56,11 +94,16 @@ type Driver struct {
 
 	// Stats describes the most recent Run.
 	Stats Stats
+	// TimeStages enables per-stage wall-time accounting in Stats.Stage.
+	// Off by default: the per-unit clock reads are measurable next to a
+	// warm store probe (same rationale as core.Options.TimeCascade).
+	TimeStages bool
 }
 
 // NewDriver returns a driver over a fresh analyzer configured by opts.
-// workers is the analyzer pool size for each Run's batch (1 serial, <= 0
-// GOMAXPROCS), with the same byte-identical-results guarantee as
+// workers sizes the whole pipeline — the front-end load/fingerprint/probe
+// pool and the analyzer pool of each solve batch (1 serial, <= 0
+// GOMAXPROCS) — with the same byte-identical-results guarantee as
 // core.AnalyzeAll.
 func NewDriver(opts core.Options, workers int) *Driver {
 	return &Driver{analyzer: core.New(opts), workers: workers, sig: Signature(opts)}
@@ -94,18 +137,50 @@ func (d *Driver) Store() *Store { return d.store }
 
 // Run analyzes the corpus incrementally and emits one UnitResult per unit
 // in corpus order. With a store attached, units whose fingerprint is
-// already present are served from it; the rest are fingerprinted, solved in
-// a single analyzer batch, and stored back (unless a verdict tripped on the
-// clock or on cancellation). emit may be nil — the run then updates the
-// store and Stats without materializing store-served results at all; a
-// non-nil emit error aborts the run. Stats is reset at the start of each
-// run.
+// already present are served from it; the rest are solved through the
+// analyzer and stored back (unless a verdict tripped on the clock or on
+// cancellation). emit may be nil — the run then updates the store and
+// Stats without materializing store-served results at all; a non-nil emit
+// error aborts the run. Stats is reset at the start of each run.
+//
+// At workers > 1 the run is pipelined: units are loaded, fingerprinted,
+// and probed by a worker pool, miss batches overlap the rest of the front
+// end in the analyzer, and UnitResults stream out in corpus order as their
+// prefix completes. Canonical bytes, unit/pair counters, and store traffic
+// are identical to the serial run; on a load failure, results for units
+// preceding the failing one may already have been emitted before the
+// (deterministic, lowest-index) error is returned, where the serial run
+// emits nothing.
 func (d *Driver) Run(ctx context.Context, src Source, emit func(UnitResult) error) error {
+	start := time.Now()
+	d.Stats = Stats{}
+	workers := d.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var err error
+	if workers <= 1 {
+		err = d.runSerial(ctx, src, emit)
+	} else {
+		err = d.runPipelined(ctx, src, emit, workers)
+	}
+	d.Stats.Stage.Wall = time.Since(start)
+	return err
+}
+
+// runSerial is the workers == 1 path: everything on the calling goroutine,
+// one analyzer batch, no synchronization — the counter-for-counter
+// reference the pipelined path is asserted against.
+func (d *Driver) runSerial(ctx context.Context, src Source, emit func(UnitResult) error) error {
+	t0 := time.Now()
 	units, err := src.Units()
 	if err != nil {
 		return err
 	}
-	d.Stats = Stats{Units: len(units)}
+	if d.TimeStages {
+		d.Stats.Stage.Load = time.Since(t0)
+	}
+	d.Stats.Units = len(units)
 
 	type slot struct {
 		fp     memo.Fingerprint
@@ -116,11 +191,27 @@ func (d *Driver) Run(ctx context.Context, src Source, emit func(UnitResult) erro
 	var batch []refs.Candidate
 	for i := range units {
 		u := &units[i]
+		var t1 time.Time
+		if d.TimeStages {
+			t1 = time.Now()
+		}
+		// The fingerprint is part of the unit's result surface even without
+		// a store (UnitResult.Fingerprint), and it is cached on the Unit, so
+		// compute it unconditionally.
+		slots[i].fp = u.Fingerprint(&d.fp)
+		if d.TimeStages {
+			t2 := time.Now()
+			d.Stats.Stage.Fingerprint += t2.Sub(t1)
+			t1 = t2
+		}
 		if d.store != nil {
-			slots[i].fp = u.Fingerprint(&d.fp)
 			// The pair-count cross-check guards the (astronomically
 			// unlikely) fingerprint collision and any hand-edited store.
-			if su, ok := d.store.Lookup(slots[i].fp); ok && len(su.Results) == len(u.Cands) {
+			su, ok := d.store.Lookup(slots[i].fp)
+			if d.TimeStages {
+				d.Stats.Stage.Probe += time.Since(t1)
+			}
+			if ok && len(su.Results) == len(u.Cands) {
 				slots[i].stored = su
 				d.Stats.UnitsReused++
 				d.Stats.PairsServed += len(u.Cands)
@@ -135,12 +226,20 @@ func (d *Driver) Run(ctx context.Context, src Source, emit func(UnitResult) erro
 
 	var solved []core.Result
 	if len(batch) > 0 {
-		solved, err = d.analyzer.AnalyzeAllContext(ctx, batch, d.workers)
+		t1 := time.Now()
+		solved, err = d.analyzer.AnalyzeAllContext(ctx, batch, 1)
+		if d.TimeStages {
+			d.Stats.Stage.Solve = time.Since(t1)
+		}
 		if err != nil {
 			return err
 		}
 	}
 
+	var emitStart time.Time
+	if d.TimeStages {
+		emitStart = time.Now()
+	}
 	for i := range units {
 		u := &units[i]
 		ur := UnitResult{Name: u.Name, Fingerprint: slots[i].fp, Warnings: u.Warnings}
@@ -165,6 +264,9 @@ func (d *Driver) Run(ctx context.Context, src Source, emit func(UnitResult) erro
 				return err
 			}
 		}
+	}
+	if d.TimeStages {
+		d.Stats.Stage.Emit = time.Since(emitStart)
 	}
 	return nil
 }

@@ -30,6 +30,12 @@ import (
 // Stored results never include provenance (DecidedBy): provenance depends
 // on session history even in a serial analyzer, so the driver serves store
 // hits as ByCache and the canonical rendering excludes it.
+//
+// A Store is a plain map with no internal locking: concurrent Lookups are
+// safe only while no Put runs. The pipelined driver relies on exactly that
+// contract — its front-end workers probe the store concurrently and all
+// Puts are deferred until the pool is joined (see pipeline.go) — so any new
+// caller that mixes readers and writers must add its own synchronization.
 type Store struct {
 	sig   string
 	units map[memo.Fingerprint]*StoredUnit

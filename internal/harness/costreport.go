@@ -1,9 +1,11 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"exactdep/internal/core"
+	"exactdep/internal/corpus"
 	"exactdep/internal/dtest"
 	"exactdep/internal/stats"
 	"exactdep/internal/tablefmt"
@@ -89,8 +91,42 @@ func (h *Harness) CostReport() error {
 	// Degradation accounting (zero for this unbudgeted run, but pinned by the
 	// golden file so the counters stay wired): budget trips force sound Maybe
 	// verdicts, cancelled pairs never reached the cascade at all.
-	fmt.Fprintf(h.w, "degradation: %d maybe verdicts, %d budget trips, %d pairs cancelled\n\n",
+	fmt.Fprintf(h.w, "degradation: %d maybe verdicts, %d budget trips, %d pairs cancelled\n",
 		tot.Maybe, tot.TotalBudgetTrips(), tot.CancelledPairs)
+	// Corpus pipeline: the incremental layer over the same options — a cold
+	// run solves every suite unit into a verdict store, the warm re-run
+	// serves them all back. The unit/pair counters are deterministic at any
+	// worker count (golden-pinned); per-stage timing of the pipelined front
+	// end appears with Timing, like the cascade columns above.
+	src, err := workload.SuiteSource(false)
+	if err != nil {
+		return err
+	}
+	d := corpus.NewDriver(opts, 0)
+	d.TimeStages = h.Timing
+	if err := d.SetStore(corpus.NewStore(opts)); err != nil {
+		return err
+	}
+	if err := d.Run(context.Background(), src, nil); err != nil {
+		return err
+	}
+	cold := d.Stats
+	if err := d.Run(context.Background(), src, nil); err != nil {
+		return err
+	}
+	warm := d.Stats
+	fmt.Fprintf(h.w, "corpus pipeline: cold %d units solved (%d pairs), warm %d units reused (%d pairs served)\n\n",
+		cold.UnitsSolved, cold.PairsSolved, warm.UnitsReused, warm.PairsServed)
+	if h.Timing {
+		for _, run := range []struct {
+			name string
+			st   corpus.StageTimes
+		}{{"cold", cold.Stage}, {"warm", warm.Stage}} {
+			fmt.Fprintf(h.w, "  %s stages: load %s  fingerprint %s  probe %s  solve %s  emit %s  wall %s\n",
+				run.name, run.st.Load, run.st.Fingerprint, run.st.Probe, run.st.Solve, run.st.Emit, run.st.Wall)
+		}
+		fmt.Fprintln(h.w)
+	}
 	return nil
 }
 
