@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check allocgate bench bench-json benchcmp benchcmp-gate
+.PHONY: build test vet race check allocgate bench bench-json benchcmp benchcmp-gate serve-smoke
 
 build:
 	$(GO) build ./...
@@ -27,11 +27,24 @@ allocgate:
 
 # check is the CI gate: vet plus race-enabled tests, so the concurrent
 # driver (core.AnalyzeAll, memo.ShardedTable) is race-checked on every run,
-# plus the allocation-regression gate. Set PERFGATE=1 to also run the
+# plus the allocation-regression gate and the service smoke (a real
+# depserve process loaded by depload). Set PERFGATE=1 to also run the
 # wall-clock perf gate (benchcmp-gate) — opt-in because ns/op on a shared or
 # throttled host is too noisy to block every CI run on.
-check: vet race allocgate
+check: vet race allocgate serve-smoke
 	@if [ "$(PERFGATE)" = "1" ]; then $(MAKE) benchcmp-gate; fi
+
+# serve-smoke boots a real depserve process on a random port (small queue,
+# so the burst exercises admission control), replays a short rated run plus
+# an overload burst with depload, and requires zero 5xx responses and
+# served verdicts byte-identical to a local batch run. depload SIGTERMs the
+# server at the end and requires a clean drain, so graceful shutdown is
+# covered by a real process, not just the in-process tests.
+serve-smoke:
+	$(GO) build -o .smoke_depserve ./cmd/depserve
+	$(GO) run ./cmd/depload -spawn ./.smoke_depserve -spawn-flags "-queue 8" \
+		-rate 40 -duration 2s -burst 24 -large-nests 16 -check -out .smoke_serve.json
+	@rm -f .smoke_depserve .smoke_serve.json
 
 # bench runs the paper-evaluation benchmarks (root package) and the cascade,
 # memo, and refinement stage/allocation microbenchmarks with allocation
@@ -46,14 +59,14 @@ bench:
 # and dir sources with per-stage timing, host metadata) so future PRs can
 # diff against it.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR8.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR9.json
 
 # benchcmp diffs the previous PR's committed baseline against this PR's.
 benchcmp:
-	$(GO) run ./cmd/benchcmp BENCH_PR7.json BENCH_PR8.json
+	$(GO) run ./cmd/benchcmp BENCH_PR8.json BENCH_PR9.json
 
 # BASELINE is the committed perf baseline benchcmp-gate measures against.
-BASELINE := BENCH_PR8.json
+BASELINE := BENCH_PR9.json
 
 # benchcmp-gate re-measures the gated benchmarks (just those, via the
 # benchjson -only filter) and fails if one regressed more than 15% in ns/op

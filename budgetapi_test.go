@@ -96,31 +96,72 @@ func TestReportDegradedBudget(t *testing.T) {
 	}
 }
 
-// TestAnalyzeUnitWorkersShim: the deprecated entry point must agree with the
-// context-first one configured via Options.Workers.
-func TestAnalyzeUnitWorkersShim(t *testing.T) {
+// TestWorkersOptionDeterministic: the context-first entry point must return
+// identical results at every Options.Workers value (the guarantee the
+// removed AnalyzeUnitWorkers shim used to restate).
+func TestWorkersOptionDeterministic(t *testing.T) {
 	prog, err := exactdep.Parse(fmHardSrc(t))
 	if err != nil {
 		t.Fatal(err)
 	}
 	u := exactdep.Lower(prog)
 	opts := exactdep.Options{Memoize: true, ImprovedMemo: true}
-	for _, workers := range []int{1, 4} {
-		shim, err := exactdep.AnalyzeUnitWorkers(u, opts, workers)
-		if err != nil {
-			t.Fatal(err)
-		}
+	serial, err := exactdep.AnalyzeUnitContext(context.Background(), u, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, -1} {
 		o := opts
-		if workers != 1 {
-			o.Workers = workers
-		}
-		direct, err := exactdep.AnalyzeUnitContext(context.Background(), u, o)
+		o.Workers = workers
+		conc, err := exactdep.AnalyzeUnitContext(context.Background(), u, o)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if fmt.Sprintf("%+v", shim.Results) != fmt.Sprintf("%+v", direct.Results) {
-			t.Errorf("workers=%d: shim and AnalyzeUnitContext disagree", workers)
+		if fmt.Sprintf("%+v", conc.Results) != fmt.Sprintf("%+v", serial.Results) {
+			t.Errorf("workers=%d: results diverge from serial", workers)
 		}
+	}
+}
+
+// TestValidateAtPublicEntries: every public analysis entry point must reject
+// invalid options up front with the shared Options.Validate error shape,
+// before touching the input.
+func TestValidateAtPublicEntries(t *testing.T) {
+	prog, err := exactdep.Parse("for i = 1 to 10\n  a[i] = a[i-1]\nend\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := exactdep.Lower(prog)
+	bad := exactdep.Options{Cascade: "no-such-cascade"}
+	wantErr := bad.Validate()
+	if wantErr == nil {
+		t.Fatal("bad options validated clean")
+	}
+	if _, err := exactdep.AnalyzeUnit(u, bad); err == nil || err.Error() != wantErr.Error() {
+		t.Errorf("AnalyzeUnit error = %v, want %v", err, wantErr)
+	}
+	if _, err := exactdep.AnalyzeSource("for i = 1 to 2\n  a[i] = a[i]\nend\n", bad); err == nil || err.Error() != wantErr.Error() {
+		t.Errorf("AnalyzeSource error = %v, want %v", err, wantErr)
+	}
+	if _, err := exactdep.Parallelize(u, bad); err == nil || err.Error() != wantErr.Error() {
+		t.Errorf("Parallelize error = %v, want %v", err, wantErr)
+	}
+	req := exactdep.CorpusRequest{Source: exactdep.CorpusMem{}, Options: bad}
+	if _, err := exactdep.AnalyzeCorpusRequest(context.Background(), req); err == nil || err.Error() != wantErr.Error() {
+		t.Errorf("AnalyzeCorpusRequest error = %v, want %v", err, wantErr)
+	}
+	negative := exactdep.Options{Budget: exactdep.Budget{MaxBranchNodes: -1}}
+	if _, err := exactdep.AnalyzeUnit(u, negative); err == nil {
+		t.Error("negative budget accepted")
+	}
+	// The corpus selection itself is validated too: zero or two selectors
+	// is a usage error.
+	if _, err := exactdep.AnalyzeCorpusRequest(context.Background(), exactdep.CorpusRequest{}); err == nil {
+		t.Error("empty CorpusRequest accepted")
+	}
+	two := exactdep.CorpusRequest{Dir: "x", Files: []string{"y"}}
+	if _, err := exactdep.AnalyzeCorpusRequest(context.Background(), two); err == nil {
+		t.Error("double corpus selection accepted")
 	}
 }
 

@@ -41,6 +41,9 @@
 //	-annotate         print the source with parallel loops marked 'parfor'
 //	-dot              print the dependence graph in Graphviz dot form
 //	-distribute       print the program with loops distributed by pi-blocks
+//	-json             print results as the versioned wire document
+//	                  (internal/wire AnalyzeResponse) the depserve service
+//	                  returns, instead of the text report
 //
 // The flags compose: -workers, -cascade, and -memostats may be combined
 // freely (and with the budget flags); -memostats and -memo-file imply
@@ -51,6 +54,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -60,6 +64,8 @@ import (
 	"time"
 
 	"exactdep"
+	corpuspkg "exactdep/internal/corpus"
+	"exactdep/internal/wire"
 )
 
 func main() {
@@ -90,6 +96,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	annotate := fs.Bool("annotate", false, "print the source with parallel loops marked 'parfor'")
 	dot := fs.Bool("dot", false, "print the statement dependence graph in Graphviz dot form")
 	distribute := fs.Bool("distribute", false, "print the program with top-level loops distributed by pi-blocks")
+	jsonOut := fs.Bool("json", false, "print the wire AnalyzeResponse JSON document instead of the text report")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -154,6 +161,10 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		}
 	}()
 
+	if *jsonOut && (*annotate || *dot || *distribute) {
+		fmt.Fprintln(stderr, "depanalyze: -json replaces the text report; drop -annotate, -dot and -distribute")
+		return 2
+	}
 	if corpusMode {
 		if *annotate || *dot || *distribute {
 			fmt.Fprintln(stderr, "depanalyze: -annotate, -dot and -distribute need a single program, not a corpus")
@@ -168,6 +179,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			storeFile: *storeFile,
 			stats:     *showStats,
 			memoStats: *memoStats,
+			jsonOut:   *jsonOut,
 		}, stdout, stderr)
 	}
 
@@ -213,6 +225,32 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			fmt.Fprintf(stderr, "depanalyze: %v\n", err)
 			return 1
 		}
+	}
+
+	if *jsonOut {
+		name := fs.Arg(0)
+		if name == "-" {
+			name = "stdin"
+		}
+		u, err := corpuspkg.FromSource(name, src)
+		if err != nil {
+			fmt.Fprintf(stderr, "depanalyze: %v\n", err)
+			return 1
+		}
+		var fp corpuspkg.Fingerprinter
+		ur := exactdep.UnitResult{
+			Name:        name,
+			Fingerprint: u.Fingerprint(&fp),
+			Results:     results,
+			Cost:        corpuspkg.Summarize(results),
+			Warnings:    unit.Warnings,
+		}
+		cs := exactdep.CorpusStats{Units: 1, UnitsSolved: 1, PairsSolved: len(results)}
+		if err := writeWireJSON(stdout, []exactdep.UnitResult{ur}, cs, analyzer.Stats, opts); err != nil {
+			fmt.Fprintf(stderr, "depanalyze: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 
 	for _, w := range report.Unit.Warnings {
@@ -348,6 +386,7 @@ type corpusConfig struct {
 	storeFile string
 	stats     bool
 	memoStats bool
+	jsonOut   bool
 }
 
 // runCorpus analyzes a directory or a list of files as one corpus: a single
@@ -403,8 +442,9 @@ func runCorpus(cfg corpusConfig, stdout, stderr io.Writer) int {
 		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
 		defer cancel()
 	}
+	var jsonResults []exactdep.UnitResult
 	first := true
-	err := driver.Run(ctx, src, func(ur exactdep.UnitResult) error {
+	emit := func(ur exactdep.UnitResult) error {
 		if !first {
 			fmt.Fprintln(stdout)
 		}
@@ -421,7 +461,14 @@ func runCorpus(cfg corpusConfig, stdout, stderr io.Writer) int {
 			printResult(stdout, r)
 		}
 		return nil
-	})
+	}
+	if cfg.jsonOut {
+		emit = func(ur exactdep.UnitResult) error {
+			jsonResults = append(jsonResults, ur)
+			return nil
+		}
+	}
+	err := driver.Run(ctx, src, emit)
 	if err != nil {
 		fmt.Fprintf(stderr, "depanalyze: %v\n", err)
 		return 1
@@ -447,6 +494,13 @@ func runCorpus(cfg corpusConfig, stdout, stderr io.Writer) int {
 		}
 	}
 
+	if cfg.jsonOut {
+		if err := writeWireJSON(stdout, jsonResults, driver.Stats, analyzer.Stats, cfg.opts); err != nil {
+			fmt.Fprintf(stderr, "depanalyze: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 	if cfg.stats {
 		cs, s := driver.Stats, analyzer.Stats
 		fmt.Fprintln(stdout)
@@ -471,6 +525,27 @@ func runCorpus(cfg corpusConfig, stdout, stderr io.Writer) int {
 		printMemoStats(stdout, analyzer)
 	}
 	return 0
+}
+
+// writeWireJSON renders results as the same versioned wire document
+// depserve serves, so scripted clients can switch between the CLI and the
+// service without a second parser (and diff the two byte for byte after
+// wire.Canonical).
+func writeWireJSON(w io.Writer, urs []exactdep.UnitResult, cs exactdep.CorpusStats, counters exactdep.Counters, opts exactdep.Options) error {
+	resp := &wire.AnalyzeResponse{
+		SchemaVersion: wire.SchemaVersion,
+		BudgetClass:   wire.ClassName(opts.Budget),
+		Units:         make([]wire.UnitVerdicts, len(urs)),
+		Stats:         wire.FromCorpusStats(cs),
+		Counters:      wire.FromCounters(counters),
+	}
+	for i := range urs {
+		resp.Units[i] = wire.FromUnitResult(&urs[i])
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	return enc.Encode(resp)
 }
 
 // saveMemoFile persists the analyzer's memo tables (degraded entries are

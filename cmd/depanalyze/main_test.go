@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"exactdep/internal/wire"
 )
 
 // writeLoop drops a source file into a temp dir and returns its path.
@@ -326,5 +329,68 @@ func TestCorpusModeExitCodes(t *testing.T) {
 				t.Fatalf("exit %d, want %d (stderr %q)", code, c.want, errb.String())
 			}
 		})
+	}
+}
+
+// TestJSONOutput: -json emits the versioned wire document in both single
+// and corpus mode, with canonical bytes identical to what the text report's
+// verdicts render — the CLI and the depserve service speak one schema.
+func TestJSONOutput(t *testing.T) {
+	single := writeLoop(t, simpleSrc)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", single}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb.String())
+	}
+	var resp wire.AnalyzeResponse
+	if err := json.Unmarshal(out.Bytes(), &resp); err != nil {
+		t.Fatalf("output is not a wire document: %v\n%s", err, out.String())
+	}
+	if resp.SchemaVersion != wire.SchemaVersion || resp.BudgetClass != "exhaustive" {
+		t.Errorf("document header %+v", resp)
+	}
+	if len(resp.Units) != 1 || len(resp.Units[0].Results) == 0 || len(resp.Units[0].Fingerprint) != 32 {
+		t.Fatalf("unexpected units %+v", resp.Units)
+	}
+	if resp.Stats.UnitsSolved != 1 || resp.Counters.Pairs == 0 {
+		t.Errorf("stats/counters not filled: %+v %+v", resp.Stats, resp.Counters)
+	}
+
+	// Corpus mode: same document shape, one unit per file, and byte-stable
+	// across -workers.
+	root := corpusDir(t)
+	var serial, parallel bytes.Buffer
+	if code := run([]string{"-json", "-workers", "1", root}, &serial, &errb); code != 0 {
+		t.Fatalf("corpus json exit %d, stderr %q", code, errb.String())
+	}
+	if code := run([]string{"-json", "-workers", "4", root}, &parallel, &errb); code != 0 {
+		t.Fatalf("corpus json -workers exit %d, stderr %q", code, errb.String())
+	}
+	if serial.String() != parallel.String() {
+		t.Error("-json output differs across worker counts")
+	}
+	var corpusResp wire.AnalyzeResponse
+	if err := json.Unmarshal(serial.Bytes(), &corpusResp); err != nil {
+		t.Fatal(err)
+	}
+	if len(corpusResp.Units) != 2 {
+		t.Fatalf("corpus document has %d units, want 2", len(corpusResp.Units))
+	}
+
+	// A custom budget renders as the "custom" class.
+	out.Reset()
+	if code := run([]string{"-json", "-budget-fm", "2", single}, &out, &errb); code != 0 {
+		t.Fatalf("budget json exit %d", code)
+	}
+	var budgeted wire.AnalyzeResponse
+	if err := json.Unmarshal(out.Bytes(), &budgeted); err != nil {
+		t.Fatal(err)
+	}
+	if budgeted.BudgetClass != "custom" {
+		t.Errorf("budget class %q, want custom", budgeted.BudgetClass)
+	}
+
+	// -json excludes the per-program text renderers.
+	if code := run([]string{"-json", "-annotate", single}, &out, &errb); code != 2 {
+		t.Errorf("-json -annotate exit %d, want 2", code)
 	}
 }

@@ -1,0 +1,472 @@
+// Command depload is the load generator for depserve: it replays the
+// workload suite (optionally including LargeCorpus units) against a
+// running server — or one it spawns itself — at a configurable request
+// rate, then fires an overload burst, and reports p50/p99 latency,
+// degradation and shed rates per phase. It exits non-zero if the server
+// ever answers 5xx, and with -check it also replays the suite once and
+// asserts the served verdicts are byte-identical to a local batch run —
+// the same canonical bytes depanalyze would print.
+//
+//	depload -spawn ./depserve -spawn-flags "-queue 8" -rate 50 -duration 3s \
+//	        -burst 32 -check -merge BENCH_PR9.json
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"exactdep/internal/corpus"
+	"exactdep/internal/core"
+	"exactdep/internal/wire"
+	"exactdep/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// phaseReport is one load phase's outcome.
+type phaseReport struct {
+	Requests    int     `json:"requests"`
+	OK          int     `json:"ok"`
+	Degraded    int     `json:"degraded"`
+	Shed        int     `json:"shed"`
+	Errors5xx   int     `json:"errors5xx"`
+	OtherErrors int     `json:"otherErrors"`
+	P50Ms       float64 `json:"p50Ms"`
+	P99Ms       float64 `json:"p99Ms"`
+	// DegradedRate counts degraded-by-load responses per completed request.
+	DegradedRate float64 `json:"degradedRate"`
+	// ShedRate counts 429s per attempted request.
+	ShedRate float64 `json:"shedRate"`
+}
+
+// serveReport is the JSON document depload emits (and merges into a
+// benchjson baseline under the top-level "serve" key, which benchcmp
+// ignores).
+type serveReport struct {
+	SchemaVersion int          `json:"schemaVersion"`
+	RatePerSec    float64      `json:"ratePerSec"`
+	Rated         *phaseReport `json:"rated,omitempty"`
+	Burst         *phaseReport `json:"burst,omitempty"`
+	// ByteIdentical is set by -check: served suite verdicts rendered
+	// canonically match a local batch corpus run byte for byte.
+	ByteIdentical *bool `json:"byteIdentical,omitempty"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("depload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "", "target server address (host:port); empty with -spawn")
+	spawn := fs.String("spawn", "", "spawn this depserve binary on a free port and load it")
+	spawnFlags := fs.String("spawn-flags", "", "extra flags for the spawned server, space-separated")
+	rate := fs.Float64("rate", 20, "rated phase: requests per second")
+	duration := fs.Duration("duration", 3*time.Second, "rated phase length")
+	concurrency := fs.Int("concurrency", 4, "rated phase in-flight request cap")
+	class := fs.String("class", "", "budget class for rated-phase requests")
+	largeNests := fs.Int("large-nests", 32, "include a LargeCorpus request of this many nests (0 = none)")
+	burst := fs.Int("burst", 0, "overload phase: this many simultaneous requests (0 = skip)")
+	check := fs.Bool("check", false, "replay the suite once and require byte-identity with a local batch run")
+	out := fs.String("out", "", "write the serve report to this file (default stdout)")
+	merge := fs.String("merge", "", "merge the serve report into this benchjson baseline under \"serve\"")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if (*addr == "") == (*spawn == "") {
+		fmt.Fprintln(stderr, "depload: set exactly one of -addr or -spawn")
+		return 2
+	}
+	if _, ok := wire.ClassIndex(*class); !ok {
+		fmt.Fprintf(stderr, "depload: unknown budget class %q\n", *class)
+		return 2
+	}
+
+	base := "http://" + *addr
+	if *spawn != "" {
+		srv, baseURL, err := spawnServer(*spawn, *spawnFlags, stderr)
+		if err != nil {
+			fmt.Fprintf(stderr, "depload: %v\n", err)
+			return 1
+		}
+		base = baseURL
+		defer func() {
+			if err := srv.stop(); err != nil {
+				fmt.Fprintf(stderr, "depload: spawned server: %v\n", err)
+			}
+		}()
+	}
+
+	pool, err := requestPool(*class, *largeNests)
+	if err != nil {
+		fmt.Fprintf(stderr, "depload: %v\n", err)
+		return 1
+	}
+
+	report := &serveReport{SchemaVersion: wire.SchemaVersion, RatePerSec: *rate}
+	fail := false
+
+	if *duration > 0 && *rate > 0 {
+		report.Rated = ratedPhase(base, pool, *rate, *duration, *concurrency)
+		fmt.Fprintf(stdout, "depload: rated %v at %.0f req/s: %d requests, p50 %.1fms p99 %.1fms, %.1f%% degraded, %d shed, %d 5xx\n",
+			*duration, *rate, report.Rated.Requests, report.Rated.P50Ms, report.Rated.P99Ms,
+			100*report.Rated.DegradedRate, report.Rated.Shed, report.Rated.Errors5xx)
+		fail = fail || report.Rated.Errors5xx > 0 || report.Rated.OtherErrors > 0
+	}
+	if *burst > 0 {
+		report.Burst = burstPhase(base, pool, *burst)
+		fmt.Fprintf(stdout, "depload: burst %d: %d ok, %.1f%% degraded, %d shed, %d 5xx\n",
+			*burst, report.Burst.OK, 100*report.Burst.DegradedRate, report.Burst.Shed, report.Burst.Errors5xx)
+		fail = fail || report.Burst.Errors5xx > 0 || report.Burst.OtherErrors > 0
+	}
+	if *check {
+		same, err := checkIdentity(base)
+		if err != nil {
+			fmt.Fprintf(stderr, "depload: check: %v\n", err)
+			return 1
+		}
+		report.ByteIdentical = &same
+		if same {
+			fmt.Fprintln(stdout, "depload: served suite verdicts byte-identical to the batch run")
+		} else {
+			fmt.Fprintln(stderr, "depload: served suite verdicts DIVERGE from the batch run")
+			fail = true
+		}
+	}
+
+	if err := emit(report, *out, *merge, stdout); err != nil {
+		fmt.Fprintf(stderr, "depload: %v\n", err)
+		return 1
+	}
+	if fail {
+		return 1
+	}
+	return 0
+}
+
+// requestPool builds the replay population: one request per suite program,
+// one whole-suite request, the FM-hard adversarial set, and optionally one
+// LargeCorpus request.
+func requestPool(class string, largeNests int) ([][]byte, error) {
+	var reqs []wire.AnalyzeRequest
+	var suite []wire.UnitSource
+	for _, spec := range workload.Programs() {
+		us := wire.UnitSource{Name: spec.Name, Source: workload.Source(spec, false)}
+		suite = append(suite, us)
+		reqs = append(reqs, wire.AnalyzeRequest{Units: []wire.UnitSource{us}, BudgetClass: class})
+	}
+	reqs = append(reqs, wire.AnalyzeRequest{Units: suite, BudgetClass: class})
+	var fmhard []wire.UnitSource
+	for _, spec := range workload.FMHardPrograms() {
+		fmhard = append(fmhard, wire.UnitSource{Name: spec.Name, Source: workload.FMHardSource(spec)})
+	}
+	reqs = append(reqs, wire.AnalyzeRequest{Units: fmhard, BudgetClass: class})
+	if largeNests > 0 {
+		var large []wire.UnitSource
+		for _, spec := range workload.LargeCorpus(largeNests) {
+			large = append(large, wire.UnitSource{Name: spec.Name, Source: workload.Source(spec, false)})
+		}
+		reqs = append(reqs, wire.AnalyzeRequest{Units: large, BudgetClass: class})
+	}
+	bodies := make([][]byte, len(reqs))
+	for i := range reqs {
+		b, err := json.Marshal(&reqs[i])
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+	return bodies, nil
+}
+
+// outcome classifies one response into the phase counters.
+type outcome struct {
+	status   int
+	degraded bool
+	latency  time.Duration
+}
+
+func post(base string, body []byte) outcome {
+	start := time.Now()
+	resp, err := http.Post(base+"/v1/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return outcome{status: -1, latency: time.Since(start)}
+	}
+	defer resp.Body.Close()
+	o := outcome{status: resp.StatusCode}
+	if resp.StatusCode == http.StatusOK {
+		var ar struct {
+			DegradedByLoad bool `json:"degradedByLoad"`
+		}
+		json.NewDecoder(resp.Body).Decode(&ar)
+		o.degraded = ar.DegradedByLoad
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	o.latency = time.Since(start)
+	return o
+}
+
+func summarize(outcomes []outcome) *phaseReport {
+	r := &phaseReport{Requests: len(outcomes)}
+	var latencies []time.Duration
+	for _, o := range outcomes {
+		switch {
+		case o.status == http.StatusOK:
+			r.OK++
+			if o.degraded {
+				r.Degraded++
+			}
+			latencies = append(latencies, o.latency)
+		case o.status == http.StatusTooManyRequests:
+			r.Shed++
+		case o.status >= 500:
+			r.Errors5xx++
+		default:
+			r.OtherErrors++
+		}
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	r.P50Ms = percentileMs(latencies, 0.50)
+	r.P99Ms = percentileMs(latencies, 0.99)
+	if r.OK > 0 {
+		r.DegradedRate = float64(r.Degraded) / float64(r.OK)
+	}
+	if r.Requests > 0 {
+		r.ShedRate = float64(r.Shed) / float64(r.Requests)
+	}
+	return r
+}
+
+func percentileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+// ratedPhase fires requests at a fixed rate with bounded concurrency,
+// cycling through the pool round-robin.
+func ratedPhase(base string, pool [][]byte, rate float64, duration time.Duration, concurrency int) *phaseReport {
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	ticks := make(chan int)
+	var mu sync.Mutex
+	var outcomes []outcome
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ticks {
+				o := post(base, pool[i%len(pool)])
+				mu.Lock()
+				outcomes = append(outcomes, o)
+				mu.Unlock()
+			}
+		}()
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	stop := time.After(duration)
+	i := 0
+loop:
+	for {
+		select {
+		case <-t.C:
+			select {
+			case ticks <- i: // a worker is free
+				i++
+			default: // all workers busy: the offered load is dropped, not queued
+			}
+		case <-stop:
+			break loop
+		}
+	}
+	close(ticks)
+	wg.Wait()
+	return summarize(outcomes)
+}
+
+// burstPhase fires n simultaneous requests — the overload probe. Every
+// response must be a 200 (possibly degraded) or a shed 429, never a 5xx.
+func burstPhase(base string, pool [][]byte, n int) *phaseReport {
+	outcomes := make([]outcome, n)
+	var wg sync.WaitGroup
+	var idx atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			j := int(idx.Add(1) - 1)
+			outcomes[i] = post(base, pool[j%len(pool)])
+		}(i)
+	}
+	wg.Wait()
+	return summarize(outcomes)
+}
+
+// checkIdentity replays the suite once at the exhaustive class and compares
+// the served canonical bytes to a local batch corpus run under depserve's
+// default options.
+func checkIdentity(base string) (bool, error) {
+	var units []wire.UnitSource
+	var mem corpus.Mem
+	for _, spec := range workload.Programs() {
+		src := workload.Source(spec, false)
+		units = append(units, wire.UnitSource{Name: spec.Name, Source: src})
+		u, err := corpus.FromSource(spec.Name, src)
+		if err != nil {
+			return false, err
+		}
+		mem = append(mem, u)
+	}
+	body, err := json.Marshal(wire.AnalyzeRequest{Units: units})
+	if err != nil {
+		return false, err
+	}
+	resp, err := http.Post(base+"/v1/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return false, fmt.Errorf("suite replay: %d: %s", resp.StatusCode, msg)
+	}
+	var ar wire.AnalyzeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		return false, err
+	}
+
+	// The batch reference: depserve's own default options (see
+	// cmd/depserve flags) without any store.
+	opts := core.Options{
+		DirectionVectors: true, PruneUnused: true, PruneDistance: true,
+		Memoize: true, ImprovedMemo: true,
+	}
+	d := corpus.NewDriver(opts, 1)
+	urs, err := d.RunAll(context.Background(), mem)
+	if err != nil {
+		return false, err
+	}
+	var want []byte
+	for i := range urs {
+		want = corpus.AppendCanonical(want, &urs[i])
+	}
+	return bytes.Equal(wire.Canonical(&ar), want), nil
+}
+
+// spawnedServer is a depserve child process.
+type spawnedServer struct {
+	cmd  *exec.Cmd
+	done chan error
+}
+
+// spawnServer boots a depserve binary on a free port and parses the bound
+// address from its "listening on" line.
+func spawnServer(bin, extraFlags string, stderr io.Writer) (*spawnedServer, string, error) {
+	args := []string{"-addr", "127.0.0.1:0"}
+	if extraFlags != "" {
+		args = append(args, strings.Fields(extraFlags)...)
+	}
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, "", err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, "", err
+	}
+	sc := bufio.NewScanner(stdout)
+	var addr string
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "depserve: listening on "); ok {
+			addr = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if addr == "" {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, "", fmt.Errorf("spawned server at %s never reported its address", bin)
+	}
+	s := &spawnedServer{cmd: cmd, done: make(chan error, 1)}
+	go func() {
+		// Keep draining stdout so the child never blocks on a full pipe.
+		for sc.Scan() {
+		}
+		s.done <- cmd.Wait()
+	}()
+	return s, "http://" + addr, nil
+}
+
+// stop drains the spawned server with SIGTERM and requires a clean exit —
+// the real-process graceful-shutdown check.
+func (s *spawnedServer) stop() error {
+	if err := s.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	select {
+	case err := <-s.done:
+		return err
+	case <-time.After(60 * time.Second):
+		s.cmd.Process.Kill()
+		return fmt.Errorf("did not drain within 60s after SIGTERM")
+	}
+}
+
+// emit writes the report to -out (or stdout) and merges it into a
+// benchjson baseline when -merge is set.
+func emit(report *serveReport, out, merge string, stdout io.Writer) error {
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if out != "" {
+		if err := os.WriteFile(out, buf, 0o644); err != nil {
+			return err
+		}
+	} else if merge == "" {
+		stdout.Write(buf)
+	}
+	if merge != "" {
+		raw, err := os.ReadFile(merge)
+		if err != nil {
+			return err
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("%s: %v", merge, err)
+		}
+		doc["serve"] = report
+		merged, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(merge, append(merged, '\n'), 0o644)
+	}
+	return nil
+}

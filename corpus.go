@@ -68,25 +68,77 @@ type CorpusReport struct {
 	Counters Counters
 }
 
-// AnalyzeCorpus analyzes a corpus with a fresh driver. When
-// Options.StorePath is set, the verdict store is loaded from that path if
-// it exists (it must match the configuration), consulted so only changed or
-// new units are re-solved, and saved back after the run — the incremental
-// IDE/CI workflow in one call. Without a StorePath every unit is solved
-// fresh in a single batch with shared memo tables.
-func AnalyzeCorpus(src Corpus, opts Options) (*CorpusReport, error) {
-	return AnalyzeCorpusContext(context.Background(), src, opts)
+// CorpusRequest is the one corpus-analysis entry value: it names the corpus
+// (exactly one of Dir, Files, or Source) and carries the analysis Options.
+// The facade wrappers (AnalyzeCorpus, AnalyzeCorpusContext), the CLI's
+// corpus mode, and the depserve service's /v1/corpus endpoint all reduce to
+// this value, so every front end selects corpora and validates options the
+// same way.
+type CorpusRequest struct {
+	// Dir selects every *.loop file under a directory tree (CorpusDir).
+	Dir string
+	// Files selects an explicit list of DSL files (CorpusFiles).
+	Files []string
+	// Source is any pre-built corpus (in-memory units, custom sources).
+	Source Corpus
+	// Options configures the analyzer. Options.Workers sizes the whole
+	// load/fingerprint/probe/solve pipeline (0 serial, negative
+	// GOMAXPROCS); Options.StorePath attaches the persistent verdict
+	// store (loaded when present, saved back after the run).
+	Options Options
 }
 
-// AnalyzeCorpusContext is AnalyzeCorpus honoring a context. Options.Workers
-// sizes the whole corpus pipeline as in AnalyzeUnitContext (0 serial,
-// negative GOMAXPROCS): at more than one worker the driver loads,
-// fingerprints, and store-probes units with a worker pool and overlaps
-// analyzer batches with the rest of the front end, with canonical results,
-// counters, and store traffic identical to the serial run at every worker
-// count. Cut-short units degrade to sound Maybe verdicts and are never
-// stored.
-func AnalyzeCorpusContext(ctx context.Context, src Corpus, opts Options) (*CorpusReport, error) {
+// corpus resolves the request's corpus selection.
+func (r *CorpusRequest) corpus() (Corpus, error) {
+	n := 0
+	if r.Dir != "" {
+		n++
+	}
+	if len(r.Files) > 0 {
+		n++
+	}
+	if r.Source != nil {
+		n++
+	}
+	if n != 1 {
+		return nil, errCorpusSelection
+	}
+	switch {
+	case r.Dir != "":
+		return CorpusDir(r.Dir), nil
+	case len(r.Files) > 0:
+		return CorpusFiles(r.Files...), nil
+	default:
+		return r.Source, nil
+	}
+}
+
+var errCorpusSelection = errors.New("exactdep: CorpusRequest must set exactly one of Dir, Files, or Source")
+
+// AnalyzeCorpusRequest analyzes one corpus request. When Options.StorePath
+// is set, the verdict store is loaded from that path if it exists (it must
+// match the configuration), consulted so only changed or new units are
+// re-solved, and saved back after the run — the incremental IDE/CI workflow
+// in one call. Without a StorePath every unit is solved fresh in a single
+// batch with shared memo tables.
+//
+// Options.Workers sizes the whole corpus pipeline as in AnalyzeUnitContext
+// (0 serial, negative GOMAXPROCS): at more than one worker the driver
+// loads, fingerprints, and store-probes units with a worker pool and
+// overlaps analyzer batches with the rest of the front end, with canonical
+// results, counters, and store traffic identical to the serial run at every
+// worker count. Cut-short units degrade to sound Maybe verdicts and are
+// never stored. Invalid options are rejected up front with the shared
+// Options.Validate error.
+func AnalyzeCorpusRequest(ctx context.Context, req CorpusRequest) (*CorpusReport, error) {
+	opts := req.Options
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	src, err := req.corpus()
+	if err != nil {
+		return nil, err
+	}
 	workers := 1
 	if opts.Workers != 0 {
 		workers = opts.Workers
@@ -114,6 +166,18 @@ func AnalyzeCorpusContext(ctx context.Context, src Corpus, opts Options) (*Corpu
 		}
 	}
 	return &CorpusReport{Units: urs, Stats: d.Stats, Counters: d.Analyzer().Stats}, nil
+}
+
+// AnalyzeCorpus analyzes a pre-built corpus — a thin wrapper over
+// AnalyzeCorpusRequest kept for compatibility.
+func AnalyzeCorpus(src Corpus, opts Options) (*CorpusReport, error) {
+	return AnalyzeCorpusRequest(context.Background(), CorpusRequest{Source: src, Options: opts})
+}
+
+// AnalyzeCorpusContext is AnalyzeCorpus honoring a context — a thin wrapper
+// over AnalyzeCorpusRequest kept for compatibility.
+func AnalyzeCorpusContext(ctx context.Context, src Corpus, opts Options) (*CorpusReport, error) {
+	return AnalyzeCorpusRequest(ctx, CorpusRequest{Source: src, Options: opts})
 }
 
 // openStore loads the snapshot at opts.StorePath, or returns a fresh store

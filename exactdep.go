@@ -265,8 +265,12 @@ func AnalyzeUnit(u *Unit, opts Options) (*Report, error) {
 // pairs to sound Maybe verdicts instead of aborting (see
 // Analyzer.AnalyzeAllContext). The report always covers every candidate
 // pair; inspect Report.Degraded or Stats.CancelledPairs for the cut-short
-// ones.
+// ones. Invalid options (unknown cascade, negative budget) are rejected up
+// front with the shared Options.Validate error.
 func AnalyzeUnitContext(ctx context.Context, u *Unit, opts Options) (*Report, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	workers := 1
 	if opts.Workers != 0 {
 		workers = opts.Workers
@@ -282,32 +286,6 @@ func AnalyzeUnitContext(ctx context.Context, u *Unit, opts Options) (*Report, er
 	return &Report{Unit: u, Results: res, Stats: a.Stats}, nil
 }
 
-// AnalyzeUnitWorkers is AnalyzeUnit on the concurrent driver: candidate
-// pairs fan out over a pool of worker goroutines sharing sharded memo
-// tables. Results come back in candidate order and are identical to the
-// serial run's; see Analyzer.AnalyzeAll for the counter-determinism
-// caveats.
-//
-// Deprecated: use AnalyzeUnitContext with Options.Workers, which also
-// carries a context for deadlines and cancellation. Note that the two
-// worker conventions differ: Options.Workers uses 0 for serial and any
-// negative value for GOMAXPROCS, while this shim's workers parameter uses
-// 1 for serial and <= 0 for GOMAXPROCS. The shim translates its parameter
-// to the Options.Workers convention (workers 1 → 0, workers <= 0 → -1,
-// anything else unchanged) and forwards to AnalyzeUnitContext with
-// context.Background().
-func AnalyzeUnitWorkers(u *Unit, opts Options, workers int) (*Report, error) {
-	switch {
-	case workers == 1:
-		opts.Workers = 0 // serial
-	case workers <= 0:
-		opts.Workers = -1 // GOMAXPROCS
-	default:
-		opts.Workers = workers
-	}
-	return AnalyzeUnitContext(context.Background(), u, opts)
-}
-
 // Loop-parallelism reporting (the application the paper's introduction
 // motivates): a loop parallelizes iff no dependence is carried by it.
 type (
@@ -318,8 +296,12 @@ type (
 )
 
 // Parallelize analyzes a unit with direction vectors and reports which
-// loops can run their iterations concurrently.
+// loops can run their iterations concurrently. Invalid options are
+// rejected with the shared Options.Validate error.
 func Parallelize(u *Unit, opts Options) (*ParallelReport, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	return parallel.Analyze(u, opts)
 }
 

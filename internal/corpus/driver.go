@@ -250,13 +250,13 @@ func (d *Driver) runSerial(ctx context.Context, src Source, emit func(UnitResult
 				continue
 			}
 			ur.Reused = true
-			ur.Results = serve(u.Cands, slots[i].stored)
+			ur.Results = Serve(u.Cands, slots[i].stored)
 			ur.Cost = slots[i].stored.Cost
 		} else {
 			ur.Results = solved[slots[i].off : slots[i].off+len(u.Cands)]
-			ur.Cost = summarize(ur.Results)
-			if d.store != nil && storable(ur.Results) {
-				d.store.Put(slots[i].fp, toStored(u.Name, ur.Results))
+			ur.Cost = Summarize(ur.Results)
+			if d.store != nil && Storable(ur.Results) {
+				d.store.Put(slots[i].fp, ToStored(u.Name, ur.Results))
 			}
 		}
 		if emit != nil {

@@ -224,13 +224,13 @@ func (d *Driver) solve(ctx context.Context, slots []feSlot, ready []bool,
 		}
 		if p.off < 0 {
 			ur.Reused = true
-			ur.Results = serve(s.u.Cands, s.stored)
+			ur.Results = Serve(s.u.Cands, s.stored)
 			ur.Cost = s.stored.Cost
 		} else {
 			ur.Results = solved[p.off : p.off+len(s.u.Cands)]
-			ur.Cost = summarize(ur.Results)
-			if d.store != nil && storable(ur.Results) {
-				puts = append(puts, deferredPut{s.fp, toStored(s.u.Name, ur.Results)})
+			ur.Cost = Summarize(ur.Results)
+			if d.store != nil && Storable(ur.Results) {
+				puts = append(puts, deferredPut{s.fp, ToStored(s.u.Name, ur.Results)})
 			}
 		}
 		var err error

@@ -178,11 +178,11 @@ func LoadStore(r io.Reader, opts core.Options) (*Store, error) {
 	return s, nil
 }
 
-// storable reports whether a unit's results may enter the store: verdicts
+// Storable reports whether a unit's results may enter the store: verdicts
 // tripped by the clock or by cancellation are scheduling-dependent, so a
 // unit containing one is re-analyzed on every run instead of being
 // persisted (the same rule the memo tables apply per problem).
-func storable(results []core.Result) bool {
+func Storable(results []core.Result) bool {
 	for i := range results {
 		if t := results[i].Trip; t == dtest.TripDeadline || t == dtest.TripCancelled {
 			return false
@@ -191,9 +191,11 @@ func storable(results []core.Result) bool {
 	return true
 }
 
-// toStored converts a unit's fresh results to their persisted form.
-func toStored(name string, results []core.Result) StoredUnit {
-	su := StoredUnit{Name: name, Results: make([]StoredResult, len(results)), Cost: summarize(results)}
+// ToStored converts a unit's fresh results to their persisted form
+// (exported for the depserve service layer, which orchestrates its own
+// store traffic around a shared warm tier).
+func ToStored(name string, results []core.Result) StoredUnit {
+	su := StoredUnit{Name: name, Results: make([]StoredResult, len(results)), Cost: Summarize(results)}
 	for i := range results {
 		r := &results[i]
 		sr := StoredResult{
@@ -218,10 +220,10 @@ func toStored(name string, results []core.Result) StoredUnit {
 	return su
 }
 
-// serve rebuilds a unit's results from the store, attaching the *current*
+// Serve rebuilds a unit's results from the store, attaching the *current*
 // candidates' pairs (the fingerprint proved them equivalent). Served
 // results report ByCache.
-func serve(cands []refs.Candidate, su *StoredUnit) []core.Result {
+func Serve(cands []refs.Candidate, su *StoredUnit) []core.Result {
 	out := make([]core.Result, len(su.Results))
 	for i := range su.Results {
 		sr := &su.Results[i]
@@ -248,8 +250,8 @@ func serve(cands []refs.Candidate, su *StoredUnit) []core.Result {
 	return out
 }
 
-// summarize computes a unit's cost profile from its results.
-func summarize(results []core.Result) CostSummary {
+// Summarize computes a unit's cost profile from its results.
+func Summarize(results []core.Result) CostSummary {
 	c := CostSummary{Pairs: len(results)}
 	for i := range results {
 		r := &results[i]

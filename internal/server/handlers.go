@@ -1,0 +1,498 @@
+package server
+
+// HTTP handlers, admission control, and the executor pool. Handlers do all
+// client-facing validation (4xx) before admission, so a queued job can only
+// fail by analysis outcome — which is never an error: budget and deadline
+// trips degrade verdicts to sound Maybe inside the result vocabulary.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"exactdep"
+	"exactdep/internal/core"
+	"exactdep/internal/corpus"
+	"exactdep/internal/dtest"
+	"exactdep/internal/memo"
+	"exactdep/internal/wire"
+)
+
+// maxBody bounds a request body (64 MiB holds the LargeCorpus suite many
+// times over).
+const maxBody = 64 << 20
+
+// Admission thresholds, in queue-fill fraction: at >= 1/2 full the request's
+// budget class shrinks one step, at >= 3/4 two steps; a full queue sheds.
+// The ladder only ever weakens a class — a tenant never gets more budget
+// under load than it asked for.
+const (
+	shrinkOneNum, shrinkOneDen = 1, 2
+	shrinkTwoNum, shrinkTwoDen = 3, 4
+)
+
+// job is one admitted request waiting for an executor.
+type job struct {
+	ctx context.Context
+
+	// Analyze requests: the parsed units.
+	units corpus.Mem
+	// Corpus requests: the facade request with server-root-resolved paths
+	// (nil for analyze requests).
+	corpusReq *exactdep.CorpusRequest
+
+	// wireOpts is the client's option override (nil: server base options).
+	wireOpts *wire.Options
+	// overridden is true when wireOpts changes the base result surface —
+	// such requests bypass the warm tier entirely.
+	overridden bool
+
+	classIdx int // requested budget class (ladder index)
+	effClass int // class after admission shrink; >= classIdx
+
+	reply chan jobResult
+}
+
+type jobResult struct {
+	status int
+	body   any
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("/v1/corpus", s.handleCorpus)
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/statsz", s.handleStatsz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(body)
+}
+
+// clientError rejects a request before admission.
+func (s *Server) clientError(w http.ResponseWriter, status int, msg string) {
+	s.stats.clientErrors.Add(1)
+	writeJSON(w, status, wire.ErrorResponse{SchemaVersion: wire.SchemaVersion, Error: msg})
+}
+
+// shed rejects an admitted-stage request with 429 + Retry-After.
+func (s *Server) shed(w http.ResponseWriter) {
+	s.stats.shed.Add(1)
+	secs := int(wire.RetryAfter / time.Second)
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, http.StatusTooManyRequests, wire.ErrorResponse{
+		SchemaVersion:     wire.SchemaVersion,
+		Error:             "service overloaded, retry later",
+		RetryAfterSeconds: secs,
+	})
+}
+
+// admit applies admission control: it sets the job's effective budget class
+// from the queue's fill level and enqueues, or reports a shed. Never blocks.
+func (s *Server) admit(j *job) bool {
+	if s.closing.Load() {
+		return false
+	}
+	depth, capQ := len(s.queue), cap(s.queue)
+	shrink := 0
+	switch {
+	case depth*shrinkTwoDen >= capQ*shrinkTwoNum:
+		shrink = 2
+	case depth*shrinkOneDen >= capQ*shrinkOneNum:
+		shrink = 1
+	}
+	j.effClass = j.classIdx + shrink
+	if last := len(wire.BudgetClasses) - 1; j.effClass > last {
+		j.effClass = last
+	}
+	select {
+	case s.queue <- j:
+		s.stats.accepted.Add(1)
+		if j.effClass > j.classIdx {
+			s.stats.degraded.Add(1)
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// dispatch runs the common post-validation tail of both POST endpoints:
+// deadline, admission, and the reply wait.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, j *job, deadlineMillis int64) {
+	d := s.maxDeadline
+	if deadlineMillis > 0 {
+		if cd := time.Duration(deadlineMillis) * time.Millisecond; cd < d {
+			d = cd
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	defer cancel()
+	j.ctx = ctx
+	j.reply = make(chan jobResult, 1) // buffered: executor never blocks on a gone client
+
+	if !s.admit(j) {
+		s.shed(w)
+		return
+	}
+	select {
+	case res := <-j.reply:
+		writeJSON(w, res.status, res.body)
+	case <-r.Context().Done():
+		// Client disconnected; the executor sees the cancelled context and
+		// replies into the buffer.
+	}
+}
+
+// decodeInto decodes a JSON body, rejecting unknown schema versions.
+func decodeInto(r *http.Request, w http.ResponseWriter, v any, version *int) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %v", err)
+	}
+	if *version != 0 && *version != wire.SchemaVersion {
+		return fmt.Errorf("unsupported schemaVersion %d (server speaks %d)", *version, wire.SchemaVersion)
+	}
+	return nil
+}
+
+// resolveOptions overlays a client option override onto the server base and
+// validates it, reporting whether the result surface actually changed.
+func (s *Server) resolveOptions(o *wire.Options) (core.Options, bool, error) {
+	opts := s.baseOpts
+	overridden := false
+	if o != nil && *o != wire.FromCoreOptions(s.baseOpts) {
+		opts = o.Apply(s.baseOpts)
+		overridden = true
+		if err := opts.Validate(); err != nil {
+			return opts, true, err
+		}
+	}
+	return opts, overridden, nil
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.clientError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req wire.AnalyzeRequest
+	if err := decodeInto(r, w, &req, &req.SchemaVersion); err != nil {
+		s.clientError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(req.Units) == 0 {
+		s.clientError(w, http.StatusBadRequest, "no units in request")
+		return
+	}
+	classIdx, ok := wire.ClassIndex(req.BudgetClass)
+	if !ok {
+		s.clientError(w, http.StatusBadRequest, fmt.Sprintf("unknown budget class %q", req.BudgetClass))
+		return
+	}
+	if _, overridden, err := s.resolveOptions(req.Options); err != nil {
+		s.clientError(w, http.StatusBadRequest, err.Error())
+		return
+	} else if !overridden {
+		req.Options = nil // normalized: identical override == no override
+	}
+	units := make(corpus.Mem, 0, len(req.Units))
+	for i, us := range req.Units {
+		name := us.Name
+		if name == "" {
+			name = "unit" + strconv.Itoa(i)
+		}
+		u, err := corpus.FromSource(name, us.Source)
+		if err != nil {
+			s.clientError(w, http.StatusBadRequest, fmt.Sprintf("unit %q: %v", name, err))
+			return
+		}
+		units = append(units, u)
+	}
+	s.dispatch(w, r, &job{
+		units:      units,
+		wireOpts:   req.Options,
+		overridden: req.Options != nil,
+		classIdx:   classIdx,
+	}, req.DeadlineMillis)
+}
+
+func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.clientError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.cfg.CorpusRoot == "" {
+		s.clientError(w, http.StatusNotFound, "corpus endpoint disabled (no corpus root configured)")
+		return
+	}
+	var req wire.CorpusRequest
+	if err := decodeInto(r, w, &req, &req.SchemaVersion); err != nil {
+		s.clientError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	classIdx, ok := wire.ClassIndex(req.BudgetClass)
+	if !ok {
+		s.clientError(w, http.StatusBadRequest, fmt.Sprintf("unknown budget class %q", req.BudgetClass))
+		return
+	}
+	if _, _, err := s.resolveOptions(req.Options); err != nil {
+		s.clientError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if (req.Dir == "") == (len(req.Files) == 0) {
+		s.clientError(w, http.StatusBadRequest, "set exactly one of dir or files")
+		return
+	}
+	fReq := &exactdep.CorpusRequest{}
+	if req.Dir != "" {
+		if !filepath.IsLocal(req.Dir) {
+			s.clientError(w, http.StatusBadRequest, fmt.Sprintf("dir %q escapes the corpus root", req.Dir))
+			return
+		}
+		fReq.Dir = filepath.Join(s.cfg.CorpusRoot, req.Dir)
+	}
+	for _, f := range req.Files {
+		if !filepath.IsLocal(f) {
+			s.clientError(w, http.StatusBadRequest, fmt.Sprintf("file %q escapes the corpus root", f))
+			return
+		}
+		fReq.Files = append(fReq.Files, filepath.Join(s.cfg.CorpusRoot, f))
+	}
+	s.dispatch(w, r, &job{
+		corpusReq: fReq,
+		wireOpts:  req.Options,
+		classIdx:  classIdx,
+	}, req.DeadlineMillis)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.closing.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, wire.Health{
+		SchemaVersion: wire.SchemaVersion,
+		Status:        status,
+		UptimeMillis:  time.Since(s.start).Milliseconds(),
+	})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, wire.Statsz{
+		SchemaVersion: wire.SchemaVersion,
+		UptimeMillis:  time.Since(s.start).Milliseconds(),
+		QueueDepth:    len(s.queue),
+		QueueCapacity: cap(s.queue),
+		Executors:     s.cfg.Executors,
+		Accepted:      s.stats.accepted.Load(),
+		Completed:     s.stats.completed.Load(),
+		Degraded:      s.stats.degraded.Load(),
+		Shed:          s.stats.shed.Load(),
+		ClientErrors:  s.stats.clientErrors.Load(),
+		StoreUnits:    s.StoreLen(),
+		UnitsReused:   s.stats.unitsReused.Load(),
+		UnitsSolved:   s.stats.unitsSolved.Load(),
+		PairsServed:   s.stats.pairsServed.Load(),
+		PairsSolved:   s.stats.pairsSolved.Load(),
+	})
+}
+
+// executor drains the queue until Shutdown, then finishes whatever is still
+// queued (the HTTP server has already stopped admitting by then).
+func (s *Server) executor() {
+	defer s.execWG.Done()
+	for {
+		select {
+		case j := <-s.queue:
+			s.process(j)
+		case <-s.execStop:
+			for {
+				select {
+				case j := <-s.queue:
+					s.process(j)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *Server) process(j *job) {
+	if s.gate != nil {
+		<-s.gate
+	}
+	j.reply <- s.run(j)
+	s.stats.completed.Add(1)
+}
+
+// pipelineWorkers maps Options.Workers onto the corpus driver's width (the
+// same mapping as the facade: 0 serial, negative GOMAXPROCS).
+func (s *Server) pipelineWorkers() int {
+	w := s.baseOpts.Workers
+	switch {
+	case w == 0:
+		return 1
+	case w < 0:
+		return 0
+	}
+	return w
+}
+
+// run executes one admitted job and builds its reply.
+func (s *Server) run(j *job) jobResult {
+	if j.corpusReq != nil {
+		return s.runCorpus(j)
+	}
+	opts := j.wireOpts.Apply(s.baseOpts)
+	opts.Budget = wire.BudgetClasses[j.effClass].Budget
+
+	if !j.overridden && j.effClass == s.defaultClass {
+		var st corpus.Stats
+		// Warm-tier fast path: the incremental driver runs directly against
+		// the shared store. storeMu is held across the run — the store is
+		// unsynchronized by contract, and the executor pool defaults to 1.
+		s.storeMu.Lock()
+		d := corpus.NewDriver(opts, s.pipelineWorkers())
+		if err := d.SetStore(s.store); err != nil {
+			s.storeMu.Unlock()
+			return jobResult{http.StatusInternalServerError, wire.ErrorResponse{SchemaVersion: wire.SchemaVersion, Error: err.Error()}}
+		}
+		res, err := d.RunAll(j.ctx, j.units)
+		st = d.Stats
+		cs := d.Analyzer().Stats
+		if st.UnitsSolved > 0 {
+			s.storeDirty.Store(true)
+		}
+		s.storeMu.Unlock()
+		if err != nil {
+			return jobResult{http.StatusInternalServerError, wire.ErrorResponse{SchemaVersion: wire.SchemaVersion, Error: err.Error()}}
+		}
+		return s.respond(j, res, st, wire.FromCounters(cs))
+	}
+
+	// Cross-class path: the warm tier still serves fully-exact stored units
+	// (exact verdicts hold under every budget class); everything else is
+	// solved storelessly so class-scoped Maybe verdicts never leak into the
+	// default-class store — except fully-untripped solved units, which are
+	// budget-independent and flow back into the tier.
+	served := make([]*corpus.StoredUnit, len(j.units))
+	fps := make([]memo.Fingerprint, len(j.units))
+	if !j.overridden {
+		var f corpus.Fingerprinter
+		s.storeMu.Lock()
+		for i := range j.units {
+			fps[i] = j.units[i].Fingerprint(&f)
+			if su, ok := s.store.Lookup(fps[i]); ok &&
+				len(su.Results) == len(j.units[i].Cands) && su.Cost.Maybe == 0 {
+				served[i] = su
+			}
+		}
+		s.storeMu.Unlock()
+	}
+	var miss corpus.Mem
+	for i := range j.units {
+		if served[i] == nil {
+			miss = append(miss, j.units[i])
+		}
+	}
+	d := corpus.NewDriver(opts, s.pipelineWorkers())
+	missURs, err := d.RunAll(j.ctx, miss)
+	if err != nil {
+		return jobResult{http.StatusInternalServerError, wire.ErrorResponse{SchemaVersion: wire.SchemaVersion, Error: err.Error()}}
+	}
+	if !j.overridden {
+		s.storeMu.Lock()
+		for i := range missURs {
+			ur := &missURs[i]
+			if untripped(ur.Results) {
+				s.store.Put(ur.Fingerprint, corpus.ToStored(ur.Name, ur.Results))
+				s.storeDirty.Store(true)
+			}
+		}
+		s.storeMu.Unlock()
+	}
+	urs := make([]corpus.UnitResult, len(j.units))
+	st := corpus.Stats{Units: len(j.units), UnitsSolved: d.Stats.UnitsSolved, PairsSolved: d.Stats.PairsSolved}
+	mi := 0
+	for i := range j.units {
+		u := &j.units[i]
+		if su := served[i]; su != nil {
+			urs[i] = corpus.UnitResult{
+				Name:        u.Name,
+				Fingerprint: fps[i],
+				Reused:      true,
+				Results:     corpus.Serve(u.Cands, su),
+				Cost:        su.Cost,
+				Warnings:    u.Warnings,
+			}
+			st.UnitsReused++
+			st.PairsServed += len(u.Cands)
+		} else {
+			urs[i] = missURs[mi]
+			mi++
+		}
+	}
+	return s.respond(j, urs, st, wire.FromCounters(d.Analyzer().Stats))
+}
+
+// untripped reports that no verdict in the batch carries budget, deadline,
+// or cancellation provenance — such results are budget-class-independent.
+func untripped(results []core.Result) bool {
+	for i := range results {
+		if results[i].Trip != dtest.TripNone {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Server) runCorpus(j *job) jobResult {
+	req := *j.corpusReq
+	req.Options = j.wireOpts.Apply(s.baseOpts)
+	req.Options.Budget = wire.BudgetClasses[j.effClass].Budget
+	rep, err := exactdep.AnalyzeCorpusRequest(j.ctx, req)
+	if err != nil {
+		// Options were validated at the handler, so what's left is the
+		// client's corpus selection (missing dir, unreadable file, parse
+		// error): a bad request, not a server failure.
+		return jobResult{http.StatusBadRequest, wire.ErrorResponse{SchemaVersion: wire.SchemaVersion, Error: err.Error()}}
+	}
+	return s.respond(j, rep.Units, rep.Stats, wire.FromCounters(rep.Counters))
+}
+
+// respond converts a run's results to the wire response and feeds the
+// service counters.
+func (s *Server) respond(j *job, urs []corpus.UnitResult, st corpus.Stats, counters wire.Counters) jobResult {
+	resp := &wire.AnalyzeResponse{
+		SchemaVersion: wire.SchemaVersion,
+		BudgetClass:   wire.BudgetClasses[j.effClass].Name,
+		Units:         make([]wire.UnitVerdicts, len(urs)),
+		Stats:         wire.FromCorpusStats(st),
+		Counters:      counters,
+	}
+	if j.effClass != j.classIdx {
+		resp.RequestedClass = wire.BudgetClasses[j.classIdx].Name
+		resp.DegradedByLoad = true
+	}
+	for i := range urs {
+		resp.Units[i] = wire.FromUnitResult(&urs[i])
+	}
+	s.stats.unitsReused.Add(int64(st.UnitsReused))
+	s.stats.unitsSolved.Add(int64(st.UnitsSolved))
+	s.stats.pairsServed.Add(int64(st.PairsServed))
+	s.stats.pairsSolved.Add(int64(st.PairsSolved))
+	return jobResult{http.StatusOK, resp}
+}

@@ -1,0 +1,315 @@
+// Package server is the depserve service layer: a long-running stdlib
+// net/http daemon serving dependence verdicts over the versioned JSON wire
+// API (internal/wire). It composes the pieces the batch front ends already
+// use — the corpus driver for scheduling, the fingerprint → verdict store
+// as a warm tier shared across requests and restarts, dtest budget classes
+// for per-tenant work limits, and context deadlines mapped onto
+// AnalyzeAllContext — and adds the one thing a daemon needs that a CLI does
+// not: admission control. Under load the bounded queue first shrinks a
+// request's budget class (verdicts degrade to sound 'maybe', reported in
+// the response) and only sheds with 429 + Retry-After once the queue is
+// full. Analysis outcomes are never 5xx: deadlines, cancellations, and
+// budget trips all degrade inside the verdict vocabulary.
+//
+// Request lifecycle (see ARCHITECTURE.md "Service layer"):
+//
+//	decode → validate (schema, class, options) → parse units →
+//	admission (shrink or shed) → queue → executor:
+//	  warm-tier probe → solve misses (one corpus-driver batch) →
+//	  store-back → reply
+//
+// The warm tier is a corpus.Store bound to the server's base configuration
+// (options signature + default budget class): requests at the default
+// class run the incremental driver against it directly; requests at any
+// other class (tenant-chosen or admission-degraded) still probe it and are
+// served fully-exact stored units — exact verdicts are valid under every
+// budget class — but solve the rest storelessly, so class-scoped Maybe
+// verdicts never leak across classes. The store is snapshot-loaded on
+// boot, saved periodically (Config.SnapshotEvery) and on shutdown, always
+// atomically (temp file + rename).
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"exactdep/internal/core"
+	"exactdep/internal/corpus"
+	"exactdep/internal/wire"
+)
+
+// Config configures a Server. The zero value of each field selects the
+// documented default.
+type Config struct {
+	// Options is the base analysis configuration (the result-bytes surface
+	// plus Workers, which sizes the per-request corpus pipeline). Budget
+	// and StorePath are managed by the server: Budget comes from the
+	// request's effective budget class, persistence from StorePath below.
+	Options core.Options
+	// DefaultClass names the budget class applied when a request does not
+	// choose one ("" = "exhaustive", the batch CLI's behavior).
+	DefaultClass string
+	// QueueDepth bounds the admission queue (0 = 64). Requests beyond the
+	// shrink thresholds degrade; requests beyond the queue shed with 429.
+	QueueDepth int
+	// Executors is the number of goroutines draining the queue (0 = 1).
+	// Analysis parallelism within a request comes from Options.Workers;
+	// more executors trade per-request latency for throughput.
+	Executors int
+	// StorePath persists the warm tier across restarts ("" = in-memory
+	// only). Loaded on boot when present (it must match the
+	// configuration), saved periodically and on shutdown.
+	StorePath string
+	// SnapshotEvery is the periodic store-save cadence (0 = only on
+	// shutdown). Saves are skipped while the store is clean.
+	SnapshotEvery time.Duration
+	// MaxDeadline caps every request's analysis wall clock (0 = 60s). A
+	// request's own deadlineMillis can only lower it.
+	MaxDeadline time.Duration
+	// CorpusRoot enables POST /v1/corpus over server-local files under
+	// this directory ("" = endpoint disabled).
+	CorpusRoot string
+}
+
+// Defaults.
+const (
+	defaultQueueDepth  = 64
+	defaultMaxDeadline = 60 * time.Second
+)
+
+// serverStats are the monotonically increasing service counters surfaced
+// by /v1/statsz.
+type serverStats struct {
+	accepted     atomic.Int64
+	completed    atomic.Int64
+	degraded     atomic.Int64 // requests shrunk below their requested class
+	shed         atomic.Int64 // requests rejected with 429
+	clientErrors atomic.Int64 // 4xx before admission
+	unitsReused  atomic.Int64
+	unitsSolved  atomic.Int64
+	pairsServed  atomic.Int64
+	pairsSolved  atomic.Int64
+}
+
+// Server is the dependence-analysis daemon.
+type Server struct {
+	cfg          Config
+	baseOpts     core.Options // cfg.Options + default-class budget, no StorePath
+	defaultClass int          // index into wire.BudgetClasses
+	maxDeadline  time.Duration
+
+	queue    chan *job
+	execStop chan struct{}
+	execWG   sync.WaitGroup
+
+	// store is the warm tier; storeMu serializes every probe/put against
+	// snapshot clones (corpus.Store itself is unsynchronized by contract).
+	store      *corpus.Store
+	storeMu    sync.Mutex
+	storeDirty atomic.Bool
+
+	httpSrv  *http.Server
+	lis      net.Listener
+	start    time.Time
+	closing  atomic.Bool
+	snapStop chan struct{}
+	snapWG   sync.WaitGroup
+	stats    serverStats
+
+	// gate, when non-nil, is received from before each job is processed —
+	// a test hook that holds the executors still while tests fill the
+	// queue deterministically.
+	gate chan struct{}
+}
+
+// New validates the configuration and builds a server, loading the warm
+// tier's snapshot when Config.StorePath names an existing file. Bad
+// analysis options are rejected with the shared core.Options.Validate
+// error shape.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.Options.Validate(); err != nil {
+		return nil, err
+	}
+	classIdx, ok := wire.ClassIndex(cfg.DefaultClass)
+	if !ok {
+		return nil, fmt.Errorf("server: unknown default budget class %q", cfg.DefaultClass)
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = defaultQueueDepth
+	}
+	if cfg.QueueDepth < 1 {
+		return nil, fmt.Errorf("server: queue depth must be positive, got %d", cfg.QueueDepth)
+	}
+	if cfg.Executors == 0 {
+		cfg.Executors = 1
+	}
+	if cfg.Executors < 1 {
+		return nil, fmt.Errorf("server: executors must be positive, got %d", cfg.Executors)
+	}
+	maxDeadline := cfg.MaxDeadline
+	if maxDeadline <= 0 {
+		maxDeadline = defaultMaxDeadline
+	}
+
+	baseOpts := cfg.Options
+	baseOpts.Budget = wire.BudgetClasses[classIdx].Budget
+	baseOpts.StorePath = "" // persistence is the server's job, not the driver's
+
+	s := &Server{
+		cfg:          cfg,
+		baseOpts:     baseOpts,
+		defaultClass: classIdx,
+		maxDeadline:  maxDeadline,
+		queue:        make(chan *job, cfg.QueueDepth),
+		execStop:     make(chan struct{}),
+		snapStop:     make(chan struct{}),
+		start:        time.Now(),
+	}
+
+	if cfg.StorePath != "" {
+		f, err := os.Open(cfg.StorePath)
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+			s.store = corpus.NewStore(baseOpts)
+		case err != nil:
+			return nil, err
+		default:
+			store, lerr := corpus.LoadStore(f, baseOpts)
+			f.Close()
+			if lerr != nil {
+				return nil, lerr
+			}
+			s.store = store
+		}
+	} else {
+		s.store = corpus.NewStore(baseOpts)
+	}
+	return s, nil
+}
+
+// Start listens on addr (host:port; port 0 picks a free one), launches the
+// executor pool, the snapshot loop, and the HTTP server, and returns the
+// bound address.
+func (s *Server) Start(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.lis = lis
+	s.httpSrv = &http.Server{Handler: s.Handler()}
+	for i := 0; i < s.cfg.Executors; i++ {
+		s.execWG.Add(1)
+		go s.executor()
+	}
+	if s.cfg.StorePath != "" && s.cfg.SnapshotEvery > 0 {
+		s.snapWG.Add(1)
+		go s.snapshotLoop()
+	}
+	go func() {
+		if err := s.httpSrv.Serve(lis); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			// Serve only fails fatally before Shutdown; surface it on
+			// stderr rather than dying silently.
+			fmt.Fprintf(os.Stderr, "depserve: http serve: %v\n", err)
+		}
+	}()
+	return lis.Addr().String(), nil
+}
+
+// Addr returns the bound listen address (after Start).
+func (s *Server) Addr() string {
+	if s.lis == nil {
+		return ""
+	}
+	return s.lis.Addr().String()
+}
+
+// Shutdown drains the service gracefully: new requests are shed with 429,
+// in-flight and queued requests complete (bounded by ctx), executors are
+// joined, and the warm tier is saved atomically. Idempotent; later calls
+// return immediately.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.closing.Swap(true) {
+		return nil
+	}
+	var err error
+	if s.httpSrv != nil {
+		// Waits for every in-flight handler — and therefore for every
+		// queued job, since handlers block on their reply.
+		err = s.httpSrv.Shutdown(ctx)
+	}
+	close(s.execStop)
+	s.execWG.Wait()
+	close(s.snapStop)
+	s.snapWG.Wait()
+	if s.cfg.StorePath != "" {
+		if serr := s.SaveStore(); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	return err
+}
+
+// SaveStore snapshots the warm tier to Config.StorePath atomically (temp
+// file + rename), skipping the write when nothing changed since the last
+// save. No-op without a StorePath.
+func (s *Server) SaveStore() error {
+	if s.cfg.StorePath == "" {
+		return nil
+	}
+	if !s.storeDirty.Swap(false) {
+		return nil
+	}
+	s.storeMu.Lock()
+	clone := s.store.Clone() // shallow per unit; cheap even for large tiers
+	s.storeMu.Unlock()
+
+	dir := filepath.Dir(s.cfg.StorePath)
+	f, err := os.CreateTemp(dir, ".depserve-store-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := clone.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, s.cfg.StorePath)
+}
+
+// snapshotLoop periodically persists the warm tier.
+func (s *Server) snapshotLoop() {
+	defer s.snapWG.Done()
+	t := time.NewTicker(s.cfg.SnapshotEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := s.SaveStore(); err != nil {
+				fmt.Fprintf(os.Stderr, "depserve: store snapshot: %v\n", err)
+			}
+		case <-s.snapStop:
+			return
+		}
+	}
+}
+
+// StoreLen returns the warm tier's unit count (for statsz and tests).
+func (s *Server) StoreLen() int {
+	s.storeMu.Lock()
+	defer s.storeMu.Unlock()
+	return s.store.Len()
+}

@@ -1,0 +1,223 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"exactdep/internal/corpus"
+	"exactdep/internal/core"
+	"exactdep/internal/dtest"
+	"exactdep/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// golden marshals v with the encoding the service uses and compares it to
+// the pinned file — the schema's compatibility gate. Run with -update to
+// regenerate after an intentional (version-bumped or purely additive)
+// change.
+func golden(t *testing.T, name string, v any) {
+	t.Helper()
+	got, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run: go test ./internal/wire -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: encoding drifted from golden file.\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+func TestGoldenAnalyzeRequest(t *testing.T) {
+	golden(t, "analyze_request.json", AnalyzeRequest{
+		SchemaVersion: SchemaVersion,
+		Units: []UnitSource{
+			{Name: "p.loop", Source: "for i = 1 to 100\n  a[i+1] = a[i] + 3\nend\n"},
+		},
+		Options: &Options{
+			DirectionVectors: true,
+			PruneUnused:      true,
+			PruneDistance:    true,
+		},
+		BudgetClass:    "standard",
+		DeadlineMillis: 2000,
+	})
+}
+
+func TestGoldenAnalyzeResponse(t *testing.T) {
+	golden(t, "analyze_response.json", AnalyzeResponse{
+		SchemaVersion:  SchemaVersion,
+		BudgetClass:    "economy",
+		RequestedClass: "standard",
+		DegradedByLoad: true,
+		Units: []UnitVerdicts{{
+			Name:        "p.loop",
+			Fingerprint: "00000000000000ab00000000000000cd",
+			Reused:      true,
+			Results: []PairResult{
+				{
+					Pair:      "a[i+1] vs a[i]",
+					Outcome:   "dependent",
+					Exact:     true,
+					DecidedBy: "cache",
+					Vectors:   []string{"(<)"},
+					Distances: []Distance{{Level: 0, Value: 1}},
+				},
+				{
+					Pair:      "b[i][j] vs b[i-1][j+1]",
+					Outcome:   "maybe",
+					DecidedBy: "test",
+					Kind:      "Fourier-Motzkin",
+					Trip:      "fm-eliminations",
+				},
+			},
+		}},
+		Stats:    CorpusStats{Units: 1, UnitsReused: 1, PairsServed: 2},
+		Counters: Counters{Pairs: 0},
+	})
+}
+
+func TestGoldenErrorAndStatsz(t *testing.T) {
+	golden(t, "error_response.json", ErrorResponse{
+		SchemaVersion:     SchemaVersion,
+		Error:             "queue full",
+		RetryAfterSeconds: 1,
+	})
+	golden(t, "statsz.json", Statsz{
+		SchemaVersion: SchemaVersion,
+		UptimeMillis:  12345,
+		QueueDepth:    3,
+		QueueCapacity: 64,
+		Executors:     1,
+		Accepted:      100,
+		Completed:     96,
+		Degraded:      2,
+		Shed:          1,
+		ClientErrors:  1,
+		StoreUnits:    40,
+		UnitsReused:   350,
+		UnitsSolved:   50,
+		PairsServed:   7000,
+		PairsSolved:   900,
+	})
+}
+
+// TestTripCodes pins the trip-name → ordinal table against dtest, so the
+// canonical rendering cannot silently diverge when a trip reason is added
+// or renamed.
+func TestTripCodes(t *testing.T) {
+	for name, code := range tripCode {
+		if got := dtest.TripReason(code).String(); got != name {
+			t.Errorf("tripCode[%q] = %d, but that reason renders as %q", name, code, got)
+		}
+	}
+	if len(tripCode) != dtest.NumTripReasons-1 { // every reason except TripNone
+		t.Errorf("tripCode covers %d reasons, want %d", len(tripCode), dtest.NumTripReasons-1)
+	}
+}
+
+func TestClassLadder(t *testing.T) {
+	if i, ok := ClassIndex(""); !ok || i != 0 {
+		t.Errorf("empty class: got %d, %t", i, ok)
+	}
+	for i, c := range BudgetClasses {
+		got, ok := ClassIndex(c.Name)
+		if !ok || got != i {
+			t.Errorf("ClassIndex(%q) = %d, %t", c.Name, got, ok)
+		}
+		if name := ClassName(c.Budget); name != c.Name {
+			t.Errorf("ClassName round-trip for %q gave %q", c.Name, name)
+		}
+	}
+	if _, ok := ClassIndex("no-such-class"); ok {
+		t.Error("unknown class resolved")
+	}
+	if name := ClassName(dtest.Budget{MaxFMEliminations: 7}); name != "custom" {
+		t.Errorf("unladdered budget named %q, want custom", name)
+	}
+}
+
+// TestWireCanonicalMatchesCorpus is the byte-identity bridge: for the same
+// results, wire.AppendCanonical over the converted UnitVerdicts must equal
+// corpus.AppendCanonical over the original UnitResult — including degraded
+// (maybe) verdicts with trip provenance, vectors, and distances.
+func TestWireCanonicalMatchesCorpus(t *testing.T) {
+	units := testUnits(t)
+	for _, budget := range []dtest.Budget{{}, {MaxFMEliminations: 4, MaxBranchNodes: 2, MaxConstraints: 64}} {
+		opts := core.Options{
+			Memoize: true, ImprovedMemo: true,
+			DirectionVectors: true, PruneUnused: true, PruneDistance: true,
+			Budget: budget,
+		}
+		d := corpus.NewDriver(opts, 1)
+		urs, err := d.RunAll(context.Background(), units)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sawMaybe := false
+		for i := range urs {
+			want := corpus.AppendCanonical(nil, &urs[i])
+			uv := FromUnitResult(&urs[i])
+			got := AppendCanonical(nil, &uv)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("budget %+v unit %s: wire canonical diverged\nwire:\n%s\ncorpus:\n%s",
+					budget, urs[i].Name, got, want)
+			}
+			for _, r := range urs[i].Results {
+				if r.Outcome == dtest.Maybe {
+					sawMaybe = true
+				}
+			}
+		}
+		if budget.Limited() && !sawMaybe {
+			t.Error("starvation budget produced no maybe verdicts; trip path untested")
+		}
+	}
+}
+
+// testUnits builds a small mixed corpus: easy exact verdicts plus the
+// FM-hard adversarial programs that trip count budgets.
+func testUnits(t *testing.T) corpus.Mem {
+	t.Helper()
+	var m corpus.Mem
+	u, err := corpus.FromSource("easy.loop", "for i = 1 to 100\n  a[i+1] = a[i] + 3\nend\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = append(m, u)
+	for _, s := range workload.FMHardPrograms()[:2] {
+		cands, err := workload.FMHardCandidates(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m = append(m, corpus.Unit{Name: s.Name, Cands: cands})
+	}
+	return m
+}
+
+// TestSchemaVersionDecode: a request carrying a newer version must be
+// distinguishable before any field interpretation (servers reject it).
+func TestSchemaVersionDecode(t *testing.T) {
+	var req AnalyzeRequest
+	if err := json.Unmarshal([]byte(`{"schemaVersion":99,"units":[]}`), &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.SchemaVersion != 99 {
+		t.Errorf("schemaVersion decoded as %d", req.SchemaVersion)
+	}
+}
