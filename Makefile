@@ -39,10 +39,15 @@ check: vet race allocgate serve-smoke
 # an overload burst with depload, and requires zero 5xx responses and
 # served verdicts byte-identical to a local batch run. depload SIGTERMs the
 # server at the end and requires a clean drain, so graceful shutdown is
-# covered by a real process, not just the in-process tests.
+# covered by a real process, not just the in-process tests. The second run
+# turns on two executors with coalescing (max-batch 8) so the warm-analyzer
+# batch path and the narrowed store lock are exercised — and byte-checked —
+# by a real process too.
 serve-smoke:
 	$(GO) build -o .smoke_depserve ./cmd/depserve
 	$(GO) run ./cmd/depload -spawn ./.smoke_depserve -spawn-flags "-queue 8" \
+		-rate 40 -duration 2s -burst 24 -large-nests 16 -check -out .smoke_serve.json
+	$(GO) run ./cmd/depload -spawn ./.smoke_depserve -spawn-flags "-queue 8 -executors 2 -max-batch 8" \
 		-rate 40 -duration 2s -burst 24 -large-nests 16 -check -out .smoke_serve.json
 	@rm -f .smoke_depserve .smoke_serve.json
 
@@ -56,24 +61,26 @@ bench:
 # memo hit rates over the suite, budget-trip profile of the FM-hard
 # adversarial suite, refinement counter profile, cold large-corpus scaling,
 # incremental corpus cold/warm split, pipelined corpus cold/warm from mem
-# and dir sources with per-stage timing, host metadata) so future PRs can
-# diff against it.
+# and dir sources with per-stage timing, serve request-model split with a
+# per-request latency profile, host metadata) so future PRs can diff
+# against it.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR9.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR10.json
 
 # benchcmp diffs the previous PR's committed baseline against this PR's.
 benchcmp:
-	$(GO) run ./cmd/benchcmp BENCH_PR8.json BENCH_PR9.json
+	$(GO) run ./cmd/benchcmp BENCH_PR9.json BENCH_PR10.json
 
 # BASELINE is the committed perf baseline benchcmp-gate measures against.
-BASELINE := BENCH_PR9.json
+BASELINE := BENCH_PR10.json
 
 # benchcmp-gate re-measures the gated benchmarks (just those, via the
 # benchjson -only filter) and fails if one regressed more than 15% in ns/op
 # against the committed baseline. The corpus warm path is the incremental
 # layer's headline number, and the warm Dir-backed pipeline run is the
 # front-end (parse+fingerprint+probe) twin of it, so both are gated
-# alongside the memo-hot pass. A missing baseline file fails loudly up
+# alongside the memo-hot pass and the warm serve request model (the
+# depserve executor's cross-request memo dividend). A missing baseline file fails loudly up
 # front rather than as a confusing benchcmp read error — PERFGATE=1 on
 # check means someone asked for the gate, so silently skipping it would be
 # worse. Opt into the gate from check with PERFGATE=1.
@@ -88,4 +95,6 @@ benchcmp-gate:
 	$(GO) run ./cmd/benchcmp -gate corpus_incremental_warm_1pct_workers_1 -tolerance 15 $(BASELINE) .bench_gate.json
 	$(GO) run ./cmd/benchjson -only corpus_pipeline_warm_dir_workers_1 -out .bench_gate.json
 	$(GO) run ./cmd/benchcmp -gate corpus_pipeline_warm_dir_workers_1 -tolerance 15 $(BASELINE) .bench_gate.json
+	$(GO) run ./cmd/benchjson -only serve_batch_warm -out .bench_gate.json
+	$(GO) run ./cmd/benchcmp -gate serve_batch_warm_workers_1 -tolerance 15 $(BASELINE) .bench_gate.json
 	@rm -f .bench_gate.json

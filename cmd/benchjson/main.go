@@ -1,5 +1,5 @@
 // Command benchjson emits a machine-readable benchmark baseline (make
-// bench-json → BENCH_PR8.json): ns/op, bytes/op and allocs/op for the key
+// bench-json → BENCH_PR10.json): ns/op, bytes/op and allocs/op for the key
 // encoder, the lock-free sharded lookup, the memo-hot AnalyzeAll pass, the
 // cold very-large-corpus AnalyzeAll pass at several worker counts, the
 // incremental corpus driver (cold store fill vs a 1%-dirty warm re-run over
@@ -7,7 +7,9 @@
 // from both in-memory and Dir sources at workers 1/2/4/8, with a per-stage
 // timing profile), the budgeted FM-hard degradation pass, and the
 // direction-vector refinement strategies (clone-per-node reference vs the
-// clone-free trail walk, cold and memoized), plus per-program memo hit
+// clone-free trail walk, cold and memoized), and the depserve request
+// models (fresh driver per request vs one persistent warm analyzer with a
+// per-request latency profile), plus per-program memo hit
 // rates over the PERFECT-style suite, the deterministic budget-trip
 // profile, and the refinement/FM counter profile. Every file embeds host
 // metadata (GOMAXPROCS, CPU count, GOOS/GOARCH, go version) so scaling
@@ -28,8 +30,10 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"exactdep/internal/core"
 	corpuspkg "exactdep/internal/corpus"
@@ -86,16 +90,40 @@ type pipelineProfile struct {
 	Warm    stageNs `json:"warm"`
 }
 
+// servePathLatency is the per-request latency distribution of one serve
+// model over a burst of suite requests.
+type servePathLatency struct {
+	Requests int     `json:"requests"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+}
+
+// serveBatchProfile contrasts the two depserve request models over the
+// same burst: a fresh storeless driver per request (the pre-warm-tier
+// model) against one persistent warm analyzer whose memo tables survive
+// between requests (the executor model). The gap is the cross-request
+// memo dividend.
+type serveBatchProfile struct {
+	Workers int              `json:"workers"`
+	Units   int              `json:"units"`
+	PerJob  servePathLatency `json:"perjob"`
+	Warm    servePathLatency `json:"warm"`
+}
+
 type doc struct {
-	Schema     string                 `json:"schema"`
-	GoVersion  string                 `json:"go_version"`
-	GOMAXPROCS int                    `json:"gomaxprocs"`
-	Host       hostInfo               `json:"host"`
-	Benchmarks []benchRecord          `json:"benchmarks"`
+	Schema     string        `json:"schema"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Host       hostInfo      `json:"host"`
+	Benchmarks []benchRecord `json:"benchmarks"`
 	// Pipeline is the per-stage timing split of the pipelined corpus driver
 	// (informational: wall times, not gated).
-	Pipeline  pipelineProfile        `json:"pipeline"`
-	MemoSuite []workload.MemoSummary `json:"memo_suite"`
+	Pipeline pipelineProfile `json:"pipeline"`
+	// ServeBatch is the per-request latency split of the depserve request
+	// models (informational: wall times, not gated — the gated twin is the
+	// serve_batch_warm benchmark record).
+	ServeBatch serveBatchProfile      `json:"serve_batch"`
+	MemoSuite  []workload.MemoSummary `json:"memo_suite"`
 	// Budget is the degradation profile of the FM-hard adversarial suite
 	// under a starvation count budget — the budget layer's effectiveness
 	// baseline (trip counts are deterministic, so diffs are meaningful).
@@ -542,6 +570,104 @@ func run(out, only string) error {
 		}
 	}
 
+	// Serve request models over a burst of same-class requests, one suite
+	// program per request (the depserve executor's unit of work). perjob
+	// rebuilds a fresh storeless driver per request — the pre-warm-tier
+	// per-request model. warm replays the same burst on one persistent
+	// driver whose memo tables survive between requests, with per-request
+	// counter resets mirroring the executor. One op = one full burst, so
+	// the two series divide cleanly; the warm ns/op and allocs/op are
+	// gated in benchcmp-gate.
+	serveWanted := false
+	for _, w := range []int{1, 4} {
+		if match(fmt.Sprintf("serve_batch_perjob_workers_%d", w)) ||
+			match(fmt.Sprintf("serve_batch_warm_workers_%d", w)) {
+			serveWanted = true
+		}
+	}
+	if serveWanted || only == "" {
+		servOpts := core.Options{DirectionVectors: true, PruneUnused: true,
+			PruneDistance: true, Memoize: true, ImprovedMemo: true}
+		suite, err := workload.SuiteSource(false)
+		if err != nil {
+			return err
+		}
+		for _, w := range []int{1, 4} {
+			w := w
+			add(fmt.Sprintf("serve_batch_perjob_workers_%d", w), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					for u := range suite {
+						dr := corpuspkg.NewDriver(servOpts, w)
+						if _, err := dr.RunAll(context.Background(), suite[u:u+1]); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+			add(fmt.Sprintf("serve_batch_warm_workers_%d", w), func(b *testing.B) {
+				wa := corpuspkg.NewDriver(servOpts, w)
+				if _, err := wa.RunAll(context.Background(), suite); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for u := range suite {
+						wa.Analyzer().ResetStats()
+						if _, err := wa.RunAll(context.Background(), suite[u:u+1]); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+		}
+		// Per-request latency profile of the same two models (serial, so the
+		// p50/p99 split is scheduling-free).
+		if only == "" {
+			measure := func(run func(u int) error) (servePathLatency, error) {
+				const passes = 5
+				lat := make([]float64, 0, passes*len(suite))
+				for p := 0; p < passes; p++ {
+					for u := range suite {
+						t0 := time.Now()
+						if err := run(u); err != nil {
+							return servePathLatency{}, err
+						}
+						lat = append(lat, float64(time.Since(t0).Nanoseconds())/1e6)
+					}
+				}
+				sort.Float64s(lat)
+				return servePathLatency{
+					Requests: len(lat),
+					P50Ms:    lat[len(lat)/2],
+					P99Ms:    lat[(len(lat)*99)/100],
+				}, nil
+			}
+			perjob, err := measure(func(u int) error {
+				dr := corpuspkg.NewDriver(servOpts, 1)
+				_, err := dr.RunAll(context.Background(), suite[u:u+1])
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			wa := corpuspkg.NewDriver(servOpts, 1)
+			if _, err := wa.RunAll(context.Background(), suite); err != nil {
+				return err
+			}
+			warm, err := measure(func(u int) error {
+				wa.Analyzer().ResetStats()
+				_, err := wa.RunAll(context.Background(), suite[u:u+1])
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			d.ServeBatch = serveBatchProfile{Workers: 1, Units: len(suite), PerJob: perjob, Warm: warm}
+		}
+	}
+
 	// Budgeted pass over the FM-hard adversarial suite: how fast the cascade
 	// degrades under a starvation budget, and the (deterministic) trip
 	// profile it produces.
@@ -665,7 +791,7 @@ func run(out, only string) error {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR8.json", "output path ('-' for stdout)")
+	out := flag.String("out", "BENCH_PR10.json", "output path ('-' for stdout)")
 	only := flag.String("only", "", "run only benchmarks whose name contains this substring (skips profile sections)")
 	flag.Parse()
 	if err := run(*out, *only); err != nil {

@@ -29,8 +29,8 @@ import (
 	"syscall"
 	"time"
 
-	"exactdep/internal/corpus"
 	"exactdep/internal/core"
+	"exactdep/internal/corpus"
 	"exactdep/internal/wire"
 	"exactdep/internal/workload"
 )
@@ -66,6 +66,28 @@ type serveReport struct {
 	// ByteIdentical is set by -check: served suite verdicts rendered
 	// canonically match a local batch corpus run byte for byte.
 	ByteIdentical *bool `json:"byteIdentical,omitempty"`
+	// Statsz is the server's final counter snapshot (coalescing batches,
+	// cross-request memo hits, fingerprint dedup, evictions, ...), fetched
+	// after the load phases.
+	Statsz *wire.Statsz `json:"statsz,omitempty"`
+}
+
+// getStatsz fetches the server's counter snapshot.
+func getStatsz(base string) (*wire.Statsz, error) {
+	resp, err := http.Get(base + "/v1/statsz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("statsz: %d: %s", resp.StatusCode, msg)
+	}
+	var st wire.Statsz
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -145,6 +167,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "depload: served suite verdicts DIVERGE from the batch run")
 			fail = true
 		}
+	}
+
+	if st, err := getStatsz(base); err != nil {
+		fmt.Fprintf(stderr, "depload: %v\n", err)
+	} else {
+		report.Statsz = st
+		fmt.Fprintf(stdout, "depload: server coalescing: %d batches (max %d), %d coalesced jobs, %d fp-deduped, %d cross-request memo hits, %d cancelled, %d evictions\n",
+			st.Batches, st.MaxBatch, st.CoalescedJobs, st.FingerprintDeduped, st.CrossRequestMemoHits, st.Cancelled, st.MemoEvictions)
 	}
 
 	if err := emit(report, *out, *merge, stdout); err != nil {

@@ -48,6 +48,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	class := fs.String("class", "", "default budget class (exhaustive, generous, standard, economy, minimal)")
 	queueDepth := fs.Int("queue", 64, "admission queue depth; beyond it requests shed with 429")
 	executors := fs.Int("executors", 1, "concurrent request executors")
+	maxBatch := fs.Int("max-batch", 8, "max queued same-class requests coalesced into one warm-analyzer batch (1 = no coalescing)")
+	memoEvict := fs.Int("memo-evict", 1<<20, "drop a warm analyzer's memo tables past this many entries (-1 = never evict)")
 	storePath := fs.String("store", "", "persist the warm verdict tier at this path across restarts")
 	snapshot := fs.Duration("snapshot", 30*time.Second, "periodic warm-tier save cadence (0 = only on shutdown)")
 	maxDeadline := fs.Duration("max-deadline", 60*time.Second, "cap on any request's analysis deadline")
@@ -71,13 +73,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Cascade:          *cascade,
 			Workers:          *workers,
 		},
-		DefaultClass:  *class,
-		QueueDepth:    *queueDepth,
-		Executors:     *executors,
-		StorePath:     *storePath,
-		SnapshotEvery: *snapshot,
-		MaxDeadline:   *maxDeadline,
-		CorpusRoot:    *corpusRoot,
+		DefaultClass:   *class,
+		QueueDepth:     *queueDepth,
+		Executors:      *executors,
+		MaxBatch:       *maxBatch,
+		MaxMemoEntries: *memoEvict,
+		StorePath:      *storePath,
+		SnapshotEvery:  *snapshot,
+		MaxDeadline:    *maxDeadline,
+		CorpusRoot:     *corpusRoot,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "depserve: %v\n", err)

@@ -14,6 +14,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"exactdep/internal/core"
 	"exactdep/internal/corpus"
 	"exactdep/internal/memo"
 )
@@ -139,14 +140,7 @@ func AnalyzeCorpusRequest(ctx context.Context, req CorpusRequest) (*CorpusReport
 	if err != nil {
 		return nil, err
 	}
-	workers := 1
-	if opts.Workers != 0 {
-		workers = opts.Workers
-		if workers < 0 {
-			workers = 0 // the driver maps <= 0 to GOMAXPROCS
-		}
-	}
-	d := corpus.NewDriver(opts, workers)
+	d := corpus.NewDriver(opts, core.PipelineWorkers(opts.Workers))
 	if opts.StorePath != "" {
 		store, err := openStore(opts)
 		if err != nil {

@@ -271,15 +271,8 @@ func AnalyzeUnitContext(ctx context.Context, u *Unit, opts Options) (*Report, er
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	workers := 1
-	if opts.Workers != 0 {
-		workers = opts.Workers
-		if workers < 0 {
-			workers = 0 // AnalyzeAllContext maps <= 0 to GOMAXPROCS
-		}
-	}
 	a := core.New(opts)
-	res, err := a.AnalyzeAllContext(ctx, refs.Pairs(u), workers)
+	res, err := a.AnalyzeAllContext(ctx, refs.Pairs(u), core.PipelineWorkers(opts.Workers))
 	if err != nil {
 		return nil, err
 	}

@@ -435,6 +435,56 @@ func (a *Analyzer) syncStageStats() {
 // paper's idea of a table persisted across compilations).
 func (a *Analyzer) ResetStats() { a.Stats = stats.Counters{} }
 
+// MemoLen returns the total entry count over the analyzer's three memo
+// tables (full, eq, dir) — the size a long-lived analyzer's eviction policy
+// measures against. Worker-view L1 caches are bounded by construction and
+// not counted.
+func (a *Analyzer) MemoLen() int {
+	return a.full.Len() + a.eq.Len() + a.dir.Len()
+}
+
+// EvictMemo drops every memo entry — the three shared tables and every
+// cached worker view's L1 caches — starting a fresh memoization epoch while
+// keeping the analyzer itself (pipelines, encoders, worker views, traffic
+// counters) warm. A long-lived analyzer calls this when MemoLen exceeds its
+// memory bound; correctness is unaffected because evicted problems are
+// simply re-solved, and count-budget verdicts are deterministic, so a
+// re-solve reproduces the evicted entry byte for byte.
+//
+// The tables are reset in place, so worker views (whose insert batches are
+// bound to the concrete table objects) stay valid. Both sides of the
+// L1 ⊆ L2 containment are cleared together, which re-establishes the
+// invariant trivially. Must not be called concurrently with an analysis
+// run; the in-flight layer is empty between runs and is left alone.
+func (a *Analyzer) EvictMemo() {
+	a.full.Reset()
+	a.eq.Reset()
+	a.dir.Reset()
+	views := append([]*Analyzer{a}, a.views...)
+	for _, v := range views {
+		if v.l1 != nil {
+			v.l1.Reset()
+		}
+		if v.l1dir != nil {
+			v.l1dir.Reset()
+		}
+	}
+}
+
+// PipelineWorkers maps the public Options.Workers knob to a corpus-driver
+// worker count: 0 means serial (one worker), negative means "all cores"
+// (the driver's 0), and a positive value passes through. The facade and the
+// depserve service layer share this mapping so the two cannot drift.
+func PipelineWorkers(w int) int {
+	switch {
+	case w == 0:
+		return 1
+	case w < 0:
+		return 0
+	}
+	return w
+}
+
 // Options returns the analyzer's configuration (a copy).
 func (a *Analyzer) Options() Options { return a.opts }
 

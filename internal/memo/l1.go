@@ -87,6 +87,16 @@ func (l *L1[V]) Store(k Key, v V) {
 	l.vals[i] = v
 }
 
+// Reset empties every slot, releasing the interned keys and values it
+// referenced. Must be reset together with its backing L2 (the L1 ⊆ L2
+// containment only needs re-establishing from the empty side: an empty L1
+// is trivially contained in any L2). Traffic counters survive.
+func (l *L1[V]) Reset() {
+	clear(l.keys)
+	clear(l.vals)
+	l.live = 0
+}
+
 // Len returns the number of occupied slots.
 func (l *L1[V]) Len() int { return l.live }
 

@@ -216,6 +216,16 @@ func (t *Table[V]) reinsert(k Key, v V) {
 	}
 }
 
+// Reset drops every entry and shrinks the table back to its initial bucket
+// array, releasing the retained keys and values to the collector — the
+// eviction primitive a long-lived analyzer uses to bound its memory.
+// Traffic counters (Stats) are cumulative and survive the reset.
+func (t *Table[V]) Reset() {
+	t.keys = make([]Key, initialBuckets)
+	t.vals = make([]V, initialBuckets)
+	t.n = 0
+}
+
 // Len returns the number of unique entries.
 func (t *Table[V]) Len() int { return t.n }
 

@@ -1,0 +1,111 @@
+package memo
+
+import "testing"
+
+// resetKeys returns a few distinct stable keys.
+func resetKeys(n int) []Key {
+	out := make([]Key, n)
+	for i := range out {
+		out[i] = Key{int64(i + 1), int64(2 * (i + 1)), 7}
+	}
+	return out
+}
+
+func TestTableReset(t *testing.T) {
+	tb := NewTable[int]()
+	keys := resetKeys(200) // force at least one grow past initialBuckets
+	for i, k := range keys {
+		tb.Insert(k, i)
+	}
+	if tb.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", tb.Len(), len(keys))
+	}
+	if _, ok := tb.Lookup(keys[3]); !ok {
+		t.Fatal("lookup miss before reset")
+	}
+	lookups, hits := tb.Stats()
+
+	tb.Reset()
+	if tb.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", tb.Len())
+	}
+	if tb.Buckets() != initialBuckets {
+		t.Fatalf("Buckets after Reset = %d, want %d", tb.Buckets(), initialBuckets)
+	}
+	if _, ok := tb.Lookup(keys[3]); ok {
+		t.Fatal("stale entry survived Reset")
+	}
+	l2, h2 := tb.Stats()
+	if l2 != lookups+1 || h2 != hits {
+		t.Fatalf("Stats after Reset = (%d, %d), want (%d, %d): counters must be cumulative", l2, h2, lookups+1, hits)
+	}
+
+	// The table must be fully usable after a reset.
+	tb.Insert(keys[5], 99)
+	if v, ok := tb.Lookup(keys[5]); !ok || v != 99 {
+		t.Fatalf("post-Reset insert/lookup = (%d, %v), want (99, true)", v, ok)
+	}
+}
+
+func TestShardedTableReset(t *testing.T) {
+	st := NewShardedTable[int](4)
+	keys := resetKeys(300)
+	for i, k := range keys {
+		st.Insert(k, i)
+	}
+	if st.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", st.Len(), len(keys))
+	}
+	grown := st.Buckets()
+	st.AddStats(10, 4)
+
+	st.Reset()
+	if st.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", st.Len())
+	}
+	if st.Buckets() >= grown {
+		t.Fatalf("Buckets after Reset = %d, want shrunk below %d", st.Buckets(), grown)
+	}
+	if _, ok := st.Lookup(keys[7]); ok {
+		t.Fatal("stale entry survived Reset")
+	}
+	if l, h := st.Stats(); l != 10 || h != 4 {
+		t.Fatalf("Stats after Reset = (%d, %d), want (10, 4): counters must be cumulative", l, h)
+	}
+
+	st.Insert(keys[9], 42)
+	if v, ok := st.Lookup(keys[9]); !ok || v != 42 {
+		t.Fatalf("post-Reset insert/lookup = (%d, %v), want (42, true)", v, ok)
+	}
+}
+
+func TestL1Reset(t *testing.T) {
+	l1 := NewL1[int](8)
+	keys := resetKeys(6)
+	for i, k := range keys {
+		l1.Store(k, i)
+	}
+	if l1.Len() == 0 {
+		t.Fatal("no live slots before reset")
+	}
+	l1.Lookup(keys[0])
+	lookups, _ := l1.Stats()
+
+	l1.Reset()
+	if l1.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", l1.Len())
+	}
+	for _, k := range keys {
+		if _, ok := l1.Lookup(k); ok {
+			t.Fatalf("stale entry for %v survived Reset", k)
+		}
+	}
+	if l, _ := l1.Stats(); l != lookups+len(keys) {
+		t.Fatalf("lookups after Reset = %d, want %d: counters must be cumulative", l, lookups+len(keys))
+	}
+
+	l1.Store(keys[2], 5)
+	if v, ok := l1.Lookup(keys[2]); !ok || v != 5 {
+		t.Fatalf("post-Reset store/lookup = (%d, %v), want (5, true)", v, ok)
+	}
+}

@@ -18,6 +18,7 @@ type Map[V any] interface {
 	Len() int
 	Stats() (lookups, hits int)
 	Range(func(Key, V) bool)
+	Reset()
 }
 
 var (
@@ -262,6 +263,22 @@ func (s *ShardedTable[V]) Buckets() int {
 		n += len(s.sh[i].snap.Load().keys)
 	}
 	return n
+}
+
+// Reset drops every entry and shrinks each shard back to its initial
+// snapshot, releasing the retained keys and values to the collector — the
+// eviction primitive a long-lived analyzer uses to bound its memory.
+// Traffic counters (Stats) are cumulative and survive the reset. Safe for
+// concurrent use with Lookup/Insert, but the caller is responsible for the
+// larger invariant that no L1 cache still holds entries the table no
+// longer does (core.Analyzer.EvictMemo resets both sides together).
+func (s *ShardedTable[V]) Reset() {
+	for i := range s.sh {
+		sh := &s.sh[i]
+		sh.mu.Lock()
+		sh.snap.Store(&snapshot[V]{keys: make([]Key, shardBuckets), vals: make([]V, shardBuckets)})
+		sh.mu.Unlock()
+	}
 }
 
 // AddStats merges a worker's locally accumulated lookup/hit counts into the

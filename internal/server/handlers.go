@@ -8,6 +8,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"path/filepath"
@@ -290,6 +291,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	hist := make([]int64, batchSizeBuckets)
+	for i := range hist {
+		hist[i] = s.stats.batchSizes[i].Load()
+	}
 	writeJSON(w, http.StatusOK, wire.Statsz{
 		SchemaVersion: wire.SchemaVersion,
 		UptimeMillis:  time.Since(s.start).Milliseconds(),
@@ -301,11 +306,21 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Degraded:      s.stats.degraded.Load(),
 		Shed:          s.stats.shed.Load(),
 		ClientErrors:  s.stats.clientErrors.Load(),
+		Cancelled:     s.stats.cancelled.Load(),
 		StoreUnits:    s.StoreLen(),
 		UnitsReused:   s.stats.unitsReused.Load(),
 		UnitsSolved:   s.stats.unitsSolved.Load(),
 		PairsServed:   s.stats.pairsServed.Load(),
 		PairsSolved:   s.stats.pairsSolved.Load(),
+
+		MaxBatch:             s.cfg.MaxBatch,
+		Batches:              s.stats.batches.Load(),
+		CoalescedJobs:        s.stats.coalescedJobs.Load(),
+		BatchSizeHist:        hist,
+		FingerprintDeduped:   s.stats.fpDeduped.Load(),
+		CrossRequestMemoHits: s.stats.crossMemoHits.Load(),
+		MemoEntries:          s.memoEntries(),
+		MemoEvictions:        s.stats.memoEvictions.Load(),
 	})
 }
 
@@ -330,102 +345,180 @@ func (s *Server) executor() {
 	}
 }
 
+// coalescable reports whether a job may ride in a warm-analyzer batch:
+// analyze requests on the server's option surface. Corpus requests run
+// through the facade, and option overrides get a throwaway driver, so
+// neither can share a warm analyzer.
+func coalescable(j *job) bool {
+	return j.corpusReq == nil && !j.overridden
+}
+
+// process serves one dequeued job, plus — for coalescable jobs — up to
+// MaxBatch-1 queued same-class peers merged into the same warm-analyzer
+// batch. Draining may pull a job that cannot join the batch (different
+// class, corpus request, option override); it is looped on here rather
+// than re-queued, preserving FIFO order.
 func (s *Server) process(j *job) {
-	if s.gate != nil {
-		<-s.gate
+	for j != nil {
+		if s.gate != nil {
+			<-s.gate
+		}
+		j = s.processBatch(j)
 	}
-	j.reply <- s.run(j)
+}
+
+// processBatch runs j (batched with any same-class peers it can drain) and
+// returns the first non-matching job pulled off the queue, or nil.
+func (s *Server) processBatch(j *job) *job {
+	if !coalescable(j) {
+		s.finish(j, s.run(j))
+		return nil
+	}
+	batch := []*job{j}
+	var next *job
+drain:
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case nj := <-s.queue:
+			if coalescable(nj) && nj.effClass == j.effClass {
+				batch = append(batch, nj)
+			} else {
+				next = nj
+				break drain
+			}
+		default:
+			break drain
+		}
+	}
+	s.runBatch(batch)
+	return next
+}
+
+// finish delivers a job's reply and feeds the completion counters. A job
+// whose context died before completion (client gone, deadline passed)
+// counts as cancelled — its verdicts degraded or its reply is a 408, never
+// a server error.
+func (s *Server) finish(j *job, res jobResult) {
+	if j.ctx.Err() != nil {
+		s.stats.cancelled.Add(1)
+	}
+	j.reply <- res
 	s.stats.completed.Add(1)
 }
 
-// pipelineWorkers maps Options.Workers onto the corpus driver's width (the
-// same mapping as the facade: 0 serial, negative GOMAXPROCS).
-func (s *Server) pipelineWorkers() int {
-	w := s.baseOpts.Workers
-	switch {
-	case w == 0:
-		return 1
-	case w < 0:
-		return 0
+// runBatch serves a batch of same-class jobs sequentially on the class's
+// warm analyzer. Sequential replay is what makes coalesced replies
+// byte-identical to a one-job-at-a-time run by construction: each job gets
+// exactly the probe → solve → put cycle it would have gotten alone, in
+// admission order, against the same store and (warm) memo state — the
+// batch saves the per-job driver construction and keeps the memo tables
+// hot, it never changes the operation sequence. Each job's own context
+// governs its solve, so an expired job degrades to Maybe/cancelled alone
+// without poisoning batchmates (its tripped units are never stored, and
+// batchmates holding the same units simply re-solve them memo-hot).
+func (s *Server) runBatch(batch []*job) {
+	wa := s.warm[batch[0].effClass]
+	wa.mu.Lock()
+	// batchFps tracks fingerprints stored by earlier jobs of this batch, so
+	// the probe loop can meter cross-request dedup within the batch.
+	batchFps := make(map[memo.Fingerprint]bool)
+	for _, j := range batch {
+		s.finish(j, s.runWarm(j, wa, batchFps))
+		wa.jobs++
 	}
-	return w
+	if s.memoLimit > 0 {
+		if a := wa.driver.Analyzer(); a.MemoLen() > s.memoLimit {
+			a.EvictMemo()
+			wa.jobs = 0
+			s.stats.memoEvictions.Add(1)
+		}
+	}
+	wa.mu.Unlock()
+
+	s.stats.batches.Add(1)
+	s.stats.coalescedJobs.Add(int64(len(batch) - 1))
+	bucket := len(batch) - 1
+	if bucket >= batchSizeBuckets {
+		bucket = batchSizeBuckets - 1
+	}
+	s.stats.batchSizes[bucket].Add(1)
 }
 
-// run executes one admitted job and builds its reply.
-func (s *Server) run(j *job) jobResult {
-	if j.corpusReq != nil {
-		return s.runCorpus(j)
-	}
-	opts := j.wireOpts.Apply(s.baseOpts)
-	opts.Budget = wire.BudgetClasses[j.effClass].Budget
+// runWarm executes one coalescable job on its class's warm analyzer. The
+// caller holds wa.mu. Store traffic follows the PR8 pipeline contract so
+// executors overlap solving: probe under storeMu, solve outside it on the
+// long-lived driver, deferred puts under it.
+//
+// The warm tier serves a stored unit when its result set matches the
+// unit's candidate count; at a non-default class it must additionally be
+// fully exact (Cost.Maybe == 0), since count-budget Maybe verdicts are
+// class-scoped. Symmetrically, the default class stores anything without
+// deadline/cancel trips (corpus.Storable), while other classes store only
+// fully-untripped results, so class-scoped verdicts never leak into the
+// default-class store.
+func (s *Server) runWarm(j *job, wa *warmAnalyzer, batchFps map[memo.Fingerprint]bool) jobResult {
+	crossClass := j.effClass != s.defaultClass
 
-	if !j.overridden && j.effClass == s.defaultClass {
-		var st corpus.Stats
-		// Warm-tier fast path: the incremental driver runs directly against
-		// the shared store. storeMu is held across the run — the store is
-		// unsynchronized by contract, and the executor pool defaults to 1.
-		s.storeMu.Lock()
-		d := corpus.NewDriver(opts, s.pipelineWorkers())
-		if err := d.SetStore(s.store); err != nil {
-			s.storeMu.Unlock()
-			return jobResult{http.StatusInternalServerError, wire.ErrorResponse{SchemaVersion: wire.SchemaVersion, Error: err.Error()}}
-		}
-		res, err := d.RunAll(j.ctx, j.units)
-		st = d.Stats
-		cs := d.Analyzer().Stats
-		if st.UnitsSolved > 0 {
-			s.storeDirty.Store(true)
-		}
-		s.storeMu.Unlock()
-		if err != nil {
-			return jobResult{http.StatusInternalServerError, wire.ErrorResponse{SchemaVersion: wire.SchemaVersion, Error: err.Error()}}
-		}
-		return s.respond(j, res, st, wire.FromCounters(cs))
-	}
-
-	// Cross-class path: the warm tier still serves fully-exact stored units
-	// (exact verdicts hold under every budget class); everything else is
-	// solved storelessly so class-scoped Maybe verdicts never leak into the
-	// default-class store — except fully-untripped solved units, which are
-	// budget-independent and flow back into the tier.
-	served := make([]*corpus.StoredUnit, len(j.units))
+	// Fingerprint outside the lock (cached on the immutable unit).
 	fps := make([]memo.Fingerprint, len(j.units))
-	if !j.overridden {
-		var f corpus.Fingerprinter
-		s.storeMu.Lock()
-		for i := range j.units {
-			fps[i] = j.units[i].Fingerprint(&f)
-			if su, ok := s.store.Lookup(fps[i]); ok &&
-				len(su.Results) == len(j.units[i].Cands) && su.Cost.Maybe == 0 {
-				served[i] = su
-			}
-		}
-		s.storeMu.Unlock()
+	for i := range j.units {
+		fps[i] = j.units[i].Fingerprint(&wa.fp)
 	}
+
+	served := make([]*corpus.StoredUnit, len(j.units))
+	s.storeMu.Lock()
+	for i := range j.units {
+		su, ok := s.store.Lookup(fps[i])
+		if !ok || len(su.Results) != len(j.units[i].Cands) {
+			continue
+		}
+		if crossClass && su.Cost.Maybe != 0 {
+			continue
+		}
+		served[i] = su
+		if batchFps[fps[i]] {
+			s.stats.fpDeduped.Add(1)
+		}
+	}
+	s.storeMu.Unlock()
+
 	var miss corpus.Mem
 	for i := range j.units {
 		if served[i] == nil {
 			miss = append(miss, j.units[i])
 		}
 	}
-	d := corpus.NewDriver(opts, s.pipelineWorkers())
-	missURs, err := d.RunAll(j.ctx, miss)
+
+	a := wa.driver.Analyzer()
+	a.ResetStats() // per-request counters; the memo tables stay warm
+	firstEpochJob := wa.jobs == 0
+	missURs, err := wa.driver.RunAll(j.ctx, miss)
 	if err != nil {
-		return jobResult{http.StatusInternalServerError, wire.ErrorResponse{SchemaVersion: wire.SchemaVersion, Error: err.Error()}}
+		return s.errorResult(j, err, http.StatusInternalServerError)
 	}
-	if !j.overridden {
-		s.storeMu.Lock()
-		for i := range missURs {
-			ur := &missURs[i]
-			if untripped(ur.Results) {
-				s.store.Put(ur.Fingerprint, corpus.ToStored(ur.Name, ur.Results))
-				s.storeDirty.Store(true)
-			}
+	counters := wire.FromCounters(a.Stats)
+	if !firstEpochJob {
+		s.stats.crossMemoHits.Add(int64(a.Stats.FullHits))
+	}
+
+	s.storeMu.Lock()
+	for i := range missURs {
+		ur := &missURs[i]
+		ok := corpus.Storable(ur.Results)
+		if crossClass {
+			ok = untripped(ur.Results)
 		}
-		s.storeMu.Unlock()
+		if ok {
+			s.store.Put(ur.Fingerprint, corpus.ToStored(ur.Name, ur.Results))
+			s.storeDirty.Store(true)
+			batchFps[ur.Fingerprint] = true
+		}
 	}
+	s.storeMu.Unlock()
+
+	// Demux served and solved units back into request order.
 	urs := make([]corpus.UnitResult, len(j.units))
-	st := corpus.Stats{Units: len(j.units), UnitsSolved: d.Stats.UnitsSolved, PairsSolved: d.Stats.PairsSolved}
+	st := corpus.Stats{Units: len(j.units), UnitsSolved: wa.driver.Stats.UnitsSolved, PairsSolved: wa.driver.Stats.PairsSolved}
 	mi := 0
 	for i := range j.units {
 		u := &j.units[i]
@@ -445,7 +538,40 @@ func (s *Server) run(j *job) jobResult {
 			mi++
 		}
 	}
-	return s.respond(j, urs, st, wire.FromCounters(d.Analyzer().Stats))
+	return s.respond(j, urs, st, counters)
+}
+
+// run executes one non-coalescable job (corpus request or option override)
+// and builds its reply.
+func (s *Server) run(j *job) jobResult {
+	if j.corpusReq != nil {
+		return s.runCorpus(j)
+	}
+	// Option override: a throwaway storeless driver — a foreign result
+	// surface must touch neither the warm tier nor a warm analyzer's memo.
+	opts := j.wireOpts.Apply(s.baseOpts)
+	opts.Budget = wire.BudgetClasses[j.effClass].Budget
+	d := corpus.NewDriver(opts, core.PipelineWorkers(s.baseOpts.Workers))
+	urs, err := d.RunAll(j.ctx, j.units)
+	if err != nil {
+		return s.errorResult(j, err, http.StatusInternalServerError)
+	}
+	return s.respond(j, urs, d.Stats, wire.FromCounters(d.Analyzer().Stats))
+}
+
+// errorResult classifies a failed run. A context-cancellation error (or any
+// error surfacing after the job's own context died) means the client is
+// gone or out of time — that is a request outcome, answered 408, never a
+// server error. Anything else gets fallback (500 for analyze, 400 for
+// corpus selection errors).
+func (s *Server) errorResult(j *job, err error, fallback int) jobResult {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || j.ctx.Err() != nil {
+		return jobResult{http.StatusRequestTimeout, wire.ErrorResponse{
+			SchemaVersion: wire.SchemaVersion,
+			Error:         "request cancelled: " + err.Error(),
+		}}
+	}
+	return jobResult{fallback, wire.ErrorResponse{SchemaVersion: wire.SchemaVersion, Error: err.Error()}}
 }
 
 // untripped reports that no verdict in the batch carries budget, deadline,
@@ -465,10 +591,11 @@ func (s *Server) runCorpus(j *job) jobResult {
 	req.Options.Budget = wire.BudgetClasses[j.effClass].Budget
 	rep, err := exactdep.AnalyzeCorpusRequest(j.ctx, req)
 	if err != nil {
-		// Options were validated at the handler, so what's left is the
+		// Options were validated at the handler, so what's left is either a
+		// dead request context (mapped to 408 by errorResult) or the
 		// client's corpus selection (missing dir, unreadable file, parse
 		// error): a bad request, not a server failure.
-		return jobResult{http.StatusBadRequest, wire.ErrorResponse{SchemaVersion: wire.SchemaVersion, Error: err.Error()}}
+		return s.errorResult(j, err, http.StatusBadRequest)
 	}
 	return s.respond(j, rep.Units, rep.Stats, wire.FromCounters(rep.Counters))
 }

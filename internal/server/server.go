@@ -65,6 +65,18 @@ type Config struct {
 	// Analysis parallelism within a request comes from Options.Workers;
 	// more executors trade per-request latency for throughput.
 	Executors int
+	// MaxBatch bounds how many queued same-class requests one executor
+	// coalesces into a single warm-analyzer batch (0 = 8; 1 disables
+	// coalescing). Coalesced requests share one probe/solve/put cycle per
+	// job on the class's long-lived analyzer, so a burst pays driver setup
+	// once and runs memo-hot after the first job.
+	MaxBatch int
+	// MaxMemoEntries bounds each warm analyzer's memo tables: when a batch
+	// leaves an analyzer above this many entries (summed over its full, eq,
+	// and dir tables) the tables are dropped and a fresh memoization epoch
+	// starts (0 = 1<<20; negative = never evict). Eviction never changes
+	// result bytes — evicted problems are simply re-solved.
+	MaxMemoEntries int
 	// StorePath persists the warm tier across restarts ("" = in-memory
 	// only). Loaded on boot when present (it must match the
 	// configuration), saved periodically and on shutdown.
@@ -82,9 +94,15 @@ type Config struct {
 
 // Defaults.
 const (
-	defaultQueueDepth  = 64
-	defaultMaxDeadline = 60 * time.Second
+	defaultQueueDepth     = 64
+	defaultMaxDeadline    = 60 * time.Second
+	defaultMaxBatch       = 8
+	defaultMaxMemoEntries = 1 << 20
 )
+
+// batchSizeBuckets sizes the batch-size histogram: bucket i counts batches
+// of i+1 jobs, with the last bucket open-ended (>= batchSizeBuckets jobs).
+const batchSizeBuckets = 8
 
 // serverStats are the monotonically increasing service counters surfaced
 // by /v1/statsz.
@@ -94,10 +112,35 @@ type serverStats struct {
 	degraded     atomic.Int64 // requests shrunk below their requested class
 	shed         atomic.Int64 // requests rejected with 429
 	clientErrors atomic.Int64 // 4xx before admission
+	cancelled    atomic.Int64 // requests whose context died before completion
 	unitsReused  atomic.Int64
 	unitsSolved  atomic.Int64
 	pairsServed  atomic.Int64
 	pairsSolved  atomic.Int64
+
+	// Warm-analyzer / coalescing counters (see wire.Statsz for semantics).
+	batches       atomic.Int64
+	coalescedJobs atomic.Int64
+	fpDeduped     atomic.Int64
+	crossMemoHits atomic.Int64
+	memoEvictions atomic.Int64
+	batchSizes    [batchSizeBuckets]atomic.Int64
+}
+
+// warmAnalyzer is one budget class's long-lived analysis engine: a
+// persistent corpus driver whose analyzer retains its memo tables (L1/L2/
+// dir), in-flight singleflight, and worker views across requests, so a
+// same-class burst runs memo-hot after its first job. The mutex serializes
+// whole executor batches (the driver is not safe for concurrent use);
+// executors working different classes overlap freely. jobs counts requests
+// served in the current memoization epoch (reset on eviction) — a request
+// after the first of an epoch can only hit memo entries some earlier
+// request planted.
+type warmAnalyzer struct {
+	mu     sync.Mutex
+	driver *corpus.Driver
+	fp     corpus.Fingerprinter
+	jobs   int64
 }
 
 // Server is the dependence-analysis daemon.
@@ -106,10 +149,18 @@ type Server struct {
 	baseOpts     core.Options // cfg.Options + default-class budget, no StorePath
 	defaultClass int          // index into wire.BudgetClasses
 	maxDeadline  time.Duration
+	memoLimit    int // resolved MaxMemoEntries; 0 = never evict
 
 	queue    chan *job
 	execStop chan struct{}
 	execWG   sync.WaitGroup
+
+	// warm holds one long-lived analyzer per budget class (indexed like
+	// wire.BudgetClasses). Every non-overridden analyze request is served
+	// by its effective class's warm analyzer; option-overriding requests
+	// get a throwaway driver instead so foreign result surfaces never
+	// poison the shared memo tables.
+	warm []*warmAnalyzer
 
 	// store is the warm tier; storeMu serializes every probe/put against
 	// snapshot clones (corpus.Store itself is unsynchronized by contract).
@@ -155,6 +206,19 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Executors < 1 {
 		return nil, fmt.Errorf("server: executors must be positive, got %d", cfg.Executors)
 	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = defaultMaxBatch
+	}
+	if cfg.MaxBatch < 1 {
+		return nil, fmt.Errorf("server: max batch must be positive, got %d", cfg.MaxBatch)
+	}
+	memoLimit := cfg.MaxMemoEntries
+	if memoLimit == 0 {
+		memoLimit = defaultMaxMemoEntries
+	}
+	if memoLimit < 0 {
+		memoLimit = 0 // never evict
+	}
 	maxDeadline := cfg.MaxDeadline
 	if maxDeadline <= 0 {
 		maxDeadline = defaultMaxDeadline
@@ -169,10 +233,22 @@ func New(cfg Config) (*Server, error) {
 		baseOpts:     baseOpts,
 		defaultClass: classIdx,
 		maxDeadline:  maxDeadline,
+		memoLimit:    memoLimit,
 		queue:        make(chan *job, cfg.QueueDepth),
 		execStop:     make(chan struct{}),
 		snapStop:     make(chan struct{}),
 		start:        time.Now(),
+	}
+
+	// One warm analyzer per budget class, storeless on purpose: the server
+	// orchestrates its own store traffic around the shared warm tier
+	// (probe under storeMu, solve outside it, deferred puts under it), so
+	// the driver only ever sees store-missing units.
+	s.warm = make([]*warmAnalyzer, len(wire.BudgetClasses))
+	for i := range s.warm {
+		o := baseOpts
+		o.Budget = wire.BudgetClasses[i].Budget
+		s.warm[i] = &warmAnalyzer{driver: corpus.NewDriver(o, core.PipelineWorkers(baseOpts.Workers))}
 	}
 
 	if cfg.StorePath != "" {
@@ -312,4 +388,17 @@ func (s *Server) StoreLen() int {
 	s.storeMu.Lock()
 	defer s.storeMu.Unlock()
 	return s.store.Len()
+}
+
+// memoEntries sums the current memo-table entry counts over every warm
+// analyzer (for statsz and tests). Takes each analyzer's mutex in turn, so
+// it may wait for an in-flight batch.
+func (s *Server) memoEntries() int64 {
+	var n int64
+	for _, wa := range s.warm {
+		wa.mu.Lock()
+		n += int64(wa.driver.Analyzer().MemoLen())
+		wa.mu.Unlock()
+	}
+	return n
 }

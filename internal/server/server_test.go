@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -597,4 +598,286 @@ func TestOptionOverride(t *testing.T) {
 	if warm.Stats.UnitsReused != len(units) {
 		t.Errorf("identity override bypassed the warm tier: %+v", warm.Stats)
 	}
+}
+
+// tinyUnits generates n small distinct units cheap enough for the
+// race-enabled matrix tests: every unit shares one statement (so units
+// solved in the same epoch produce cross-request memo hits) and carries
+// one unit-specific statement (so fingerprints stay distinct).
+func tinyUnits(n int) []wire.UnitSource {
+	units := make([]wire.UnitSource, n)
+	for i := range units {
+		src := fmt.Sprintf("for i = 1 to 50\n  a[i+1] = a[i]\n  c[i+%d] = c[i]\nend\n", i+1)
+		units[i] = wire.UnitSource{Name: fmt.Sprintf("tiny%d", i), Source: src}
+	}
+	return units
+}
+
+// coalesceJobs slices tiny units into overlapping per-request windows:
+// job k holds units[2k : 2k+4], so consecutive jobs share two units — the
+// shape that exercises cross-job fingerprint dedup inside one batch.
+func coalesceJobs(t *testing.T) [][]wire.UnitSource {
+	units := tinyUnits(10)
+	var jobs [][]wire.UnitSource
+	for k := 0; 2*k+4 <= len(units) && k < 4; k++ {
+		jobs = append(jobs, units[2*k:2*k+4])
+	}
+	if len(jobs) < 3 {
+		t.Fatal("unit pool too small for coalescing windows")
+	}
+	return jobs
+}
+
+// postOrdered posts the jobs strictly in order against a gate-held server
+// (each waits until the previous one is admitted, so queue order — and
+// therefore batch order — is the slice order), releases the gate, and
+// returns the responses in job order.
+func postOrdered(t *testing.T, s *Server, base string, jobs [][]wire.UnitSource) [][]byte {
+	t.Helper()
+	bodies := make([][]byte, len(jobs))
+	var wg sync.WaitGroup
+	for k, units := range jobs {
+		wg.Add(1)
+		go func(k int, units []wire.UnitSource) {
+			defer wg.Done()
+			resp, body := postJSON(t, base+"/v1/analyze", wire.AnalyzeRequest{Units: units})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("job %d: status %d: %s", k, resp.StatusCode, body)
+			}
+			bodies[k] = body
+		}(k, units)
+		waitFor(t, func() bool { return s.stats.accepted.Load() == int64(k+1) })
+	}
+	close(s.gate)
+	wg.Wait()
+	return bodies
+}
+
+// canonicalOf renders a response body's verdicts canonically.
+func canonicalOf(t *testing.T, body []byte) []byte {
+	t.Helper()
+	var ar wire.AnalyzeResponse
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return wire.Canonical(&ar)
+}
+
+// TestCoalescingByteIdentity: N same-class jobs executed as one coalesced
+// warm-analyzer batch produce responses identical to the same jobs executed
+// one at a time in the same order — full-JSON identical in the serial
+// configuration, canonical-verdict identical at every worker and executor
+// count (per-test counters are scheduling-dependent under concurrency).
+func TestCoalescingByteIdentity(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		for _, executors := range []int{1, 2} {
+			t.Run(fmt.Sprintf("workers=%d/executors=%d", workers, executors), func(t *testing.T) {
+				opts := testOptions()
+				opts.Workers = workers
+				jobs := coalesceJobs(t)
+
+				sA, baseA := startServer(t, Config{Options: opts, Executors: executors, MaxBatch: 8})
+				sA.gate = make(chan struct{})
+				batched := postOrdered(t, sA, baseA, jobs)
+
+				// The reference: identical job sequence, coalescing disabled.
+				sB, baseB := startServer(t, Config{Options: opts, MaxBatch: 1})
+				serial := make([][]byte, len(jobs))
+				for k, units := range jobs {
+					_, body := postJSON(t, baseB+"/v1/analyze", wire.AnalyzeRequest{Units: units})
+					serial[k] = body
+				}
+				_ = sB
+
+				for k := range jobs {
+					if !bytes.Equal(canonicalOf(t, batched[k]), canonicalOf(t, serial[k])) {
+						t.Errorf("job %d: coalesced canonical bytes diverge from one-at-a-time", k)
+					}
+					if workers == 1 && executors == 1 && !bytes.Equal(batched[k], serial[k]) {
+						t.Errorf("job %d: coalesced response JSON diverges from one-at-a-time\nbatched: %s\nserial:  %s", k, batched[k], serial[k])
+					}
+				}
+
+				st := getStatsz(t, baseA)
+				if executors == 1 {
+					// One executor, gate-held fill: exactly one batch holding
+					// every job, with the overlapping windows deduped.
+					if st.Batches != 1 || st.CoalescedJobs != int64(len(jobs)-1) {
+						t.Errorf("batches=%d coalescedJobs=%d, want 1 and %d", st.Batches, st.CoalescedJobs, len(jobs)-1)
+					}
+					if st.BatchSizeHist[len(jobs)-1] != 1 {
+						t.Errorf("batchSizeHist = %v, want one batch of %d", st.BatchSizeHist, len(jobs))
+					}
+					if st.FingerprintDeduped == 0 {
+						t.Error("overlapping windows produced no fingerprint dedup")
+					}
+					if st.CrossRequestMemoHits == 0 {
+						t.Error("warm batch produced no cross-request memo hits")
+					}
+				} else if st.Batches+st.CoalescedJobs != int64(len(jobs)) {
+					t.Errorf("batches=%d + coalescedJobs=%d != jobs=%d", st.Batches, st.CoalescedJobs, len(jobs))
+				}
+				if st.MemoEntries == 0 {
+					t.Error("warm analyzer retained no memo entries")
+				}
+			})
+		}
+	}
+}
+
+// TestCoalescedCancelMidBatch: a job whose deadline expired while queued
+// degrades alone inside its batch — batchmates before and after it stay
+// exact and byte-identical to a batch reference, and the expired job's
+// tripped units never enter the warm tier.
+func TestCoalescedCancelMidBatch(t *testing.T) {
+	pool := tinyUnits(6)
+	before, after := pool[0:3], pool[3:6]
+	var doomed []wire.UnitSource
+	for _, spec := range workload.FMHardPrograms() {
+		doomed = append(doomed, wire.UnitSource{Name: spec.Name, Source: workload.FMHardSource(spec)})
+	}
+
+	s, base := startServer(t, Config{Options: testOptions(), MaxBatch: 8})
+	s.gate = make(chan struct{})
+
+	type reply struct {
+		status int
+		body   []byte
+	}
+	replies := make([]reply, 3)
+	var wg sync.WaitGroup
+	post := func(k int, req wire.AnalyzeRequest) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, body := postJSON(t, base+"/v1/analyze", req)
+			replies[k] = reply{resp.StatusCode, body}
+		}()
+		waitFor(t, func() bool { return s.stats.accepted.Load() == int64(k+1) })
+	}
+	post(0, wire.AnalyzeRequest{Units: before})
+	post(1, wire.AnalyzeRequest{Units: doomed, DeadlineMillis: 1})
+	post(2, wire.AnalyzeRequest{Units: after})
+	// Let the doomed job's 1ms deadline expire while everything is queued.
+	time.Sleep(20 * time.Millisecond)
+	close(s.gate)
+	wg.Wait()
+
+	for k, r := range replies {
+		if r.status != http.StatusOK {
+			t.Fatalf("job %d: status %d: %s", k, r.status, r.body)
+		}
+	}
+	if got, want := canonicalOf(t, replies[0].body), batchCanonical(t, testOptions(), before); !bytes.Equal(got, want) {
+		t.Error("batchmate before the cancelled job diverges from the batch reference")
+	}
+	if got, want := canonicalOf(t, replies[2].body), batchCanonical(t, testOptions(), after); !bytes.Equal(got, want) {
+		t.Error("batchmate after the cancelled job diverges from the batch reference")
+	}
+
+	var doomedAR wire.AnalyzeResponse
+	if err := json.Unmarshal(replies[1].body, &doomedAR); err != nil {
+		t.Fatal(err)
+	}
+	trippedUnits := map[string]bool{}
+	for _, uv := range doomedAR.Units {
+		for _, r := range uv.Results {
+			if r.Trip == dtest.TripDeadline.String() || r.Trip == dtest.TripCancelled.String() {
+				trippedUnits[uv.Name] = true
+			}
+		}
+	}
+	if len(trippedUnits) == 0 {
+		t.Skip("the doomed job finished inside its expired deadline")
+	}
+	// Tripped units never enter the store; the batchmates' units all do.
+	if got, want := s.StoreLen(), len(before)+len(after)+len(doomed)-len(trippedUnits); got != want {
+		t.Errorf("store holds %d units, want %d (tripped units must not be stored)", got, want)
+	}
+	st := getStatsz(t, base)
+	if st.Cancelled == 0 {
+		t.Error("expired job not counted as cancelled")
+	}
+	if st.Batches != 1 || st.CoalescedJobs != 2 {
+		t.Errorf("batches=%d coalescedJobs=%d, want 1 and 2", st.Batches, st.CoalescedJobs)
+	}
+}
+
+// TestCancelledClientCountsCancelled: a client that disconnects while its
+// request is queued counts as cancelled in statsz — never a server error.
+func TestCancelledClientCountsCancelled(t *testing.T) {
+	s, base := startServer(t, Config{Options: testOptions()})
+	s.gate = make(chan struct{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	// The 20ms deadline backstops the disconnect: by the time the gate
+	// opens the job's context is dead either way, so the executor's
+	// classification is what is under test, not propagation timing.
+	buf, err := json.Marshal(wire.AnalyzeRequest{Units: tinyUnits(4), DeadlineMillis: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/analyze", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	waitFor(t, func() bool { return s.stats.accepted.Load() == 1 })
+	cancel() // client walks away while the job is queued
+	<-done
+	time.Sleep(50 * time.Millisecond) // past the deadline backstop
+	close(s.gate)
+
+	waitFor(t, func() bool { return s.stats.completed.Load() == 1 })
+	st := getStatsz(t, base)
+	if st.Cancelled != 1 {
+		t.Errorf("cancelled = %d, want 1", st.Cancelled)
+	}
+	if st.Completed != 1 || st.Shed != 0 || st.ClientErrors != 0 {
+		t.Errorf("statsz %+v", st)
+	}
+}
+
+// TestMemoEviction: a warm analyzer over its memo bound drops its tables
+// after the batch (statsz meters the epoch restart) and keeps serving
+// byte-identical responses — eviction is a memory policy, never a result
+// change.
+func TestMemoEviction(t *testing.T) {
+	s, base := startServer(t, Config{Options: testOptions(), MaxMemoEntries: 1})
+	units := tinyUnits(8)
+
+	_, cold := analyze(t, base, wire.AnalyzeRequest{Units: units})
+	st := getStatsz(t, base)
+	if st.MemoEvictions == 0 {
+		t.Fatalf("MaxMemoEntries=1 triggered no eviction: %+v", st)
+	}
+	if st.MemoEntries != 0 {
+		t.Errorf("memoEntries = %d after eviction, want 0", st.MemoEntries)
+	}
+
+	// The store is untouched by eviction; a repeat is served warm and
+	// byte-identical.
+	_, warm := analyze(t, base, wire.AnalyzeRequest{Units: units})
+	if warm.Stats.UnitsReused != len(units) {
+		t.Errorf("post-eviction repeat stats %+v, want all reused", warm.Stats)
+	}
+	if !bytes.Equal(wire.Canonical(cold), wire.Canonical(warm)) {
+		t.Error("post-eviction warm bytes diverge")
+	}
+
+	// Fresh work after the epoch restart still matches the batch reference.
+	fresh := tinyUnits(16)[8:]
+	_, ar := analyze(t, base, wire.AnalyzeRequest{Units: fresh})
+	if got, want := wire.Canonical(ar), batchCanonical(t, testOptions(), fresh); !bytes.Equal(got, want) {
+		t.Error("post-eviction solve diverges from the batch reference")
+	}
+	_ = s
 }

@@ -18,8 +18,8 @@ import (
 	"strconv"
 	"time"
 
-	"exactdep/internal/corpus"
 	"exactdep/internal/core"
+	"exactdep/internal/corpus"
 	"exactdep/internal/dtest"
 	"exactdep/internal/stats"
 )
@@ -122,8 +122,8 @@ type UnitVerdicts struct {
 	Fingerprint string `json:"fingerprint"`
 	// Reused reports that the verdicts came from the warm tier (the
 	// fingerprint → verdict store), not the analyzer.
-	Reused   bool     `json:"reused,omitempty"`
-	Warnings []string `json:"warnings,omitempty"`
+	Reused   bool         `json:"reused,omitempty"`
+	Warnings []string     `json:"warnings,omitempty"`
 	Results  []PairResult `json:"results"`
 }
 
@@ -201,7 +201,7 @@ type Health struct {
 // Statsz is the body of GET /v1/statsz: the service's memo/store/queue
 // counters.
 type Statsz struct {
-	SchemaVersion int `json:"schemaVersion"`
+	SchemaVersion int   `json:"schemaVersion"`
 	UptimeMillis  int64 `json:"uptimeMillis"`
 	// Admission-control counters.
 	QueueDepth    int   `json:"queueDepth"`
@@ -212,12 +212,38 @@ type Statsz struct {
 	Degraded      int64 `json:"degraded"`
 	Shed          int64 `json:"shed"`
 	ClientErrors  int64 `json:"clientErrors"`
+	// Cancelled counts requests whose context was cancelled or whose
+	// deadline expired before completion (client gone, deadline passed).
+	// Such requests are degraded or answered 408, never 5xx, and are a
+	// subset of Completed.
+	Cancelled int64 `json:"cancelled"`
 	// Warm-tier counters.
 	StoreUnits  int   `json:"storeUnits"`
 	UnitsReused int64 `json:"unitsReused"`
 	UnitsSolved int64 `json:"unitsSolved"`
 	PairsServed int64 `json:"pairsServed"`
 	PairsSolved int64 `json:"pairsSolved"`
+	// Warm-analyzer / coalescing counters. Batches counts executor batches
+	// (every analyze request lands in exactly one); CoalescedJobs counts
+	// requests that rode along in a batch after the first (so
+	// Batches+CoalescedJobs = coalescable requests completed).
+	// BatchSizeHist[i] counts batches of i+1 jobs, last bucket open-ended.
+	// FingerprintDeduped counts store probes within one batch that hit a
+	// unit an earlier batchmate had just solved and stored.
+	// CrossRequestMemoHits counts full-table memo hits observed by a warm
+	// analyzer on requests after its first of the current eviction epoch
+	// (an upper bound on cross-request reuse: within-request repeats of a
+	// problem cached by an earlier request are included).
+	// MemoEntries is the current entry total over all warm analyzers'
+	// tables; MemoEvictions counts epoch restarts forced by MaxMemoEntries.
+	MaxBatch             int     `json:"maxBatch"`
+	Batches              int64   `json:"batches"`
+	CoalescedJobs        int64   `json:"coalescedJobs"`
+	BatchSizeHist        []int64 `json:"batchSizeHist"`
+	FingerprintDeduped   int64   `json:"fingerprintDeduped"`
+	CrossRequestMemoHits int64   `json:"crossRequestMemoHits"`
+	MemoEntries          int64   `json:"memoEntries"`
+	MemoEvictions        int64   `json:"memoEvictions"`
 }
 
 // CorpusRequest is the body of POST /v1/corpus: analyze a server-local

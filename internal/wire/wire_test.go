@@ -9,8 +9,8 @@ import (
 	"path/filepath"
 	"testing"
 
-	"exactdep/internal/corpus"
 	"exactdep/internal/core"
+	"exactdep/internal/corpus"
 	"exactdep/internal/dtest"
 	"exactdep/internal/workload"
 )
@@ -99,21 +99,30 @@ func TestGoldenErrorAndStatsz(t *testing.T) {
 		RetryAfterSeconds: 1,
 	})
 	golden(t, "statsz.json", Statsz{
-		SchemaVersion: SchemaVersion,
-		UptimeMillis:  12345,
-		QueueDepth:    3,
-		QueueCapacity: 64,
-		Executors:     1,
-		Accepted:      100,
-		Completed:     96,
-		Degraded:      2,
-		Shed:          1,
-		ClientErrors:  1,
-		StoreUnits:    40,
-		UnitsReused:   350,
-		UnitsSolved:   50,
-		PairsServed:   7000,
-		PairsSolved:   900,
+		SchemaVersion:        SchemaVersion,
+		UptimeMillis:         12345,
+		QueueDepth:           3,
+		QueueCapacity:        64,
+		Executors:            1,
+		Accepted:             100,
+		Completed:            96,
+		Degraded:             2,
+		Shed:                 1,
+		ClientErrors:         1,
+		Cancelled:            2,
+		StoreUnits:           40,
+		UnitsReused:          350,
+		UnitsSolved:          50,
+		PairsServed:          7000,
+		PairsSolved:          900,
+		MaxBatch:             8,
+		Batches:              30,
+		CoalescedJobs:        66,
+		BatchSizeHist:        []int64{10, 4, 2, 0, 0, 0, 0, 14},
+		FingerprintDeduped:   12,
+		CrossRequestMemoHits: 4000,
+		MemoEntries:          512,
+		MemoEvictions:        1,
 	})
 }
 
